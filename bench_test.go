@@ -1,0 +1,418 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// figure (Figs. 4-7 and the headline aggregate) plus ablations of the
+// design choices DESIGN.md calls out. Figure benchmarks run the reduced
+// (quick) grid per iteration and attach the headline quantities as custom
+// metrics, so `go test -bench .` both exercises and summarizes the
+// reproduction; the full-grid tables come from `go run ./cmd/mpbench`.
+package multipath_test
+
+import (
+	"testing"
+
+	multipath "repro"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/exp"
+	"repro/internal/hw"
+	"repro/internal/omb"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+// quickOpts is the reduced evaluation grid used by the figure benchmarks.
+func quickOpts() exp.Options { return exp.QuickOptions() }
+
+func BenchmarkFig4ThetaDistribution(b *testing.B) {
+	opts := quickOpts()
+	opts.Sizes = []float64{2 * hw.MiB, 16 * hw.MiB, 128 * hw.MiB, 512 * hw.MiB}
+	var directSmall, directLarge float64
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := fig.Panels[2].FindSeries("direct")
+		directSmall = s.Points[0].Value
+		directLarge = s.Points[len(s.Points)-1].Value
+	}
+	b.ReportMetric(directSmall, "theta_direct_2MiB")
+	b.ReportMetric(directLarge, "theta_direct_512MiB")
+}
+
+func BenchmarkFig5UnidirectionalBW(b *testing.B) {
+	opts := quickOpts()
+	var speedup, errPct float64
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		panel := fig.Panels[0]
+		n := opts.Sizes[len(opts.Sizes)-1]
+		direct, _ := panel.FindSeries(exp.SeriesDirect).Value(n)
+		dynamic, _ := panel.FindSeries(exp.SeriesDynamic).Value(n)
+		errPct, _ = panel.FindSeries(exp.SeriesErrPct).Value(n)
+		speedup = dynamic / direct
+	}
+	b.ReportMetric(speedup, "speedup_vs_direct")
+	b.ReportMetric(errPct, "pred_err_%")
+}
+
+func BenchmarkFig6BidirectionalBW(b *testing.B) {
+	opts := quickOpts()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		panel := fig.Panels[0]
+		n := opts.Sizes[len(opts.Sizes)-1]
+		direct, _ := panel.FindSeries(exp.SeriesDirect).Value(n)
+		dynamic, _ := panel.FindSeries(exp.SeriesDynamic).Value(n)
+		speedup = dynamic / direct
+	}
+	b.ReportMetric(speedup, "bibw_speedup_vs_direct")
+}
+
+func BenchmarkFig7Collectives(b *testing.B) {
+	opts := quickOpts()
+	var alltoall, allreduce float64
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, panel := range fig.Panels {
+			s := panel.FindSeries(exp.SeriesDynamicSpeedup)
+			v := s.Points[len(s.Points)-1].Value
+			if panel.Title[:8] == "alltoall" {
+				alltoall = v
+			} else {
+				allreduce = v
+			}
+		}
+	}
+	b.ReportMetric(alltoall, "alltoall_speedup")
+	b.ReportMetric(allreduce, "allreduce_speedup")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	opts := quickOpts()
+	var h exp.Headline
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, _, _, _, err = exp.RunHeadline(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.MaxP2PSpeedup, "max_p2p_speedup")
+	b.ReportMetric(h.MaxCollectiveSpeedup, "max_coll_speedup")
+	b.ReportMetric(h.MeanErrBWNoHostPct, "mean_bw_err_%")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// Ablation 1 (Theorem 1): equal-time water-filling vs a bandwidth-
+// proportional split vs direct-only, measured on the simulator.
+func BenchmarkAblationEqualTime(b *testing.B) {
+	spec := hw.Beluga()
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 256.0 * hw.MiB
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+
+	measure := func(thetas []float64) float64 {
+		params := make([]core.PathPlan, len(paths))
+		plan := &core.Plan{Src: 0, Dst: 1, Bytes: n}
+		var assigned float64
+		for i, p := range paths {
+			pp, err := core.ParamsFromSpec(node, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			share := thetas[i] * n
+			if i == 0 {
+				share = 0
+			}
+			k := 1
+			if pp.Staged() {
+				k = int(pp.ExactChunks(share) + 0.5)
+				if k < 1 {
+					k = 1
+				}
+				if k > 64 {
+					k = 64
+				}
+			}
+			params[i] = core.PathPlan{Path: p, Param: pp, Bytes: share, Chunks: k}
+			assigned += share
+		}
+		params[0].Bytes = n - assigned
+		params[0].Chunks = 1
+		plan.Paths = params
+		elapsed, err := tuner.MeasurePlan(spec, plan, pipeline.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n / elapsed
+	}
+
+	var equalBW, propBW, directBW float64
+	for i := 0; i < b.N; i++ {
+		pl, err := model.PlanTransfer(paths, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thetas := make([]float64, len(paths))
+		for j := range pl.Paths {
+			thetas[j] = pl.Paths[j].Bytes / n
+		}
+		equalBW = measure(thetas)
+		// β-proportional (ignores latencies and staging overheads).
+		var betaSum float64
+		betas := make([]float64, len(paths))
+		for j, p := range paths {
+			pp, _ := core.ParamsFromSpec(node, p)
+			beta := pp.Legs[0].Beta
+			if pp.Staged() {
+				if pp.Legs[1].Beta < beta {
+					beta = pp.Legs[1].Beta
+				}
+			}
+			betas[j] = beta
+			betaSum += beta
+		}
+		for j := range betas {
+			betas[j] /= betaSum
+		}
+		propBW = measure(betas)
+		directBW = measure(append([]float64{1}, make([]float64, len(paths)-1)...))
+	}
+	b.ReportMetric(equalBW/1e9, "equal_time_GBps")
+	b.ReportMetric(propBW/1e9, "beta_proportional_GBps")
+	b.ReportMetric(directBW/1e9, "direct_only_GBps")
+}
+
+// Ablation 2 (Eq. 19): linearized vs exact vs fixed chunk counts.
+func BenchmarkAblationChunkLinearization(b *testing.B) {
+	spec := hw.Beluga()
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 128.0 * hw.MiB
+	run := func(rule core.ChunkRule, fixed int) float64 {
+		node, err := hw.Build(sim.New(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.ChunkRule = rule
+		opts.FixedChunks = fixed
+		model := core.NewModel(core.SpecSource{Node: node}, opts)
+		pl, err := model.PlanTransfer(paths, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed, err := tuner.MeasurePlan(spec, pl, pipeline.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n / elapsed
+	}
+	var lin, exact, fixed2, fixed64 float64
+	for i := 0; i < b.N; i++ {
+		lin = run(core.ChunksLinearized, 0)
+		exact = run(core.ChunksExact, 0)
+		fixed2 = run(core.ChunksFixed, 2)
+		fixed64 = run(core.ChunksFixed, 64)
+	}
+	b.ReportMetric(lin/1e9, "linearized_GBps")
+	b.ReportMetric(exact/1e9, "exact_sqrt_GBps")
+	b.ReportMetric(fixed2/1e9, "fixed_k2_GBps")
+	b.ReportMetric(fixed64/1e9, "fixed_k64_GBps")
+}
+
+// Ablation 3 (Algorithm 1 cache): planning cost with cold vs warm cache.
+func BenchmarkAblationConfigCacheCold(b *testing.B) {
+	node, err := hw.Build(sim.New(), hw.Beluga())
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.InvalidateCache()
+		if _, err := model.PlanTransfer(paths, 64*hw.MiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationConfigCacheWarm(b *testing.B) {
+	node, err := hw.Build(sim.New(), hw.Beluga())
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	if _, err := model.PlanTransfer(paths, 64*hw.MiB); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.PlanTransfer(paths, 64*hw.MiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 4 (Algorithm 1 line 18): sequential initiation on/off.
+func BenchmarkAblationSequentialInitiation(b *testing.B) {
+	spec := hw.Beluga()
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 64.0 * hw.MiB
+	run := func(seq bool) float64 {
+		node, err := hw.Build(sim.New(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+		pl, err := model.PlanTransfer(paths, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := pipeline.DefaultConfig()
+		cfg.SequentialInitiation = seq
+		elapsed, err := tuner.MeasurePlan(spec, pl, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n / elapsed
+	}
+	var seqBW, parBW float64
+	for i := 0; i < b.N; i++ {
+		seqBW = run(true)
+		parBW = run(false)
+	}
+	b.ReportMetric(seqBW/1e9, "sequential_GBps")
+	b.ReportMetric(parBW/1e9, "parallel_launch_GBps")
+}
+
+// Ablation 5 (engine pressure): collectives with unlimited vs 2 copy
+// engines per GPU. Real GPUs cap concurrent DMA copies; the cap tempers
+// multi-path collective gains toward the paper's 1.4× ceiling.
+func BenchmarkAblationCopyEngines(b *testing.B) {
+	run := func(engines int) float64 {
+		cfg := omb.DefaultCollConfig(hw.Beluga())
+		cfg.UCX.PathSet = "3gpus"
+		cfg.Iters = 1
+		cfg.CopyEngines = engines
+		samples, err := omb.AlltoallLatency(cfg, []float64{32 * hw.MiB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := omb.DefaultCollConfig(hw.Beluga())
+		base.UCX.MultipathEnable = false
+		base.Iters = 1
+		base.CopyEngines = engines
+		bs, err := omb.AlltoallLatency(base, []float64{32 * hw.MiB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bs[0].Latency / samples[0].Latency
+	}
+	var unlimited, four, two float64
+	for i := 0; i < b.N; i++ {
+		unlimited = run(0)
+		four = run(4)
+		two = run(2)
+	}
+	b.ReportMetric(unlimited, "speedup_unlimited_engines")
+	b.ReportMetric(four, "speedup_4_engines")
+	b.ReportMetric(two, "speedup_2_engines")
+}
+
+// --- Mechanism micro-benchmarks -------------------------------------------
+
+// BenchmarkModelPlanTransfer measures raw planning cost — the paper
+// reports the runtime overhead of the model as <0.1% of transfer time.
+func BenchmarkModelPlanTransfer(b *testing.B) {
+	node, err := hw.Build(sim.New(), hw.Beluga())
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.InvalidateCache()
+		if _, err := model.PlanTransfer(paths, float64(64*hw.MiB)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineExecute measures simulator throughput for a full
+// four-path 64 MiB transfer.
+func BenchmarkPipelineExecute(b *testing.B) {
+	spec := hw.Beluga()
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		node, err := hw.Build(s, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+		pl, err := model.PlanTransfer(paths, 64*hw.MiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := pipeline.New(cuda.NewRuntime(node), pipeline.DefaultConfig())
+		if _, err := eng.Execute(pl); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndTransfer covers the public API path (facade).
+func BenchmarkEndToEndTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := multipath.NewSystem(multipath.Beluga(), multipath.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Transfer(0, 1, 64*multipath.MiB, multipath.ThreeGPUs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command modelcalc evaluates the performance model for one transfer:
+// given a topology, GPU pair, message size, and path set, it prints the
+// optimal configuration Algorithm 1 would hand to the pipeline engine —
+// per-path fractions θ, byte shares, chunk counts k, the affine
+// coefficients (Ω, Δ), and the predicted time/bandwidth — and compares
+// the closed form against the exact (numerical) pipelined solution.
+//
+// Usage:
+//
+//	modelcalc -topo beluga -size 64MiB -paths 3gpus_host
+//	modelcalc -topo narval -src 0 -dst 3 -size 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "beluga", "topology preset")
+		src     = flag.Int("src", 0, "source GPU")
+		dst     = flag.Int("dst", 1, "destination GPU")
+		sizeStr = flag.String("size", "64MiB", "message size (bytes, or with KiB/MiB/GiB suffix)")
+		psName  = flag.String("paths", "all", "path set: direct|2gpus|3gpus|3gpus_host|all")
+		exact   = flag.Bool("exact", true, "also solve the exact (non-linearized) pipelined problem")
+	)
+	flag.Parse()
+
+	n, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	mk, ok := hw.Presets[*topo]
+	if !ok {
+		fatal("unknown topology %q", *topo)
+	}
+	spec := mk()
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	sel, err := ucx.PathSetByName(*psName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	paths, err := spec.EnumeratePaths(*src, *dst, sel)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	plan, err := model.PlanTransfer(paths, n)
+	if err != nil {
+		fatal("plan: %v", err)
+	}
+
+	fmt.Printf("transfer: GPU %d -> GPU %d, %s on %q (%d candidate paths)\n\n",
+		*src, *dst, *sizeStr, spec.Name, len(paths))
+	fmt.Printf("%-10s  %8s  %12s  %6s  %12s  %10s  %10s\n",
+		"path", "theta", "bytes", "k", "omega(s/B)", "delta(us)", "T_i(ms)")
+	for _, pp := range plan.Paths {
+		fmt.Printf("%-10s  %8.4f  %12.0f  %6d  %12.3e  %10.2f  %10.4f\n",
+			pp.Path.String(), pp.Theta, pp.Bytes, pp.Chunks,
+			pp.Omega, pp.Delta*1e6, pp.Predicted*1e3)
+	}
+	fmt.Printf("\npredicted time:      %.4f ms\n", plan.PredictedTime*1e3)
+	fmt.Printf("predicted bandwidth: %.2f GB/s\n", plan.PredictedBandwidth/1e9)
+
+	if *exact {
+		var qs []core.SqrtPath
+		for i := range plan.Paths {
+			qs = append(qs, core.SqrtPathOf(&plan.Paths[i].Param))
+		}
+		shares, T, err := core.SolveExactPipelined(qs, n)
+		if err != nil {
+			fatal("exact solve: %v", err)
+		}
+		fmt.Printf("\nexact (numerical) pipelined optimum: %.4f ms (%.2f GB/s)\n",
+			T*1e3, n/T/1e9)
+		fmt.Printf("%-10s  %12s\n", "path", "exact bytes")
+		for i, s := range shares {
+			fmt.Printf("%-10s  %12.0f\n", plan.Paths[i].Path.String(), s)
+		}
+		gap := (plan.PredictedTime - T) / T * 100
+		fmt.Printf("linearization gap vs exact: %+.2f%%\n", gap)
+	}
+}
+
+func parseSize(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "modelcalc: "+format+"\n", args...)
+	os.Exit(1)
+}

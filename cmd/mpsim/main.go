@@ -1,0 +1,146 @@
+// Command mpsim runs one multi-path transfer end to end and shows what
+// the machine did: the model's plan, predicted vs simulated timing, and a
+// per-link utilization table — the quickest way to inspect how a schedule
+// exercises a topology.
+//
+// Usage:
+//
+//	mpsim -topo beluga -size 64MiB -paths 3gpus_host
+//	mpsim -topo narval -src 0 -dst 2 -size 256MiB -adaptive
+//	mpsim -file testdata/custom-topology.json -size 16MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/ucx"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "beluga", "topology preset")
+		file     = flag.String("file", "", "load topology from JSON instead of a preset")
+		src      = flag.Int("src", 0, "source GPU")
+		dst      = flag.Int("dst", 1, "destination GPU")
+		sizeStr  = flag.String("size", "64MiB", "message size (bytes or KiB/MiB/GiB suffix)")
+		psName   = flag.String("paths", "all", "path set: direct|2gpus|3gpus|3gpus_host|all")
+		adaptive = flag.Bool("adaptive", false, "use the adaptive-phi planner")
+		window   = flag.Int("window", 1, "concurrent copies of the transfer")
+	)
+	flag.Parse()
+
+	n, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var spec *hw.Spec
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("open %s: %v", *file, err)
+		}
+		spec, err = hw.SpecFromJSON(f)
+		f.Close()
+		if err != nil {
+			fatal("parse %s: %v", *file, err)
+		}
+	} else {
+		mk, ok := hw.Presets[*topo]
+		if !ok {
+			fatal("unknown topology %q", *topo)
+		}
+		spec = mk()
+	}
+
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	sel, err := ucx.PathSetByName(*psName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	paths, err := spec.EnumeratePaths(*src, *dst, sel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts := core.DefaultOptions()
+	opts.AdaptivePhi = *adaptive
+	model := core.NewModel(core.SpecSource{Node: node}, opts)
+	plan, err := model.PlanTransfer(paths, n)
+	if err != nil {
+		fatal("plan: %v", err)
+	}
+
+	fmt.Printf("transfer GPU %d -> GPU %d, %s on %q, %d candidate paths, window %d\n\n",
+		*src, *dst, *sizeStr, spec.Name, len(paths), *window)
+	fmt.Printf("%-10s  %8s  %12s  %6s\n", "path", "theta", "bytes", "chunks")
+	for _, pp := range plan.ActivePaths() {
+		fmt.Printf("%-10s  %8.4f  %12.0f  %6d\n", pp.Path.String(), pp.Theta, pp.Bytes, pp.Chunks)
+	}
+
+	eng := pipeline.New(cuda.NewRuntime(node), pipeline.DefaultConfig())
+	results := make([]*pipeline.Result, *window)
+	for i := 0; i < *window; i++ {
+		res, err := eng.Execute(plan)
+		if err != nil {
+			fatal("execute: %v", err)
+		}
+		results[i] = res
+	}
+	if err := s.Run(); err != nil {
+		fatal("run: %v", err)
+	}
+	var last float64
+	for _, res := range results {
+		if res.Done.Err() != nil {
+			fatal("transfer failed: %v", res.Done.Err())
+		}
+		if end := res.Done.FiredAt(); end > last {
+			last = end
+		}
+	}
+	total := float64(*window) * n
+
+	fmt.Printf("\npredicted: %.4f ms (%.2f GB/s per transfer)\n",
+		plan.PredictedTime*1e3, plan.PredictedBandwidth/1e9)
+	fmt.Printf("simulated: %.4f ms (%.2f GB/s aggregate)\n", last*1e3, total/last/1e9)
+
+	fmt.Println("\nlink utilization:")
+	if err := trace.Render(os.Stdout, trace.SnapshotLinks(node)); err != nil {
+		fatal("trace: %v", err)
+	}
+}
+
+func parseSize(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command topoinspect dumps a topology preset: its links, the candidate
+// paths between a GPU pair, and (optionally) a measured calibration
+// profile — the offline step that feeds the runtime model (paper Fig. 2a,
+// Step 1).
+//
+// Usage:
+//
+//	topoinspect -topo beluga
+//	topoinspect -topo narval -src 0 -dst 2
+//	topoinspect -topo beluga -calibrate -o beluga-profile.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "beluga", "topology preset")
+		topoFile  = flag.String("file", "", "load topology from a JSON file instead of a preset")
+		src       = flag.Int("src", 0, "source GPU")
+		dst       = flag.Int("dst", 1, "destination GPU")
+		calibrate = flag.Bool("calibrate", false, "run measurement-based calibration")
+		out       = flag.String("o", "", "write calibration profile JSON to this file")
+	)
+	flag.Parse()
+
+	var spec *hw.Spec
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fatal("open %s: %v", *topoFile, err)
+		}
+		spec, err = hw.SpecFromJSON(f)
+		f.Close()
+		if err != nil {
+			fatal("parse %s: %v", *topoFile, err)
+		}
+	} else {
+		mk, ok := hw.Presets[*topo]
+		if !ok {
+			fatal("unknown topology %q", *topo)
+		}
+		spec = mk()
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		fatal("build: %v", err)
+	}
+
+	fmt.Printf("topology %q: %d GPUs, %d NUMA domains\n", spec.Name, spec.GPUs, spec.NUMAs)
+	fmt.Printf("GPU->NUMA: %v\n\n", spec.GPUNuma)
+	fmt.Println("links (per direction):")
+	for _, l := range node.Net.Links() {
+		fmt.Printf("  %-18s %8.1f GB/s\n", l.Name(), l.Capacity()/1e9)
+	}
+
+	paths, err := spec.EnumeratePaths(*src, *dst, hw.AllPaths)
+	if err != nil {
+		fatal("paths: %v", err)
+	}
+	fmt.Printf("\npaths %d -> %d (spec oracle parameters):\n", *src, *dst)
+	for _, p := range paths {
+		pp, err := core.ParamsFromSpec(node, p)
+		if err != nil {
+			fatal("params: %v", err)
+		}
+		fmt.Printf("  %-10s", p.String())
+		for i, leg := range pp.Legs {
+			fmt.Printf("  leg%d: α=%.2fµs β=%.1fGB/s", i+1, leg.Alpha*1e6, leg.Beta/1e9)
+		}
+		if pp.Staged() {
+			fmt.Printf("  ε=%.2fµs", pp.Eps*1e6)
+		}
+		fmt.Println()
+	}
+
+	if *calibrate {
+		fmt.Println("\ncalibrating (measurement-based)...")
+		profile, err := calib.Calibrate(spec, calib.DefaultOptions())
+		if err != nil {
+			fatal("calibrate: %v", err)
+		}
+		fmt.Printf("calibrated %d path records\n", len(profile.Params))
+		for _, p := range paths {
+			pp, err := profile.PathParams(p)
+			if err != nil {
+				fatal("profile: %v", err)
+			}
+			fmt.Printf("  %-10s", p.String())
+			for i, leg := range pp.Legs {
+				fmt.Printf("  leg%d: α=%.2fµs β=%.1fGB/s", i+1, leg.Alpha*1e6, leg.Beta/1e9)
+			}
+			if pp.Staged() {
+				fmt.Printf("  ε=%.2fµs φ=%.4f", pp.Eps*1e6, pp.Phi)
+			}
+			fmt.Println()
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal("create %s: %v", *out, err)
+			}
+			defer f.Close()
+			if err := profile.Save(f); err != nil {
+				fatal("save: %v", err)
+			}
+			fmt.Printf("wrote profile to %s\n", *out)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "topoinspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Calibrate: the offline step of the paper's design (Fig. 2a, Step 1).
+// The example measures a topology's model parameters (α, β per leg, ε per
+// staged path, the chunk-law constant φ), saves them as the per-node
+// profile JSON, reloads the profile, and shows that a planner driven by
+// measured parameters reproduces the oracle-driven configuration.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	multipath "repro"
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func main() {
+	spec := multipath.Beluga()
+
+	fmt.Println("calibrating beluga (measurement probes on an idle machine)...")
+	profile, err := multipath.Calibrate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated %d path records\n\n", len(profile.Params))
+
+	// Round-trip through the serialized form, as a deployment would.
+	var buf bytes.Buffer
+	if err := profile.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile JSON: %d bytes\n", buf.Len())
+	loaded, err := calib.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the calibrated planner with the spec oracle.
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	measured := core.NewModel(loaded, core.DefaultOptions())
+
+	n := 64.0 * multipath.MiB
+	plO, err := oracle.PlanTransfer(paths, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plM, err := measured.PlanTransfer(paths, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n64 MiB plan, oracle vs calibrated parameters:\n")
+	fmt.Printf("%-10s  %12s  %12s\n", "path", "oracle θ", "measured θ")
+	for i := range plO.Paths {
+		fmt.Printf("%-10s  %12.4f  %12.4f\n",
+			plO.Paths[i].Path.String(), plO.Paths[i].Theta, plM.Paths[i].Theta)
+	}
+	fmt.Printf("\npredicted bandwidth: oracle %.2f GB/s, measured-params %.2f GB/s\n",
+		plO.PredictedBandwidth/1e9, plM.PredictedBandwidth/1e9)
+}

@@ -1,0 +1,68 @@
+// Contention: reproduces the paper's Observation 5 — the host-staged path
+// helps unidirectional bandwidth but hurts under bidirectional load,
+// because both directions stage through the same host memory channel. The
+// example measures BW and BIBW with and without the host path and shows
+// where the model's prediction stops matching (the contention it does not
+// capture).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	multipath "repro"
+	"repro/internal/omb"
+)
+
+func measure(bidirectional bool, pathSet string, n float64) (float64, error) {
+	cfg := omb.DefaultP2PConfig(multipath.Beluga())
+	cfg.UCX.PathSet = pathSet
+	sizes := []float64{n}
+	var samples []omb.Sample
+	var err error
+	if bidirectional {
+		samples, err = omb.BiBW(cfg, sizes)
+	} else {
+		samples, err = omb.BW(cfg, sizes)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return samples[0].Bandwidth, nil
+}
+
+func main() {
+	const n = 256 * multipath.MiB
+
+	fmt.Println("host-staged path under unidirectional vs bidirectional load (Beluga, 256 MiB)")
+	fmt.Printf("\n%-22s  %12s  %12s\n", "configuration", "BW GB/s", "BIBW GB/s")
+	for _, ps := range []string{"3gpus", "3gpus_host"} {
+		bw, err := measure(false, ps, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bibw, err := measure(true, ps, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s  %12.2f  %12.2f\n", ps, bw/1e9, bibw/1e9)
+	}
+
+	// What the model expects (it assumes isolated paths).
+	sys, err := multipath.NewSystem(multipath.Beluga(), multipath.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.Plan(0, 1, n, multipath.ThreeGPUsWithHost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel prediction per direction with host path: %.2f GB/s\n",
+		plan.PredictedBandwidth/1e9)
+	fmt.Println("\nunidirectional: host staging adds bandwidth (both legs fit in the")
+	fmt.Println("memory channel). bidirectional: four staged legs contend on the same")
+	fmt.Println("channel, the host path becomes the straggler every other path waits")
+	fmt.Println("for, and BIBW with the host path drops BELOW the no-host result —")
+	fmt.Println("exactly the degradation §5.2 Observation 5 reports. The bidir-aware")
+	fmt.Println("model extension (UCX_MP_BIDIR_AWARE=y) plans around it.")
+}

@@ -1,0 +1,92 @@
+// Internode: the paper's multi-node future work in action. A single
+// GPU-to-GPU transfer between two Narval-like nodes is PCIe/NIC-bound at
+// ~22 GB/s through the source GPU's own rail; the multi-path model fans
+// the message out over NVLink so each peer GPU injects its share through
+// its own NIC rail (with symmetric fan-in on the receiving node),
+// aggregating all four rails.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/internode"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func run(maxPeers int, n float64) (*internode.Plan, *internode.Result, error) {
+	s := sim.New()
+	c, err := internode.BuildCluster(s, internode.DefaultClusterSpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := c.PlanTransfer(0, 0, 1, 0, n, maxPeers, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, nil, err
+	}
+	return pl, res, res.Done.Err()
+}
+
+func main() {
+	const n = 256 * hw.MiB
+	fmt.Println("inter-node transfer: GPU 0 @ node A -> GPU 0 @ node B (256 MiB)")
+	fmt.Println("two Narval-class nodes, one 25 GB/s rail per NUMA domain")
+	fmt.Printf("\n%-12s  %12s  %12s  %8s\n", "rails", "simulated", "predicted", "err")
+	for _, peers := range []int{0, 1, 3} {
+		pl, res, err := run(peers, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := res.Bandwidth()
+		errPct := 100 * abs(pl.PredictedBandwidth-bw) / bw
+		fmt.Printf("%12d  %9.2f GB/s %9.2f GB/s  %6.1f%%\n",
+			peers+1, bw/1e9, pl.PredictedBandwidth/1e9, errPct)
+	}
+
+	pl, _, err := run(-1, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfull plan (all rails):")
+	fmt.Printf("%-20s  %8s  %6s\n", "path", "theta", "chunks")
+	for _, e := range pl.Entries {
+		if e.Bytes > 0 {
+			fmt.Printf("%-20s  %8.4f  %6d\n", e.Path.String(), e.Theta, e.Chunks)
+		}
+	}
+
+	// Composition: hierarchical allreduce across the two nodes
+	// (intra-node reduce-scatter → all-rails exchange → allgather).
+	s2 := sim.New()
+	c2, err := internode.BuildCluster(s2, internode.DefaultClusterSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ar, err := c2.HierarchicalAllreduce(internode.AllreduceConfig{
+		Bytes:           n,
+		UCX:             ucx.DefaultConfig(),
+		ReduceBandwidth: 150 * hw.GBps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhierarchical allreduce of %d MiB across 8 GPUs / 2 nodes: %.3f ms\n",
+		int(n/hw.MiB), ar.Latency*1e3)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,54 @@
+// Quickstart: run one model-driven multi-path GPU-to-GPU transfer on a
+// simulated Beluga node and compare the model's prediction with the
+// simulated execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	multipath "repro"
+)
+
+func main() {
+	sys, err := multipath.NewSystem(multipath.Beluga(), multipath.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 64 * multipath.MiB
+	res, err := sys.Transfer(0, 1, n, multipath.ThreeGPUsWithHost)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transfer: GPU 0 -> GPU 1, 64 MiB over %d paths\n\n", len(res.Plan.ActivePaths()))
+	fmt.Printf("%-10s  %8s  %12s  %6s\n", "path", "theta", "bytes", "chunks")
+	for _, pp := range res.Plan.ActivePaths() {
+		fmt.Printf("%-10s  %8.4f  %12.0f  %6d\n", pp.Path.String(), pp.Theta, pp.Bytes, pp.Chunks)
+	}
+	fmt.Printf("\npredicted: %.4f ms (%.2f GB/s)\n",
+		res.Plan.PredictedTime*1e3, res.Plan.PredictedBandwidth/1e9)
+	fmt.Printf("simulated: %.4f ms (%.2f GB/s)\n", res.Elapsed*1e3, res.Bandwidth/1e9)
+	fmt.Printf("model error: %.2f%%\n",
+		100*abs(res.Plan.PredictedTime-res.Elapsed)/res.Elapsed)
+
+	// For reference: the single-path (direct NVLink) time.
+	sys2, err := multipath.NewSystem(multipath.Beluga(), multipath.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := sys2.Transfer(0, 1, n, multipath.DirectOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndirect-only: %.4f ms (%.2f GB/s) -> multi-path speedup %.2fx\n",
+		direct.Elapsed*1e3, direct.Bandwidth/1e9, direct.Elapsed/res.Elapsed)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,353 @@
+// Package calib extracts the performance model's parameters from the
+// (simulated) machine by measurement, reproducing Step 1 of the paper's
+// design (Fig. 2a): "model parameters are extracted once per system
+// topology and stored on each compute node".
+//
+// For every candidate path it measures:
+//   - per-leg (α, β) by timing isolated probe transfers over a range of
+//     sizes and fitting Hockney's law with least squares,
+//   - ε by timing a one-chunk staged transfer and subtracting the two legs,
+//   - φ by sweeping the chunk count, locating the empirically optimal k per
+//     probe size, and fitting the linear law k = φ·x of Eq. (19) through
+//     the origin.
+//
+// The result is a Profile — a serializable parameter store that implements
+// core.ParamSource, so the runtime planner can run entirely from measured
+// values without touching the topology spec.
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Options tune the calibration procedure.
+type Options struct {
+	// ProbeSizes are the transfer sizes used for the Hockney fits.
+	ProbeSizes []float64
+	// PhiProbeShares are share sizes for the chunk-count sweep.
+	PhiProbeShares []float64
+	// MaxChunks bounds the chunk sweep.
+	MaxChunks int
+}
+
+// DefaultOptions covers the paper's message range.
+func DefaultOptions() Options {
+	return Options{
+		ProbeSizes: []float64{
+			256 * hw.KiB, 1 * hw.MiB, 4 * hw.MiB, 16 * hw.MiB, 64 * hw.MiB,
+		},
+		PhiProbeShares: []float64{
+			4 * hw.MiB, 16 * hw.MiB, 64 * hw.MiB, 128 * hw.MiB,
+		},
+		MaxChunks: 64,
+	}
+}
+
+// PathKey identifies a path in the profile.
+type PathKey struct {
+	Kind hw.PathKind `json:"kind"`
+	Src  int         `json:"src"`
+	Dst  int         `json:"dst"`
+	Via  int         `json:"via"`
+}
+
+// KeyOf builds the profile key for a path.
+func KeyOf(p hw.Path) PathKey {
+	return PathKey{Kind: p.Kind, Src: p.Src, Dst: p.Dst, Via: p.Via}
+}
+
+// Profile is a measured parameter store for one topology.
+type Profile struct {
+	Topology string                 `json:"topology"`
+	Params   map[string]ParamRecord `json:"params"`
+}
+
+// ParamRecord is the serializable form of core.PathParam.
+type ParamRecord struct {
+	Key  PathKey          `json:"key"`
+	Legs []core.LinkParam `json:"legs"`
+	Eps  float64          `json:"eps"`
+	Phi  float64          `json:"phi"`
+}
+
+func keyString(k PathKey) string {
+	return fmt.Sprintf("%d:%d:%d:%d", int(k.Kind), k.Src, k.Dst, k.Via)
+}
+
+// PathParams implements core.ParamSource.
+func (pr *Profile) PathParams(p hw.Path) (core.PathParam, error) {
+	rec, ok := pr.Params[keyString(KeyOf(p))]
+	if !ok {
+		return core.PathParam{}, fmt.Errorf("calib: no calibrated params for path %v (%d->%d)", p, p.Src, p.Dst)
+	}
+	return core.PathParam{Path: p, Legs: rec.Legs, Eps: rec.Eps, Phi: rec.Phi}, nil
+}
+
+// Save serializes the profile as JSON.
+func (pr *Profile) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pr)
+}
+
+// Load reads a profile saved with Save.
+func Load(r io.Reader) (*Profile, error) {
+	var pr Profile
+	if err := json.NewDecoder(r).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("calib: decode profile: %w", err)
+	}
+	if pr.Params == nil {
+		pr.Params = make(map[string]ParamRecord)
+	}
+	return &pr, nil
+}
+
+// Calibrate measures every path between every GPU pair of the topology.
+// Each probe runs on a fresh, idle instance of the machine, as offline
+// calibration does.
+func Calibrate(spec *hw.Spec, opts Options) (*Profile, error) {
+	if len(opts.ProbeSizes) < 2 {
+		return nil, fmt.Errorf("calib: need at least 2 probe sizes for a fit")
+	}
+	pr := &Profile{Topology: spec.Name, Params: make(map[string]ParamRecord)}
+	for src := 0; src < spec.GPUs; src++ {
+		for dst := 0; dst < spec.GPUs; dst++ {
+			if src == dst {
+				continue
+			}
+			paths, err := spec.EnumeratePaths(src, dst, hw.AllPaths)
+			if err != nil {
+				// Pairs without a direct link are skipped: the engine
+				// requires the direct path.
+				continue
+			}
+			for _, p := range paths {
+				rec, err := calibratePath(spec, p, opts)
+				if err != nil {
+					return nil, err
+				}
+				pr.Params[keyString(KeyOf(p))] = rec
+			}
+		}
+	}
+	return pr, nil
+}
+
+// calibratePath measures one path's parameters.
+func calibratePath(spec *hw.Spec, p hw.Path, opts Options) (ParamRecord, error) {
+	rec := ParamRecord{Key: KeyOf(p)}
+
+	legsCount := 1
+	if p.Kind != hw.Direct {
+		legsCount = 2
+	}
+	for leg := 0; leg < legsCount; leg++ {
+		lp, err := fitLeg(spec, p, leg, opts.ProbeSizes)
+		if err != nil {
+			return rec, err
+		}
+		rec.Legs = append(rec.Legs, lp)
+	}
+
+	if p.Kind != hw.Direct {
+		eps, err := measureEps(spec, p, rec.Legs)
+		if err != nil {
+			return rec, err
+		}
+		rec.Eps = eps
+		phi, err := fitPhi(spec, p, rec, opts)
+		if err != nil {
+			return rec, err
+		}
+		rec.Phi = phi
+	}
+	return rec, nil
+}
+
+// legCopy issues a single copy over the given leg of the path and returns
+// its duration on an idle machine.
+func legCopy(spec *hw.Spec, p hw.Path, leg int, bytes float64) (float64, error) {
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return 0, err
+	}
+	rt := cuda.NewRuntime(node)
+
+	var sig *sim.Signal
+	switch p.Kind {
+	case hw.Direct:
+		st := rt.Device(p.Src).NewStream("probe")
+		sig = st.MemcpyPeerAsync(rt.Device(p.Dst), bytes)
+	case hw.GPUStaged:
+		if leg == 0 {
+			st := rt.Device(p.Src).NewStream("probe")
+			sig = st.MemcpyPeerAsync(rt.Device(p.Via), bytes)
+		} else {
+			st := rt.Device(p.Via).NewStream("probe")
+			sig = st.MemcpyPeerAsync(rt.Device(p.Dst), bytes)
+		}
+	case hw.HostStaged:
+		if leg == 0 {
+			st := rt.Device(p.Src).NewStream("probe")
+			sig = st.MemcpyToHostAsync(p.Via, bytes)
+		} else {
+			st := rt.Device(p.Dst).NewStream("probe")
+			sig = st.MemcpyFromHostAsync(p.Via, bytes)
+		}
+	default:
+		return 0, fmt.Errorf("calib: unknown path kind %v", p.Kind)
+	}
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if sig.Err() != nil {
+		return 0, sig.Err()
+	}
+	return sig.FiredAt(), nil
+}
+
+// fitLeg measures the leg at each probe size and least-squares fits
+// T = α + n/β.
+func fitLeg(spec *hw.Spec, p hw.Path, leg int, sizes []float64) (core.LinkParam, error) {
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, n := range sizes {
+		t, err := legCopy(spec, p, leg, n)
+		if err != nil {
+			return core.LinkParam{}, err
+		}
+		xs[i], ys[i] = n, t
+	}
+	slope, intercept := leastSquares(xs, ys)
+	if slope <= 0 {
+		return core.LinkParam{}, fmt.Errorf("calib: non-positive slope fitting leg %d of %v", leg, p)
+	}
+	if intercept < 0 {
+		intercept = 0
+	}
+	return core.LinkParam{Alpha: intercept, Beta: 1 / slope}, nil
+}
+
+// leastSquares fits y = slope·x + intercept.
+func leastSquares(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+func newEngine(rt *cuda.Runtime) *pipeline.Engine {
+	return pipeline.New(rt, pipeline.DefaultConfig())
+}
+
+// stagedOneShot runs a full staged transfer with k chunks on an idle
+// machine and returns its duration.
+func stagedOneShot(spec *hw.Spec, p hw.Path, bytes float64, k int) (float64, error) {
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return 0, err
+	}
+	rt := cuda.NewRuntime(node)
+	legs, err := node.Legs(p)
+	if err != nil {
+		return 0, err
+	}
+	pp := core.PathPlan{
+		Path: p,
+		Param: core.PathParam{
+			Path: p,
+			Legs: []core.LinkParam{
+				{Alpha: legs[0].Latency, Beta: legs[0].Bandwidth},
+				{Alpha: legs[1].Latency, Beta: legs[1].Bandwidth},
+			},
+			Eps: node.Epsilon(p),
+		},
+		Bytes:  bytes,
+		Chunks: k,
+	}
+	eng := newEngine(rt)
+	pl := &core.Plan{Src: p.Src, Dst: p.Dst, Bytes: bytes, Paths: []core.PathPlan{pp}}
+	res, err := eng.Execute(pl)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if res.Done.Err() != nil {
+		return 0, res.Done.Err()
+	}
+	return res.Elapsed(), nil
+}
+
+// measureEps times a one-chunk staged transfer and subtracts the measured
+// leg times: ε = T_staged − (T_leg1 + T_leg2).
+func measureEps(spec *hw.Spec, p hw.Path, legs []core.LinkParam) (float64, error) {
+	n := 16.0 * hw.MiB
+	tot, err := stagedOneShot(spec, p, n, 1)
+	if err != nil {
+		return 0, err
+	}
+	l0 := legs[0].Alpha + n/legs[0].Beta
+	l1 := legs[1].Alpha + n/legs[1].Beta
+	eps := tot - l0 - l1
+	if eps < 0 {
+		eps = 0
+	}
+	return eps, nil
+}
+
+// fitPhi sweeps chunk counts per probe share, locates the fastest k, and
+// fits k* = φ·x through the origin (least squares), where x is the
+// case-appropriate operand of Eq. (19).
+func fitPhi(spec *hw.Spec, p hw.Path, rec ParamRecord, opts Options) (float64, error) {
+	param := core.PathParam{Path: p, Legs: rec.Legs, Eps: rec.Eps}
+	var sxk, sxx float64
+	for _, share := range opts.PhiProbeShares {
+		bestK, bestT := 1, 0.0
+		for k := 1; k <= opts.MaxChunks; k *= 2 {
+			t, err := stagedOneShot(spec, p, share, k)
+			if err != nil {
+				return 0, err
+			}
+			if bestT == 0 || t < bestT {
+				bestT, bestK = t, k
+			}
+		}
+		// x is k_exact² / k_exact... the Eq. (19) operand: share/(αβ') or
+		// share/((ε+α')β). Recover it via the exact law: x = k_exact².
+		ke := param.ExactChunks(share)
+		x := ke * ke
+		sxk += x * float64(bestK)
+		sxx += x * x
+	}
+	if sxx == 0 {
+		return 1, nil
+	}
+	phi := sxk / sxx
+	if phi <= 0 {
+		phi = param.DefaultPhi(32 * hw.MiB)
+	}
+	return phi, nil
+}

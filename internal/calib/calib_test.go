@@ -1,0 +1,199 @@
+package calib
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func relClose(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > tol {
+			t.Fatalf("%s: got %v, want ~0", msg, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Fatalf("%s: got %v, want %v (±%.0f%%)", msg, got, want, tol*100)
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := leastSquares(xs, ys)
+	relClose(t, slope, 2, 1e-12, "slope")
+	relClose(t, intercept, 1, 1e-12, "intercept")
+}
+
+func TestFitLegRecoversDirectLink(t *testing.T) {
+	spec := hw.Beluga()
+	lp, err := fitLeg(spec, hw.Path{Kind: hw.Direct, Src: 0, Dst: 1}, 0, DefaultOptions().ProbeSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, lp.Beta, 48*hw.GBps, 1e-6, "direct β recovered")
+	relClose(t, lp.Alpha, 2e-6, 1e-6, "direct α recovered")
+}
+
+func TestFitLegHostLeg(t *testing.T) {
+	spec := hw.Beluga()
+	p := hw.Path{Kind: hw.HostStaged, Src: 0, Dst: 1, Via: 0}
+	up, err := fitLeg(spec, p, 0, DefaultOptions().ProbeSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, up.Beta, 11*hw.GBps, 1e-6, "host up-leg bottlenecks on PCIe")
+	down, err := fitLeg(spec, p, 1, DefaultOptions().ProbeSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, down.Beta, 11*hw.GBps, 1e-6, "host down-leg bottlenecks on PCIe")
+}
+
+func TestMeasureEps(t *testing.T) {
+	spec := hw.Beluga()
+	p := hw.Path{Kind: hw.GPUStaged, Src: 0, Dst: 1, Via: 2}
+	legs := []core.LinkParam{
+		{Alpha: 2e-6, Beta: 48 * hw.GBps},
+		{Alpha: 2e-6, Beta: 48 * hw.GBps},
+	}
+	eps, err := measureEps(spec, p, legs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, eps, spec.GPUSyncOverhead, 0.05, "ε recovered")
+}
+
+func TestCalibrateBelugaMatchesSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration is slow")
+	}
+	spec := hw.Beluga()
+	pr, err := Calibrate(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ordered pair has 4 paths: 12 pairs × 4 = 48 records.
+	if len(pr.Params) != 48 {
+		t.Fatalf("profile has %d records, want 48", len(pr.Params))
+	}
+	// Compare against the spec oracle on one pair.
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.AllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		want, err := core.ParamsFromSpec(node, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pr.PathParams(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Legs {
+			relClose(t, got.Legs[i].Beta, want.Legs[i].Beta, 0.01, "β "+p.String())
+			relClose(t, got.Legs[i].Alpha, want.Legs[i].Alpha, 0.05, "α "+p.String())
+		}
+		if p.Kind != hw.Direct {
+			relClose(t, got.Eps, want.Eps, 0.10, "ε "+p.String())
+			if got.Phi <= 0 {
+				t.Fatalf("φ not fitted for %v", p)
+			}
+		}
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	pr := &Profile{
+		Topology: "test",
+		Params: map[string]ParamRecord{
+			keyString(PathKey{Kind: hw.Direct, Src: 0, Dst: 1}): {
+				Key:  PathKey{Kind: hw.Direct, Src: 0, Dst: 1},
+				Legs: []core.LinkParam{{Alpha: 1e-6, Beta: 5e10}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := pr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != "test" {
+		t.Fatal("topology lost")
+	}
+	pp, err := got.PathParams(hw.Path{Kind: hw.Direct, Src: 0, Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose(t, pp.Legs[0].Beta, 5e10, 1e-12, "β survives serialization")
+}
+
+func TestProfileMissingPath(t *testing.T) {
+	pr := &Profile{Params: map[string]ParamRecord{}}
+	if _, err := pr.PathParams(hw.Path{Kind: hw.Direct, Src: 0, Dst: 1}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Calibrated profile should steer the planner to near-identical plans as
+// the spec oracle.
+func TestCalibratedPlansMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	spec := hw.Beluga()
+	pr, err := Calibrate(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCal := core.NewModel(pr, core.DefaultOptions())
+	mSpec := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	n := 128.0 * hw.MiB
+	plCal, err := mCal.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plSpec, err := mSpec.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plCal.Paths {
+		relClose(t, plCal.Paths[i].Theta, plSpec.Paths[i].Theta, 0.05,
+			"θ for "+plCal.Paths[i].Path.String())
+	}
+	relClose(t, plCal.PredictedBandwidth, plSpec.PredictedBandwidth, 0.05, "predicted bandwidth")
+}
+
+func TestCalibrateNeedsProbes(t *testing.T) {
+	if _, err := Calibrate(hw.Beluga(), Options{ProbeSizes: []float64{1e6}}); err == nil {
+		t.Fatal("single probe size accepted")
+	}
+}

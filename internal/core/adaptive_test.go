@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+func measuredBW(t *testing.T, spec *hw.Spec, m *core.Model, paths []hw.Path, n float64) (measured, predicted float64) {
+	t.Helper()
+	pl, err := m.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := tuner.MeasurePlan(spec, pl, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n / elapsed, pl.PredictedBandwidth
+}
+
+func TestAdaptivePhiImprovesSmallMessages(t *testing.T) {
+	spec := hw.Beluga()
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	aOpts := core.DefaultOptions()
+	aOpts.AdaptivePhi = true
+	adaptive := core.NewModel(core.SpecSource{Node: node}, aOpts)
+
+	for _, n := range []float64{2 * hw.MiB, 4 * hw.MiB, 8 * hw.MiB} {
+		bwN, _ := measuredBW(t, spec, naive, paths, n)
+		bwA, predA := measuredBW(t, spec, adaptive, paths, n)
+		if bwA < bwN*1.2 {
+			t.Errorf("n=%v: adaptive %.1f GB/s not ≥1.2× naive %.1f GB/s",
+				n, bwA/1e9, bwN/1e9)
+		}
+		// Adaptive prediction stays faithful to its own plan.
+		if relErr := math.Abs(predA-bwA) / bwA; relErr > 0.05 {
+			t.Errorf("n=%v: adaptive prediction error %.1f%%", n, relErr*100)
+		}
+	}
+}
+
+func TestAdaptivePhiNeutralAtLargeSizes(t *testing.T) {
+	spec := hw.Beluga()
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	aOpts := core.DefaultOptions()
+	aOpts.AdaptivePhi = true
+	adaptive := core.NewModel(core.SpecSource{Node: node}, aOpts)
+	for _, n := range []float64{128 * hw.MiB, 512 * hw.MiB} {
+		bwN, _ := measuredBW(t, spec, naive, paths, n)
+		bwA, _ := measuredBW(t, spec, adaptive, paths, n)
+		if bwA < bwN*0.98 {
+			t.Errorf("n=%v: adaptive regressed large messages: %.1f vs %.1f GB/s",
+				n, bwA/1e9, bwN/1e9)
+		}
+	}
+}
+
+func TestAdaptivePhiPlanInvariants(t *testing.T) {
+	spec := hw.Beluga()
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aOpts := core.DefaultOptions()
+	aOpts.AdaptivePhi = true
+	m := core.NewModel(core.SpecSource{Node: node}, aOpts)
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{2 * hw.MiB, 32 * hw.MiB, 512 * hw.MiB} {
+		pl, err := m.PlanTransfer(paths, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, pp := range pl.Paths {
+			if pp.Bytes < 0 {
+				t.Fatalf("negative share at n=%v", n)
+			}
+			sum += pp.Bytes
+		}
+		if sum != n {
+			t.Fatalf("shares sum %v != %v", sum, n)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/fluid"
+	"repro/internal/hw"
+)
+
+// ContendedSource is the contention-aware parameter source — the
+// extension the paper names as future work ("utilizing other performance
+// models as the basis ... such as MaxRate when considering contention on
+// shared links in a loaded network", §6).
+//
+// It wraps the topology oracle but derates each leg's bandwidth by the
+// number of concurrent transfers assumed to occupy the same links: a link
+// of capacity C shared by m always-on legs contributes C/m. This is a
+// steady-state (fluid) approximation: pipelined large transfers keep
+// their links busy for essentially the whole duration, so counting every
+// concurrent leg as always-on is accurate exactly where the base model is
+// weakest (large host-staged bidirectional transfers, Observation 5).
+type ContendedSource struct {
+	Node *hw.Node
+
+	// count is the number of concurrent legs per link (fair-share floor).
+	count map[*fluid.Link]int
+	// demand is the estimated bytes/second concurrent legs push through
+	// each link (their θ share × their transfer's predicted bandwidth).
+	demand map[*fluid.Link]float64
+}
+
+// LoadedPath is one concurrent transfer path with its estimated
+// commitment: Weight is the fraction of the transfer routed over this
+// path (θ) and Rate the transfer's estimated aggregate bandwidth, so the
+// path's links each carry about Weight·Rate bytes/second.
+type LoadedPath struct {
+	Path   hw.Path
+	Weight float64
+	Rate   float64
+}
+
+// NewContendedSource builds a source that plans around the given
+// concurrent transfers, treating every listed path as fully committed
+// (weight 1 at link speed) — appropriate for mirror transfers in
+// bidirectional workloads. For finer-grained loads use
+// NewWeightedContendedSource.
+func NewContendedSource(node *hw.Node, concurrent []hw.Path) (*ContendedSource, error) {
+	loads := make([]LoadedPath, 0, len(concurrent))
+	for _, p := range concurrent {
+		loads = append(loads, LoadedPath{Path: p, Weight: 1, Rate: infRate})
+	}
+	return NewWeightedContendedSource(node, loads)
+}
+
+// infRate marks a load whose demand saturates any link it crosses.
+const infRate = 1e30
+
+// NewWeightedContendedSource builds a source from demand-weighted loads.
+// A leg's effective bandwidth on link l becomes
+//
+//	max(C_l − Σ demand, C_l / (1 + legs))
+//
+// — concurrent legs take the bandwidth they are estimated to need, and
+// the planned transfer keeps at least its max-min fair share.
+func NewWeightedContendedSource(node *hw.Node, loads []LoadedPath) (*ContendedSource, error) {
+	cs := &ContendedSource{
+		Node:   node,
+		count:  make(map[*fluid.Link]int),
+		demand: make(map[*fluid.Link]float64),
+	}
+	for _, lp := range loads {
+		if lp.Weight <= 0 {
+			continue
+		}
+		legs, err := node.Legs(lp.Path)
+		if err != nil {
+			return nil, err
+		}
+		for _, leg := range legs {
+			for _, l := range leg.Links {
+				cs.count[l]++
+				cs.demand[l] += lp.Weight * lp.Rate
+			}
+		}
+	}
+	return cs, nil
+}
+
+// MirrorPaths returns the reverse-direction counterparts of the given
+// paths: the concurrent set a bidirectional transfer faces.
+func MirrorPaths(node *hw.Node, paths []hw.Path) []hw.Path {
+	out := make([]hw.Path, 0, len(paths))
+	for _, p := range paths {
+		m := hw.Path{Kind: p.Kind, Src: p.Dst, Dst: p.Src, Via: p.Via}
+		if p.Kind == hw.HostStaged {
+			m.Via = node.StagingNUMA(m.Src, m.Dst)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// PathParams implements ParamSource: the spec parameters with each leg's
+// bandwidth derated by its most-loaded link.
+func (cs *ContendedSource) PathParams(p hw.Path) (PathParam, error) {
+	legs, err := cs.Node.Legs(p)
+	if err != nil {
+		return PathParam{}, err
+	}
+	pp := PathParam{Path: p, Eps: cs.Node.Epsilon(p)}
+	for _, leg := range legs {
+		eff := leg.Bandwidth
+		for _, l := range leg.Links {
+			cap := l.Capacity()
+			avail := cap - cs.demand[l]
+			if floor := cap / float64(1+cs.count[l]); avail < floor {
+				avail = floor
+			}
+			if avail < eff {
+				eff = avail
+			}
+		}
+		pp.Legs = append(pp.Legs, LinkParam{Alpha: leg.Latency, Beta: eff})
+	}
+	return pp, nil
+}
+
+// BidirectionalSource returns a parameter source that assumes the mirror
+// transfer (dst→src over the same path classes) runs concurrently — the
+// planning stance for BIBW workloads.
+func BidirectionalSource(node *hw.Node, paths []hw.Path) (*ContendedSource, error) {
+	return NewContendedSource(node, MirrorPaths(node, paths))
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func narvalNode(t *testing.T) *hw.Node {
+	t.Helper()
+	node, err := hw.Build(sim.New(), hw.Narval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestContendedSourceNoLoadMatchesSpec(t *testing.T) {
+	node := belugaNode(t)
+	cs, err := NewContendedSource(node, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hw.Path{Kind: hw.Direct, Src: 0, Dst: 1}
+	got, err := cs.PathParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParamsFromSpec(node, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, got.Legs[0].Beta, want.Legs[0].Beta, 1, "β unchanged without load")
+	almostEq(t, got.Legs[0].Alpha, want.Legs[0].Alpha, 1e-12, "α unchanged")
+}
+
+func TestContendedSourceHalvesSharedLink(t *testing.T) {
+	node := belugaNode(t)
+	// One concurrent transfer on the same direct link.
+	cs, err := NewContendedSource(node, []hw.Path{{Kind: hw.Direct, Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.PathParams(hw.Path{Kind: hw.Direct, Src: 0, Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, got.Legs[0].Beta, 24*hw.GBps, 1, "shared direct link halves")
+	// A disjoint path is unaffected.
+	other, err := cs.PathParams(hw.Path{Kind: hw.Direct, Src: 2, Dst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, other.Legs[0].Beta, 48*hw.GBps, 1, "disjoint link unaffected")
+}
+
+func TestMirrorPaths(t *testing.T) {
+	node := belugaNode(t)
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := MirrorPaths(node, paths)
+	if len(mirror) != len(paths) {
+		t.Fatalf("mirror count %d != %d", len(mirror), len(paths))
+	}
+	for i, m := range mirror {
+		if m.Src != paths[i].Dst || m.Dst != paths[i].Src {
+			t.Fatalf("mirror %d = %+v, want reversed %+v", i, m, paths[i])
+		}
+	}
+	// Host-staged mirror keeps the same (symmetric) staging NUMA.
+	if mirror[3].Kind != hw.HostStaged || mirror[3].Via != paths[3].Via {
+		t.Fatalf("host mirror staging NUMA changed: %+v vs %+v", mirror[3], paths[3])
+	}
+}
+
+func TestBidirectionalSourceDeratesHostPath(t *testing.T) {
+	// Beluga: a bidirectional host-staged transfer puts four legs on the
+	// 26 GB/s memory channel → each leg sees 26/4 = 6.5 GB/s, below the
+	// 11 GB/s PCIe bottleneck the naive model uses.
+	node := belugaNode(t)
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := BidirectionalSource(node, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := paths[3]
+	pp, err := src.PathParams(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror contributes 2 mem-channel legs: this leg + 2 → 26/3 ≈ 8.67.
+	almostEq(t, pp.Legs[0].Beta, 26*hw.GBps/3, 1e3, "host leg derated by mem contention")
+	// GPU-staged legs: mirror staged path uses the opposite directions of
+	// the NVLink pairs, so no derating.
+	staged, err := src.PathParams(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, staged.Legs[0].Beta, 48*hw.GBps, 1, "gpu-staged unaffected by mirror")
+}
+
+func TestBidirAwareModelShrinksHostShare(t *testing.T) {
+	node := belugaNode(t)
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NewModel(SpecSource{Node: node}, DefaultOptions())
+	src, err := BidirectionalSource(node, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := NewModel(src, DefaultOptions())
+	n := 256.0 * hw.MiB
+	plNaive, err := naive.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plAware, err := aware.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plAware.Paths[3].Bytes >= plNaive.Paths[3].Bytes {
+		t.Fatalf("aware host share %.0f not below naive %.0f",
+			plAware.Paths[3].Bytes, plNaive.Paths[3].Bytes)
+	}
+	if plAware.PredictedBandwidth >= plNaive.PredictedBandwidth {
+		t.Fatalf("aware prediction %.2f should be more conservative than naive %.2f GB/s",
+			plAware.PredictedBandwidth/1e9, plNaive.PredictedBandwidth/1e9)
+	}
+}
+
+func TestContendedSourceCrossNUMA(t *testing.T) {
+	// On Narval the host-staged down-leg crosses the inter-NUMA fabric;
+	// loading that fabric derates the leg.
+	node := narvalNode(t)
+	paths, err := hw.Narval().EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := BidirectionalSource(node, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := src.PathParams(paths[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPP, err := ParamsFromSpec(node, paths[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Legs[0].Beta >= specPP.Legs[0].Beta {
+		t.Fatalf("narval host up-leg not derated: %.1f vs %.1f GB/s",
+			pp.Legs[0].Beta/1e9, specPP.Legs[0].Beta/1e9)
+	}
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's analytical performance model for
+// multi-path intra-node GPU communication (§3).
+//
+// The model extends Hockney's linear law T = α + n/β to a transfer split
+// across p heterogeneous paths. Notation follows Table 1 of the paper:
+//
+//	T        total communication time
+//	n        message size (bytes)
+//	α, β     startup latency and bandwidth of a link
+//	p        number of paths
+//	T_i      communication time of path i
+//	θ_i      fraction of the message assigned to path i
+//	ε_i      synchronization overhead at the staging device of path i
+//	α'_i,β'_i parameters of the second link of a staged path
+//	Δ_i      α_i + α'_i + ε_i   (plus accumulated initiation latency)
+//	Ω_i      1/β_i + 1/β'_i
+//	φ_i      topology constant linearizing the chunk count
+//	k_i      number of pipeline chunks on path i
+//
+// With the linearization of §3.4, every path's time is affine in its share:
+// T_i = θ_i·n·Ω_i + Δ_i, and the optimal split equalizes the T_i
+// (Theorem 1), yielding the closed form of Eq. (24).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// LinkParam is the Hockney (α, β) pair of one link direction:
+// Alpha in seconds, Beta in bytes/second.
+type LinkParam struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Valid reports whether the parameters are physically meaningful.
+func (l LinkParam) Valid() bool {
+	return l.Alpha >= 0 && l.Beta > 0 &&
+		!math.IsNaN(l.Alpha) && !math.IsInf(l.Alpha, 0) &&
+		!math.IsNaN(l.Beta) && !math.IsInf(l.Beta, 0)
+}
+
+// PathParam carries the model parameters of one candidate path.
+// Direct paths have one leg; staged paths have two (source→staging,
+// staging→destination) plus a staging synchronization overhead ε.
+type PathParam struct {
+	Path hw.Path
+	Legs []LinkParam
+	Eps  float64
+	// Phi is the topology constant φ of Eq. (19). Zero means "compute a
+	// default at planning time" (see DefaultPhi).
+	Phi float64
+}
+
+// Staged reports whether the path has a staging hop.
+func (pp *PathParam) Staged() bool { return len(pp.Legs) == 2 }
+
+// Validate checks leg counts and parameter sanity.
+func (pp *PathParam) Validate() error {
+	if len(pp.Legs) != 1 && len(pp.Legs) != 2 {
+		return fmt.Errorf("core: path %v has %d legs, want 1 or 2", pp.Path, len(pp.Legs))
+	}
+	for i, l := range pp.Legs {
+		if !l.Valid() {
+			return fmt.Errorf("core: path %v leg %d has invalid params %+v", pp.Path, i, l)
+		}
+	}
+	if pp.Eps < 0 {
+		return fmt.Errorf("core: path %v has negative ε %v", pp.Path, pp.Eps)
+	}
+	if pp.Staged() && pp.Path.Kind == hw.Direct {
+		return fmt.Errorf("core: direct path %v cannot have two legs", pp.Path)
+	}
+	return nil
+}
+
+// firstLinkBottleneck reports whether β < β' (Case 1 of Eq. 13):
+// the source→staging link is the slower of the two.
+func (pp *PathParam) firstLinkBottleneck() bool {
+	return pp.Legs[0].Beta < pp.Legs[1].Beta
+}
+
+// OmegaDelta returns the affine coefficients (Ω_i, Δ_i) of the path's time
+// T_i = θ_i·n·Ω_i + Δ_i.
+//
+// For a direct path (Eq. 8 special case): Ω = 1/β, Δ = α.
+// For a staged, non-pipelined path (Eq. 11): Ω = 1/β + 1/β', Δ = α+α'+ε.
+// For a staged, pipelined path (Eq. 22), with φ from Eq. (19):
+//
+//	β < β':  Ω = 1/β + φ¹/β',  Δ = ε + α' + α/φ¹
+//	β ≥ β':  Ω = φ²/β + 1/β',  Δ = α + (ε+α')/φ²
+func (pp *PathParam) OmegaDelta(pipelined bool, phi float64) (omega, delta float64) {
+	if !pp.Staged() {
+		return 1 / pp.Legs[0].Beta, pp.Legs[0].Alpha
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	if !pipelined {
+		return 1/l0.Beta + 1/l1.Beta, l0.Alpha + l1.Alpha + pp.Eps
+	}
+	if phi <= 0 {
+		phi = 1 // degenerate guard; callers provide φ > 0
+	}
+	if pp.firstLinkBottleneck() {
+		return 1/l0.Beta + phi/l1.Beta, pp.Eps + l1.Alpha + l0.Alpha/phi
+	}
+	return phi/l0.Beta + 1/l1.Beta, l0.Alpha + (pp.Eps+l1.Alpha)/phi
+}
+
+// ExactChunks returns the optimal chunk count of Eqs. (14)/(15):
+//
+//	Case 1 (β < β'):  k = sqrt(shareBytes / (α·β'))
+//	Case 2 (β ≥ β'):  k = sqrt(shareBytes / (β·(ε+α')))
+//
+// Direct paths always use one chunk.
+func (pp *PathParam) ExactChunks(shareBytes float64) float64 {
+	if !pp.Staged() || shareBytes <= 0 {
+		return 1
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	var k float64
+	if pp.firstLinkBottleneck() {
+		if l0.Alpha <= 0 {
+			return math.Inf(1)
+		}
+		k = math.Sqrt(shareBytes / (l0.Alpha * l1.Beta))
+	} else {
+		d := pp.Eps + l1.Alpha
+		if d <= 0 {
+			return math.Inf(1)
+		}
+		k = math.Sqrt(shareBytes / (l0.Beta * d))
+	}
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// LinearChunks returns the linearized chunk count of Eq. (19):
+//
+//	Case 1: k = φ¹ · shareBytes/(α·β')
+//	Case 2: k = φ² · shareBytes/((ε+α')·β)
+func (pp *PathParam) LinearChunks(shareBytes, phi float64) float64 {
+	if !pp.Staged() || shareBytes <= 0 {
+		return 1
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	var k float64
+	if pp.firstLinkBottleneck() {
+		k = phi * shareBytes / (l0.Alpha * l1.Beta)
+	} else {
+		k = phi * shareBytes / ((pp.Eps + l1.Alpha) * l0.Beta)
+	}
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// DefaultPhi computes the topology constant φ so the linear form of
+// Eq. (19) matches the exact square root of Eqs. (14)/(15) at a reference
+// share size: since k_exact = √x and k_lin = φ·x (x the unit-free operand),
+// matching at x_ref gives φ = 1/√(x_ref).
+func (pp *PathParam) DefaultPhi(refShareBytes float64) float64 {
+	if !pp.Staged() {
+		return 1
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	var x float64
+	if pp.firstLinkBottleneck() {
+		x = refShareBytes / (l0.Alpha * l1.Beta)
+	} else {
+		x = refShareBytes / ((pp.Eps + l1.Alpha) * l0.Beta)
+	}
+	if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return 1
+	}
+	return 1 / math.Sqrt(x)
+}
+
+// PipelinedTimeExact evaluates the non-linearized staged-path time of
+// Eqs. (17)/(18) for a given share, using the optimal (continuous) chunk
+// count:
+//
+//	Case 1: T = 2·√(s·α/β') + s/β + ε + α'
+//	Case 2: T = 2·√(s·(ε+α')/β) + s/β' + α
+//
+// For direct paths it returns the plain Hockney time.
+func (pp *PathParam) PipelinedTimeExact(shareBytes float64) float64 {
+	if shareBytes <= 0 {
+		return 0
+	}
+	if !pp.Staged() {
+		return pp.Legs[0].Alpha + shareBytes/pp.Legs[0].Beta
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	if pp.firstLinkBottleneck() {
+		return 2*math.Sqrt(shareBytes*l0.Alpha/l1.Beta) + shareBytes/l0.Beta + pp.Eps + l1.Alpha
+	}
+	return 2*math.Sqrt(shareBytes*(pp.Eps+l1.Alpha)/l0.Beta) + shareBytes/l1.Beta + l0.Alpha
+}
+
+// ParamsFromSpec derives ground-truth PathParams for a path directly from
+// the topology spec (the oracle the calibration package approximates by
+// measurement). For staged legs, α is the summed hop latency of the leg's
+// route and β its bottleneck bandwidth.
+func ParamsFromSpec(node *hw.Node, p hw.Path) (PathParam, error) {
+	legs, err := node.Legs(p)
+	if err != nil {
+		return PathParam{}, err
+	}
+	pp := PathParam{Path: p, Eps: node.Epsilon(p)}
+	for _, leg := range legs {
+		pp.Legs = append(pp.Legs, LinkParam{Alpha: leg.Latency, Beta: leg.Bandwidth})
+	}
+	return pp, nil
+}

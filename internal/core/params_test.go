@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func belugaNode(t *testing.T) *hw.Node {
+	t.Helper()
+	node, err := hw.Build(sim.New(), hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestParamsFromSpecDirect(t *testing.T) {
+	node := belugaNode(t)
+	pp, err := ParamsFromSpec(node, hw.Path{Kind: hw.Direct, Src: 0, Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Staged() {
+		t.Fatal("direct path reported as staged")
+	}
+	almostEq(t, pp.Legs[0].Beta, 48*hw.GBps, 1, "direct β")
+	almostEq(t, pp.Legs[0].Alpha, 2e-6, 1e-12, "direct α")
+	if pp.Eps != 0 {
+		t.Fatalf("direct ε = %v, want 0", pp.Eps)
+	}
+}
+
+func TestParamsFromSpecStaged(t *testing.T) {
+	node := belugaNode(t)
+	pp, err := ParamsFromSpec(node, hw.Path{Kind: hw.GPUStaged, Src: 0, Dst: 1, Via: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Staged() {
+		t.Fatal("staged path has one leg")
+	}
+	almostEq(t, pp.Eps, 3e-6, 1e-12, "gpu-staged ε")
+	almostEq(t, pp.Legs[0].Beta, 48*hw.GBps, 1, "leg1 β")
+	almostEq(t, pp.Legs[1].Beta, 48*hw.GBps, 1, "leg2 β")
+}
+
+func TestParamsFromSpecHostStaged(t *testing.T) {
+	node := belugaNode(t)
+	pp, err := ParamsFromSpec(node, hw.Path{Kind: hw.HostStaged, Src: 0, Dst: 1, Via: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host legs bottleneck on PCIe (11 GB/s on Beluga).
+	almostEq(t, pp.Legs[0].Beta, 11*hw.GBps, 1, "up-leg β")
+	almostEq(t, pp.Legs[1].Beta, 11*hw.GBps, 1, "down-leg β")
+	almostEq(t, pp.Eps, 5e-6, 1e-12, "host ε")
+}
+
+func TestOmegaDeltaDirect(t *testing.T) {
+	pp := PathParam{Path: hw.Path{Kind: hw.Direct}, Legs: []LinkParam{{Alpha: 2e-6, Beta: 48e9}}}
+	om, de := pp.OmegaDelta(true, 1)
+	almostEq(t, om, 1/48e9, 1e-24, "Ω direct")
+	almostEq(t, de, 2e-6, 1e-18, "Δ direct")
+}
+
+func TestOmegaDeltaStagedNonPipelined(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 2e-6, Beta: 48e9}, {Alpha: 3e-6, Beta: 24e9}},
+		Eps:  4e-6,
+	}
+	om, de := pp.OmegaDelta(false, 1)
+	almostEq(t, om, 1/48e9+1/24e9, 1e-22, "Ω staged (Eq. 11)")
+	almostEq(t, de, 9e-6, 1e-16, "Δ staged (Eq. 11)")
+}
+
+func TestOmegaDeltaPipelinedCase1(t *testing.T) {
+	// β < β': first link is the bottleneck (Eq. 22 top row).
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 2e-6, Beta: 10e9}, {Alpha: 3e-6, Beta: 40e9}},
+		Eps:  4e-6,
+	}
+	phi := 0.25
+	om, de := pp.OmegaDelta(true, phi)
+	almostEq(t, om, 1/10e9+phi/40e9, 1e-22, "Ω case 1")
+	almostEq(t, de, 4e-6+3e-6+2e-6/phi, 1e-16, "Δ case 1")
+}
+
+func TestOmegaDeltaPipelinedCase2(t *testing.T) {
+	// β ≥ β': second link is the bottleneck (Eq. 22 bottom row).
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 2e-6, Beta: 40e9}, {Alpha: 3e-6, Beta: 10e9}},
+		Eps:  4e-6,
+	}
+	phi := 0.5
+	om, de := pp.OmegaDelta(true, phi)
+	almostEq(t, om, phi/40e9+1/10e9, 1e-22, "Ω case 2")
+	almostEq(t, de, 2e-6+(4e-6+3e-6)/phi, 1e-16, "Δ case 2")
+}
+
+func TestExactChunksCase1(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 5e-6, Beta: 10e9}, {Alpha: 1e-6, Beta: 40e9}},
+		Eps:  2e-6,
+	}
+	share := 100e6
+	want := math.Sqrt(share / (5e-6 * 40e9)) // Eq. (14)
+	almostEq(t, pp.ExactChunks(share), want, 1e-9, "k case 1")
+}
+
+func TestExactChunksCase2(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 5e-6, Beta: 40e9}, {Alpha: 1e-6, Beta: 10e9}},
+		Eps:  2e-6,
+	}
+	share := 100e6
+	want := math.Sqrt(share / (40e9 * (2e-6 + 1e-6))) // Eq. (15)
+	almostEq(t, pp.ExactChunks(share), want, 1e-9, "k case 2")
+}
+
+func TestChunksFloorAtOne(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 5e-3, Beta: 10e9}, {Alpha: 1e-3, Beta: 40e9}},
+		Eps:  2e-3,
+	}
+	if k := pp.ExactChunks(1024); k != 1 {
+		t.Fatalf("tiny share should use 1 chunk, got %v", k)
+	}
+	if k := pp.LinearChunks(1024, 0.01); k != 1 {
+		t.Fatalf("tiny share linear chunks = %v, want 1", k)
+	}
+}
+
+func TestDefaultPhiMatchesExactAtReference(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 3e-6, Beta: 20e9}, {Alpha: 2e-6, Beta: 48e9}},
+		Eps:  3e-6,
+	}
+	ref := 32e6
+	phi := pp.DefaultPhi(ref)
+	exact := pp.ExactChunks(ref)
+	linear := pp.LinearChunks(ref, phi)
+	almostEq(t, linear, exact, 1e-6*exact, "linear == exact at reference share")
+}
+
+func TestPipelinedTimeExactDirect(t *testing.T) {
+	pp := PathParam{Path: hw.Path{Kind: hw.Direct}, Legs: []LinkParam{{Alpha: 2e-6, Beta: 48e9}}}
+	almostEq(t, pp.PipelinedTimeExact(48e6), 2e-6+1e-3, 1e-12, "direct exact time")
+}
+
+func TestPipelinedTimeExactMatchesSqrtPath(t *testing.T) {
+	pp := PathParam{
+		Path: hw.Path{Kind: hw.GPUStaged},
+		Legs: []LinkParam{{Alpha: 3e-6, Beta: 20e9}, {Alpha: 2e-6, Beta: 48e9}},
+		Eps:  3e-6,
+	}
+	q := SqrtPathOf(&pp)
+	for _, s := range []float64{1e5, 1e6, 64e6} {
+		almostEq(t, q.Time(s), pp.PipelinedTimeExact(s), 1e-15, "SqrtPathOf consistent")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []PathParam{
+		{Path: hw.Path{Kind: hw.Direct}},                                                              // no legs
+		{Path: hw.Path{Kind: hw.Direct}, Legs: []LinkParam{{Alpha: -1, Beta: 1}}},                     // negative α
+		{Path: hw.Path{Kind: hw.Direct}, Legs: []LinkParam{{Alpha: 0, Beta: 0}}},                      // zero β
+		{Path: hw.Path{Kind: hw.Direct}, Legs: []LinkParam{{Alpha: 0, Beta: 1}, {Alpha: 0, Beta: 1}}}, // direct with 2 legs
+		{Path: hw.Path{Kind: hw.GPUStaged}, Legs: []LinkParam{{Beta: 1}, {Beta: 1}}, Eps: -1},         // negative ε
+	}
+	for i, pp := range bad {
+		if err := pp.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad params %+v", i, pp)
+		}
+	}
+}

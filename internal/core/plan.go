@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/hw"
+)
+
+// ChunkRule selects how per-path chunk counts are computed.
+type ChunkRule int
+
+const (
+	// ChunksLinearized uses Eq. (19) with the topology constant φ
+	// (the paper's runtime choice).
+	ChunksLinearized ChunkRule = iota
+	// ChunksExact uses the square-root optima of Eqs. (14)/(15)
+	// (requires per-size evaluation; used offline and for ablation).
+	ChunksExact
+	// ChunksFixed uses Options.FixedChunks for every staged path.
+	ChunksFixed
+)
+
+// Options configure the planner.
+type Options struct {
+	// Pipelined enables chunked, pipelined staged transfers (§3.4).
+	// When false, staged paths transfer their whole share in one chunk
+	// (§3.3).
+	Pipelined bool
+	// ChunkRule picks the chunk-count law; FixedChunks is used when the
+	// rule is ChunksFixed.
+	ChunkRule   ChunkRule
+	FixedChunks int
+	// MaxChunks caps k_i (runtime queues are finite).
+	MaxChunks int
+	// MinChunkBytes prevents chunks too small to amortize launch cost.
+	MinChunkBytes float64
+	// PhiRefShare is the reference share size at which φ matches the
+	// exact chunk law (used when a PathParam has no fitted φ).
+	PhiRefShare float64
+	// AccumulateLaunch applies Algorithm 1 line 18: each later path's Δ
+	// absorbs the initiation latency of the paths launched before it.
+	AccumulateLaunch bool
+	// AdaptivePhi recomputes each path's φ at its *actual* share instead
+	// of a fixed reference size, iterating share → φ → share to a fixed
+	// point. This keeps the runtime closed-form (a few O(p) passes) while
+	// removing the linearization error that makes the fixed-φ model
+	// mis-plan small messages (the paper's Observation 4).
+	AdaptivePhi bool
+	// Granularity aligns per-path byte shares (register/packet alignment).
+	Granularity float64
+}
+
+// DefaultOptions returns the configuration used by the runtime integration.
+func DefaultOptions() Options {
+	return Options{
+		Pipelined:        true,
+		ChunkRule:        ChunksLinearized,
+		MaxChunks:        64,
+		MinChunkBytes:    256 * hw.KiB,
+		PhiRefShare:      32 * hw.MiB,
+		AccumulateLaunch: true,
+		Granularity:      256,
+	}
+}
+
+// ParamSource supplies model parameters for candidate paths. The spec
+// oracle (SpecSource) reads them from the topology; the calib package
+// provides a measured implementation.
+type ParamSource interface {
+	PathParams(p hw.Path) (PathParam, error)
+}
+
+// SpecSource reads ground-truth parameters from a realized topology.
+type SpecSource struct{ Node *hw.Node }
+
+// PathParams implements ParamSource.
+func (s SpecSource) PathParams(p hw.Path) (PathParam, error) {
+	return ParamsFromSpec(s.Node, p)
+}
+
+// PathPlan is the planned assignment for one path.
+type PathPlan struct {
+	Path   hw.Path
+	Param  PathParam
+	Theta  float64 // fraction of the message
+	Bytes  float64 // actual bytes after alignment and leftover handling
+	Chunks int     // pipeline chunk count k_i
+	Omega  float64
+	Delta  float64
+	// Predicted is the model's time for this path at its actual share.
+	Predicted float64
+}
+
+// Plan is the output of Algorithm 1 for one transfer: per-path shares and
+// chunk counts plus the model's end-to-end prediction.
+type Plan struct {
+	Src, Dst int
+	Bytes    float64
+	Paths    []PathPlan
+	// PredictedTime is max_i T_i (Eq. 4) under the affine law.
+	PredictedTime float64
+	// PredictedBandwidth is Bytes / PredictedTime.
+	PredictedBandwidth float64
+}
+
+// ActivePaths returns the paths that received a non-zero share.
+func (pl *Plan) ActivePaths() []PathPlan {
+	out := make([]PathPlan, 0, len(pl.Paths))
+	for _, pp := range pl.Paths {
+		if pp.Bytes > 0 {
+			out = append(out, pp)
+		}
+	}
+	return out
+}
+
+// CacheStats counts configuration-cache behaviour (Algorithm 1 lines 4-6).
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// Model is the runtime planner: it owns options, a parameter source, and
+// the configuration cache.
+type Model struct {
+	src   ParamSource
+	opts  Options
+	cache map[string]*Plan
+	stats CacheStats
+}
+
+// NewModel creates a planner.
+func NewModel(src ParamSource, opts Options) *Model {
+	if opts.MaxChunks <= 0 {
+		opts.MaxChunks = 64
+	}
+	if opts.Granularity <= 0 {
+		opts.Granularity = 1
+	}
+	return &Model{src: src, opts: opts, cache: make(map[string]*Plan)}
+}
+
+// Options returns the planner's configuration.
+func (m *Model) Options() Options { return m.opts }
+
+// Stats returns cache statistics.
+func (m *Model) Stats() CacheStats { return m.stats }
+
+// InvalidateCache clears cached configurations (topology change).
+func (m *Model) InvalidateCache() { m.cache = make(map[string]*Plan) }
+
+func cacheKey(paths []hw.Path, n float64) string {
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%d:%d:%d:%d;", int(p.Kind), p.Src, p.Dst, p.Via)
+	}
+	fmt.Fprintf(&b, "n=%.0f", n)
+	return b.String()
+}
+
+// PlanTransfer runs Algorithm 1: given the candidate paths (direct first,
+// in initiation order) and the message size in bytes, it computes the
+// optimal share and chunk count per path. Results are cached per
+// (path set, size).
+func (m *Model) PlanTransfer(paths []hw.Path, n float64) (*Plan, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no candidate paths")
+	}
+	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return nil, fmt.Errorf("core: invalid message size %v", n)
+	}
+	key := cacheKey(paths, n)
+	if pl, ok := m.cache[key]; ok {
+		m.stats.Hits++
+		return pl, nil
+	}
+	m.stats.Misses++
+
+	pl, err := m.plan(paths, n)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[key] = pl
+	return pl, nil
+}
+
+func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
+	p := len(paths)
+	plans := make([]PathPlan, p)
+	params := make([]PathParam, p)
+	for i, path := range paths {
+		param, err := m.src.PathParams(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: params for path %v: %w", path, err)
+		}
+		if err := param.Validate(); err != nil {
+			return nil, err
+		}
+		params[i] = param
+	}
+
+	// Share → φ → share fixed point. With AdaptivePhi off this runs a
+	// single pass using the reference-size φ.
+	thetas := make([]float64, p)
+	for i := range thetas {
+		thetas[i] = 1 / float64(p)
+	}
+	affine := make([]AffinePath, p)
+	iterations := 1
+	if m.opts.AdaptivePhi {
+		iterations = 4
+	}
+	for iter := 0; iter < iterations; iter++ {
+		launchAccum := 0.0
+		for i := range paths {
+			param := params[i]
+			phi := param.Phi
+			if phi <= 0 || m.opts.AdaptivePhi {
+				ref := m.opts.PhiRefShare
+				if m.opts.AdaptivePhi {
+					ref = thetas[i] * n
+					if ref <= 0 {
+						// Excluded last round: evaluate φ at the share it
+						// would need to re-enter (an equal split).
+						ref = n / float64(p)
+					}
+				}
+				phi = param.DefaultPhi(ref)
+			}
+			omega, delta := param.OmegaDelta(m.opts.Pipelined, phi)
+			if m.opts.AccumulateLaunch {
+				// Algorithm 1 line 18: paths are initiated sequentially;
+				// a later path waits for the launch latency of earlier
+				// ones.
+				delta += launchAccum
+				launchAccum += param.Legs[0].Alpha
+			}
+			plans[i] = PathPlan{Path: paths[i], Param: param, Omega: omega, Delta: delta}
+			plans[i].Param.Phi = phi
+			affine[i] = AffinePath{Omega: omega, Delta: delta}
+		}
+		next, _ := SolveWaterFill(affine, n)
+		converged := true
+		for i := range next {
+			if diff := next[i] - thetas[i]; diff > 0.01 || diff < -0.01 {
+				converged = false
+			}
+		}
+		thetas = next
+		if converged {
+			break
+		}
+	}
+
+	// Quantize shares (Algorithm 1 lines 23-29): align down, give the
+	// leftover to the direct path (index 0 by construction).
+	gran := m.opts.Granularity
+	var assigned float64
+	for i := range plans {
+		share := thetas[i] * n
+		share = math.Floor(share/gran) * gran
+		if share < 0 {
+			share = 0
+		}
+		plans[i].Theta = thetas[i]
+		plans[i].Bytes = share
+		assigned += share
+	}
+	if leftover := n - assigned; leftover > 0 {
+		plans[0].Bytes += leftover
+		plans[0].Theta = plans[0].Bytes / n
+	}
+
+	// Chunk counts and per-path predictions at the actual byte shares.
+	worst := 0.0
+	for i := range plans {
+		plans[i].Chunks = m.chunksFor(&plans[i])
+		if plans[i].Bytes > 0 {
+			plans[i].Predicted = affine[i].Time(plans[i].Bytes)
+			if plans[i].Predicted > worst {
+				worst = plans[i].Predicted
+			}
+		}
+	}
+
+	pl := &Plan{
+		Src:           paths[0].Src,
+		Dst:           paths[0].Dst,
+		Bytes:         n,
+		Paths:         plans,
+		PredictedTime: worst,
+	}
+	if worst > 0 {
+		pl.PredictedBandwidth = n / worst
+	}
+	return pl, nil
+}
+
+// chunksFor applies the configured chunk rule with the runtime clamps.
+func (m *Model) chunksFor(pp *PathPlan) int {
+	if pp.Bytes <= 0 {
+		return 0
+	}
+	if !pp.Param.Staged() || !m.opts.Pipelined {
+		return 1
+	}
+	var k float64
+	switch m.opts.ChunkRule {
+	case ChunksExact:
+		k = pp.Param.ExactChunks(pp.Bytes)
+	case ChunksFixed:
+		k = float64(m.opts.FixedChunks)
+	default:
+		k = pp.Param.LinearChunks(pp.Bytes, pp.Param.Phi)
+	}
+	if m.opts.MinChunkBytes > 0 {
+		if maxK := pp.Bytes / m.opts.MinChunkBytes; k > maxK {
+			k = maxK
+		}
+	}
+	if k > float64(m.opts.MaxChunks) {
+		k = float64(m.opts.MaxChunks)
+	}
+	ki := int(math.Round(k))
+	if ki < 1 {
+		ki = 1
+	}
+	return ki
+}
+
+// PredictBandwidth is a convenience wrapper returning the model's
+// predicted aggregate bandwidth for a transfer.
+func (m *Model) PredictBandwidth(paths []hw.Path, n float64) (float64, error) {
+	pl, err := m.PlanTransfer(paths, n)
+	if err != nil {
+		return 0, err
+	}
+	return pl.PredictedBandwidth, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AffinePath is a path reduced to its affine time law T(θ) = θ·n·Ω + Δ.
+type AffinePath struct {
+	Omega float64 // Ω_i, seconds per byte
+	Delta float64 // Δ_i, seconds
+}
+
+// Time evaluates the path time for a share of shareBytes.
+func (a AffinePath) Time(shareBytes float64) float64 {
+	return shareBytes*a.Omega + a.Delta
+}
+
+// SolveClosedForm evaluates Eq. (24) of the paper verbatim:
+//
+//	θ_i = 1/(Ω_i·ΣⱼΩⱼ⁻¹) · (1 − Δ_i/n·ΣⱼΩⱼ⁻¹ + 1/n·Σⱼ Δⱼ/Ωⱼ)
+//
+// It equalizes all path times but may return negative fractions when a
+// path's Δ exceeds the equalized time at small n; callers that need
+// feasible fractions use SolveWaterFill, which adds the θ ≥ 0 constraint
+// (the paper's Algorithm 1 drops such paths).
+func SolveClosedForm(paths []AffinePath, n float64) []float64 {
+	p := len(paths)
+	if p == 0 || n <= 0 {
+		return nil
+	}
+	var invSum, deltaSum float64
+	for _, a := range paths {
+		invSum += 1 / a.Omega
+		deltaSum += a.Delta / a.Omega
+	}
+	thetas := make([]float64, p)
+	for i, a := range paths {
+		thetas[i] = (1 - a.Delta/n*invSum + deltaSum/n) / (a.Omega * invSum)
+	}
+	return thetas
+}
+
+// SolveWaterFill computes the exact optimum of problem (5) under the
+// affine time law, including the θ_i ≥ 0 constraints, by active-set
+// water-filling: paths are admitted in order of increasing Δ and the
+// equalized time T solves Σ_{i∈S} (T−Δ_i)/(n·Ω_i) = 1 over the admitted
+// set S. It returns the fractions (zero for excluded paths) and the
+// optimal overall time T.
+func SolveWaterFill(paths []AffinePath, n float64) ([]float64, float64) {
+	p := len(paths)
+	if p == 0 || n <= 0 {
+		return nil, 0
+	}
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return paths[order[a]].Delta < paths[order[b]].Delta
+	})
+	var invSum, ratioSum float64 // Σ 1/(nΩ), Σ Δ/(nΩ)
+	bestT := math.Inf(1)
+	bestM := 0
+	for m := 1; m <= p; m++ {
+		i := order[m-1]
+		invSum += 1 / (n * paths[i].Omega)
+		ratioSum += paths[i].Delta / (n * paths[i].Omega)
+		T := (1 + ratioSum) / invSum
+		// Valid active set: T must cover every admitted Δ and not exceed
+		// the next excluded Δ.
+		if T < paths[i].Delta-1e-18 {
+			continue
+		}
+		if m < p && T > paths[order[m]].Delta {
+			continue
+		}
+		bestT = T
+		bestM = m
+		break
+	}
+	if math.IsInf(bestT, 1) {
+		// Numerical fallback: admit everything.
+		bestT = (1 + ratioSum) / invSum
+		bestM = p
+	}
+	thetas := make([]float64, p)
+	for m := 0; m < bestM; m++ {
+		i := order[m]
+		th := (bestT - paths[i].Delta) / (n * paths[i].Omega)
+		if th < 0 {
+			th = 0
+		}
+		thetas[i] = th
+	}
+	return thetas, bestT
+}
+
+// MaxTime returns max_i T_i for the given fractions (Eq. 4 with the
+// affine law).
+func MaxTime(paths []AffinePath, n float64, thetas []float64) float64 {
+	worst := 0.0
+	for i, a := range paths {
+		if thetas[i] <= 0 {
+			continue
+		}
+		if t := a.Time(thetas[i] * n); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// TimeSpread returns the difference between the slowest and fastest path
+// times among paths with positive share. Theorem 1 says the optimum has
+// zero spread (ignoring excluded paths).
+func TimeSpread(paths []AffinePath, n float64, thetas []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, a := range paths {
+		if thetas[i] <= 0 {
+			continue
+		}
+		t := a.Time(thetas[i] * n)
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+// SqrtPath is the non-linearized pipelined time law of Eqs. (17)/(18):
+// T(s) = A·√s + B·s + C for a share of s bytes.
+type SqrtPath struct {
+	A, B, C float64
+}
+
+// SqrtPathOf derives the exact pipelined law for a path.
+func SqrtPathOf(pp *PathParam) SqrtPath {
+	if !pp.Staged() {
+		return SqrtPath{A: 0, B: 1 / pp.Legs[0].Beta, C: pp.Legs[0].Alpha}
+	}
+	l0, l1 := pp.Legs[0], pp.Legs[1]
+	if pp.firstLinkBottleneck() {
+		return SqrtPath{
+			A: 2 * math.Sqrt(l0.Alpha/l1.Beta),
+			B: 1 / l0.Beta,
+			C: pp.Eps + l1.Alpha,
+		}
+	}
+	return SqrtPath{
+		A: 2 * math.Sqrt((pp.Eps+l1.Alpha)/l0.Beta),
+		B: 1 / l1.Beta,
+		C: l0.Alpha,
+	}
+}
+
+// Time evaluates the law at share s.
+func (q SqrtPath) Time(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return q.A*math.Sqrt(s) + q.B*s + q.C
+}
+
+// invert returns the share s with Time(s) = T, or 0 when T ≤ C.
+func (q SqrtPath) invert(T float64) float64 {
+	if T <= q.C {
+		return 0
+	}
+	if q.B == 0 {
+		u := (T - q.C) / q.A
+		return u * u
+	}
+	disc := q.A*q.A + 4*q.B*(T-q.C)
+	u := (-q.A + math.Sqrt(disc)) / (2 * q.B)
+	if u < 0 {
+		return 0
+	}
+	return u * u
+}
+
+// SolveExactPipelined minimizes max_i T_i for the square-root time laws by
+// bisection on the equalized time (§3.4 notes this requires numerical
+// methods — this is the offline reference the linearization is compared
+// against). It returns the byte shares and the optimal time.
+func SolveExactPipelined(paths []SqrtPath, n float64) ([]float64, float64, error) {
+	if len(paths) == 0 || n <= 0 {
+		return nil, 0, fmt.Errorf("core: empty problem")
+	}
+	total := func(T float64) float64 {
+		var s float64
+		for _, q := range paths {
+			s += q.invert(T)
+		}
+		return s
+	}
+	lo := math.Inf(1)
+	for _, q := range paths {
+		if q.C < lo {
+			lo = q.C
+		}
+	}
+	hi := lo + 1e-9
+	for total(hi) < n {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return nil, 0, fmt.Errorf("core: bisection diverged")
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-15*hi; iter++ {
+		mid := (lo + hi) / 2
+		if total(mid) < n {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	T := (lo + hi) / 2
+	shares := make([]float64, len(paths))
+	var sum float64
+	for i, q := range paths {
+		shares[i] = q.invert(T)
+		sum += shares[i]
+	}
+	// Normalize rounding drift onto the largest share.
+	if sum > 0 && math.Abs(sum-n) > 0 {
+		maxI := 0
+		for i := range shares {
+			if shares[i] > shares[maxI] {
+				maxI = i
+			}
+		}
+		shares[maxI] += n - sum
+	}
+	return shares, T, nil
+}

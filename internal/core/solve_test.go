@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestClosedFormEqualPaths(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1e-9, Delta: 1e-6},
+		{Omega: 1e-9, Delta: 1e-6},
+		{Omega: 1e-9, Delta: 1e-6},
+	}
+	thetas := SolveClosedForm(paths, 64e6)
+	for i, th := range thetas {
+		almostEq(t, th, 1.0/3, 1e-12, "equal paths share equally")
+		_ = i
+	}
+}
+
+func TestClosedFormBandwidthProportional(t *testing.T) {
+	// Zero latency: θ_i should be proportional to bandwidth (Eq. 8 with
+	// α = 0 reduces to β_i / Σβ_j).
+	paths := []AffinePath{
+		{Omega: 1.0 / 300, Delta: 0},
+		{Omega: 1.0 / 100, Delta: 0},
+	}
+	thetas := SolveClosedForm(paths, 1e6)
+	almostEq(t, thetas[0], 0.75, 1e-12, "fast path share")
+	almostEq(t, thetas[1], 0.25, 1e-12, "slow path share")
+}
+
+func TestClosedFormHigherLatencyGetsLess(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1e-9, Delta: 0},
+		{Omega: 1e-9, Delta: 1e-3},
+	}
+	thetas := SolveClosedForm(paths, 64e6)
+	if thetas[1] >= thetas[0] {
+		t.Fatalf("high-latency path got more: %v", thetas)
+	}
+	almostEq(t, thetas[0]+thetas[1], 1, 1e-12, "fractions sum to one")
+}
+
+func TestClosedFormEqualizesTimes(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1.0 / 48e9, Delta: 2e-6},
+		{Omega: 1.0/48e9 + 1.0/48e9, Delta: 7e-6},
+		{Omega: 1.0 / 11e9, Delta: 11e-6},
+	}
+	n := 64e6
+	thetas := SolveClosedForm(paths, n)
+	if spread := TimeSpread(paths, n, thetas); spread > 1e-12 {
+		t.Fatalf("closed form does not equalize times: spread %v", spread)
+	}
+}
+
+func TestWaterFillMatchesClosedFormWhenInterior(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1.0 / 48e9, Delta: 2e-6},
+		{Omega: 2.0 / 48e9, Delta: 8e-6},
+		{Omega: 1.0 / 11e9, Delta: 12e-6},
+	}
+	n := 256e6
+	cf := SolveClosedForm(paths, n)
+	wf, _ := SolveWaterFill(paths, n)
+	for i := range cf {
+		if cf[i] <= 0 {
+			t.Fatalf("test premise broken: closed form not interior: %v", cf)
+		}
+		almostEq(t, wf[i], cf[i], 1e-9, "waterfill == closed form")
+	}
+}
+
+func TestWaterFillExcludesExpensivePathAtSmallN(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1.0 / 48e9, Delta: 2e-6},
+		{Omega: 1.0 / 11e9, Delta: 5e-3}, // huge startup
+	}
+	n := 4096.0
+	thetas, T := SolveWaterFill(paths, n)
+	if thetas[1] != 0 {
+		t.Fatalf("expensive path should be excluded: %v", thetas)
+	}
+	almostEq(t, thetas[0], 1, 1e-12, "direct takes all")
+	almostEq(t, T, paths[0].Time(n), 1e-15, "T equals direct time")
+	// Closed form would go negative here — the documented difference.
+	cf := SolveClosedForm(paths, n)
+	if cf[1] >= 0 {
+		t.Fatalf("expected negative closed-form share, got %v", cf[1])
+	}
+}
+
+func TestWaterFillFractionsSumToOne(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1.0 / 48e9, Delta: 2e-6},
+		{Omega: 1.5 / 48e9, Delta: 9e-6},
+		{Omega: 1.0 / 11e9, Delta: 14e-6},
+		{Omega: 1.0 / 20e9, Delta: 6e-6},
+	}
+	for _, n := range []float64{4096, 1e6, 64e6, 512e6} {
+		thetas, _ := SolveWaterFill(paths, n)
+		var sum float64
+		for _, th := range thetas {
+			if th < 0 {
+				t.Fatalf("negative share at n=%v: %v", n, thetas)
+			}
+			sum += th
+		}
+		almostEq(t, sum, 1, 1e-9, "Σθ = 1")
+	}
+}
+
+// Theorem 1: the equal-time solution is optimal. Any perturbation that
+// moves share between active paths cannot lower the max time.
+func TestQuickWaterFillOptimality(t *testing.T) {
+	f := func(seed uint32) bool {
+		x := seed
+		next := func() float64 {
+			x = x*1664525 + 1013904223
+			return float64(x%1000)/1000.0 + 1e-3
+		}
+		p := int(seed%3) + 2
+		paths := make([]AffinePath, p)
+		for i := range paths {
+			paths[i] = AffinePath{
+				Omega: next() / 20e9,
+				Delta: next() * 20e-6,
+			}
+		}
+		n := 1e6 + next()*5e8
+		thetas, T := SolveWaterFill(paths, n)
+		if math.Abs(MaxTime(paths, n, thetas)-T) > 1e-9*T {
+			return false
+		}
+		// Perturb: move mass from path i to path j.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i == j || thetas[i] <= 0 {
+					continue
+				}
+				d := thetas[i] * 0.2
+				pert := append([]float64(nil), thetas...)
+				pert[i] -= d
+				pert[j] += d
+				if MaxTime(paths, n, pert) < T*(1-1e-9) {
+					return false // found something better: not optimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the water-fill time is monotone non-decreasing in n.
+func TestQuickWaterFillMonotoneInSize(t *testing.T) {
+	paths := []AffinePath{
+		{Omega: 1.0 / 48e9, Delta: 2e-6},
+		{Omega: 1.7 / 48e9, Delta: 8e-6},
+		{Omega: 1.0 / 11e9, Delta: 13e-6},
+	}
+	f := func(a, b uint32) bool {
+		n1 := float64(a%1000+1) * 1e5
+		n2 := float64(b%1000+1) * 1e5
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		_, t1 := SolveWaterFill(paths, n1)
+		_, t2 := SolveWaterFill(paths, n2)
+		return t1 <= t2*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtPathInvertRoundTrip(t *testing.T) {
+	q := SqrtPath{A: 3e-6, B: 1 / 48e9, C: 5e-6}
+	for _, s := range []float64{1e3, 1e6, 64e6, 512e6} {
+		T := q.Time(s)
+		got := q.invert(T)
+		almostEq(t, got, s, 1e-6*s, "invert(Time(s)) == s")
+	}
+	if q.invert(q.C) != 0 {
+		t.Fatal("invert at T=C should be 0")
+	}
+	if q.invert(q.C/2) != 0 {
+		t.Fatal("invert below C should be 0")
+	}
+}
+
+func TestSolveExactPipelined(t *testing.T) {
+	paths := []SqrtPath{
+		{A: 0, B: 1 / 48e9, C: 2e-6},
+		{A: 2 * math.Sqrt(2e-6/48e9), B: 1 / 48e9, C: 5e-6},
+		{A: 2 * math.Sqrt(6e-6/11e9), B: 1 / 11e9, C: 6e-6},
+	}
+	n := 128e6
+	shares, T, err := SolveExactPipelined(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, s := range shares {
+		if s < 0 {
+			t.Fatalf("negative share %d: %v", i, s)
+		}
+		sum += s
+		if s > 0 {
+			almostEq(t, paths[i].Time(s), T, 1e-6*T, "active path times equalized")
+		}
+	}
+	almostEq(t, sum, n, 1e-3, "shares sum to n")
+}
+
+func TestSolveExactPipelinedSinglePath(t *testing.T) {
+	paths := []SqrtPath{{A: 0, B: 1 / 10e9, C: 1e-6}}
+	shares, T, err := SolveExactPipelined(paths, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, shares[0], 1e6, 1e-3, "single path gets all")
+	almostEq(t, T, 1e-6+1e6/10e9, 1e-12, "single path time")
+}
+
+func TestSolveDegenerateInputs(t *testing.T) {
+	if got := SolveClosedForm(nil, 1e6); got != nil {
+		t.Fatal("closed form on empty input should be nil")
+	}
+	if got, _ := SolveWaterFill(nil, 1e6); got != nil {
+		t.Fatal("waterfill on empty input should be nil")
+	}
+	if _, _, err := SolveExactPipelined(nil, 1e6); err == nil {
+		t.Fatal("exact solver on empty input should error")
+	}
+}

@@ -1,0 +1,68 @@
+package cuda
+
+// Copy-engine modeling. Real GPUs execute async copies on a small number
+// of DMA (copy) engines — V100/A100-class parts expose a handful, and two
+// is the practical limit for simultaneous peer copies in one direction.
+// By default the simulation is permissive (unlimited engines, matching
+// the analytical model's assumptions); SetCopyEngines imposes the cap so
+// experiments can quantify how engine pressure tempers multi-path and
+// collective gains.
+
+// SetCopyEngines caps concurrent copies per device. n <= 0 removes the
+// cap. The cap applies across all streams of a device: a copy reaching
+// the head of its stream additionally waits for a free engine.
+func (rt *Runtime) SetCopyEngines(n int) {
+	for _, d := range rt.devices {
+		d.setEngines(n)
+	}
+}
+
+// engineSem is a FIFO counting semaphore over simulation callbacks.
+type engineSem struct {
+	tokens int
+	queue  []func()
+}
+
+func (d *Device) setEngines(n int) {
+	if n <= 0 {
+		d.engines = nil
+		return
+	}
+	d.engines = &engineSem{tokens: n}
+}
+
+// acquireEngine invokes run once an engine is free (immediately when
+// uncapped). The returned release function must be called exactly once
+// when the copy completes.
+func (d *Device) acquireEngine(run func(release func())) {
+	sem := d.engines
+	if sem == nil {
+		run(func() {})
+		return
+	}
+	release := func() {
+		if len(sem.queue) > 0 {
+			next := sem.queue[0]
+			sem.queue = sem.queue[1:]
+			// Hand the token directly to the next waiter at this instant.
+			d.rt.sim.Schedule(0, next)
+			return
+		}
+		sem.tokens++
+	}
+	start := func() { run(release) }
+	if sem.tokens > 0 {
+		sem.tokens--
+		start()
+		return
+	}
+	sem.queue = append(sem.queue, start)
+}
+
+// EngineQueueDepth reports copies waiting for an engine (diagnostics).
+func (d *Device) EngineQueueDepth() int {
+	if d.engines == nil {
+		return 0
+	}
+	return len(d.engines.queue)
+}

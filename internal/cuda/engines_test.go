@@ -1,0 +1,112 @@
+package cuda
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCopyEnginesUnlimitedByDefault(t *testing.T) {
+	s, rt := newSynthetic(t)
+	// Three concurrent streams from GPU0, each to a different peer:
+	// disjoint links, so all three finish in one transfer time.
+	var times [3]sim.Time
+	for i, dst := range []int{1, 2, 3} {
+		i := i
+		st := rt.Device(0).NewStream("s")
+		st.MemcpyPeerAsync(rt.Device(dst), 100).OnFire(func() { times[i] = s.Now() })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tm := range times {
+		almost(t, tm, 1.0, 1e-9, "unlimited engines copy "+string(rune('0'+i)))
+	}
+}
+
+func TestCopyEngineCapSerializes(t *testing.T) {
+	s, rt := newSynthetic(t)
+	rt.SetCopyEngines(1)
+	var times [3]sim.Time
+	for i, dst := range []int{1, 2, 3} {
+		i := i
+		st := rt.Device(0).NewStream("s")
+		st.MemcpyPeerAsync(rt.Device(dst), 100).OnFire(func() { times[i] = s.Now() })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One engine: the three copies run back to back (FIFO).
+	almost(t, times[0], 1.0, 1e-9, "first copy")
+	almost(t, times[1], 2.0, 1e-9, "second copy queued")
+	almost(t, times[2], 3.0, 1e-9, "third copy queued")
+}
+
+func TestCopyEngineCapTwo(t *testing.T) {
+	s, rt := newSynthetic(t)
+	rt.SetCopyEngines(2)
+	var times [3]sim.Time
+	for i, dst := range []int{1, 2, 3} {
+		i := i
+		st := rt.Device(0).NewStream("s")
+		st.MemcpyPeerAsync(rt.Device(dst), 100).OnFire(func() { times[i] = s.Now() })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, times[0], 1.0, 1e-9, "copy 1 (engine A)")
+	almost(t, times[1], 1.0, 1e-9, "copy 2 (engine B)")
+	almost(t, times[2], 2.0, 1e-9, "copy 3 waits for an engine")
+}
+
+func TestCopyEnginePerDevice(t *testing.T) {
+	// Caps are per device: GPU0 and GPU2 each have one engine and do not
+	// interfere with each other.
+	s, rt := newSynthetic(t)
+	rt.SetCopyEngines(1)
+	var t0, t2 sim.Time
+	rt.Device(0).NewStream("a").MemcpyPeerAsync(rt.Device(1), 100).OnFire(func() { t0 = s.Now() })
+	rt.Device(2).NewStream("b").MemcpyPeerAsync(rt.Device(3), 100).OnFire(func() { t2 = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, t0, 1.0, 1e-9, "gpu0 copy")
+	almost(t, t2, 1.0, 1e-9, "gpu2 copy independent")
+}
+
+func TestCopyEngineUncap(t *testing.T) {
+	s, rt := newSynthetic(t)
+	rt.SetCopyEngines(1)
+	rt.SetCopyEngines(0) // remove the cap again
+	var times [2]sim.Time
+	for i, dst := range []int{1, 2} {
+		i := i
+		st := rt.Device(0).NewStream("s")
+		st.MemcpyPeerAsync(rt.Device(dst), 100).OnFire(func() { times[i] = s.Now() })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, times[0], 1.0, 1e-9, "uncapped copy 1")
+	almost(t, times[1], 1.0, 1e-9, "uncapped copy 2")
+}
+
+func TestEngineQueueDepth(t *testing.T) {
+	s, rt := newSynthetic(t)
+	rt.SetCopyEngines(1)
+	for _, dst := range []int{1, 2, 3} {
+		st := rt.Device(0).NewStream("s")
+		st.MemcpyPeerAsync(rt.Device(dst), 100)
+	}
+	s.Schedule(0.5, func() {
+		if d := rt.Device(0).EngineQueueDepth(); d != 2 {
+			t.Errorf("queue depth = %d, want 2", d)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := rt.Device(0).EngineQueueDepth(); d != 0 {
+		t.Fatalf("queue not drained: %d", d)
+	}
+}

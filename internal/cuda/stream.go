@@ -1,0 +1,133 @@
+package cuda
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Stream is an in-order execution queue on one device. Operations start
+// when the previous operation on the stream has completed; independent
+// streams proceed concurrently subject to link contention.
+type Stream struct {
+	dev  *Device
+	name string
+	tail *sim.Signal
+}
+
+// NewStream creates a stream on the device.
+func (d *Device) NewStream(name string) *Stream {
+	tail := d.rt.sim.NewSignal()
+	tail.Fire() // an empty stream is idle
+	return &Stream{dev: d, name: name, tail: tail}
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Name returns the diagnostic name given at creation.
+func (s *Stream) Name() string { return s.name }
+
+// enqueue appends an operation. run is invoked when the stream reaches the
+// operation and must eventually fire done.
+func (s *Stream) enqueue(run func(done *sim.Signal)) *sim.Signal {
+	done := s.dev.rt.sim.NewSignal()
+	prev := s.tail
+	s.tail = done
+	prev.OnFire(func() { run(done) })
+	return done
+}
+
+// Tail returns a signal that fires when all currently enqueued work
+// completes (equivalent to recording an event now).
+func (s *Stream) Tail() *sim.Signal { return s.tail }
+
+// Synchronize blocks the calling process until the stream drains.
+func (s *Stream) Synchronize(p *sim.Proc) error { return p.Wait(s.tail) }
+
+// copyOnRoute enqueues a transfer of bytes over the route: the stream is
+// occupied for the route's startup latency plus the flow duration, and
+// the copy holds one of the device's copy engines while in flight.
+func (s *Stream) copyOnRoute(r hw.Route, bytes float64) *sim.Signal {
+	rt := s.dev.rt
+	dev := s.dev
+	return s.enqueue(func(done *sim.Signal) {
+		dev.acquireEngine(func(release func()) {
+			rt.sim.Schedule(r.Latency, func() {
+				f := rt.node.Net.StartFlow(bytes, r.Links...)
+				f.Done().OnFire(func() {
+					release()
+					done.Fire()
+				})
+			})
+		})
+	})
+}
+
+// CopyRouteAsync enqueues a copy over an explicit route — the escape
+// hatch extensions use for transfers the standard memcpy entry points do
+// not cover (e.g. RDMA writes across inter-node rails).
+func (s *Stream) CopyRouteAsync(r hw.Route, bytes float64) *sim.Signal {
+	return s.copyOnRoute(r, bytes)
+}
+
+// MemcpyPeerAsync copies bytes from the stream's device to dst over the
+// direct NVLink. It returns the completion signal; enqueueing fails (the
+// signal fails immediately) when no direct link exists.
+func (s *Stream) MemcpyPeerAsync(dst *Device, bytes float64) *sim.Signal {
+	r, ok := s.dev.rt.node.GPUToGPU(s.dev.id, dst.id)
+	if !ok {
+		bad := s.dev.rt.sim.NewSignal()
+		bad.Fail(fmt.Errorf("cuda: no peer link %d->%d", s.dev.id, dst.id))
+		return bad
+	}
+	return s.copyOnRoute(r, bytes)
+}
+
+// MemcpyToHostAsync copies bytes from the stream's device into host memory
+// of the given NUMA domain.
+func (s *Stream) MemcpyToHostAsync(numa int, bytes float64) *sim.Signal {
+	return s.copyOnRoute(s.dev.rt.node.GPUToHost(s.dev.id, numa), bytes)
+}
+
+// MemcpyFromHostAsync copies bytes from host memory of the given NUMA
+// domain into the stream's device.
+func (s *Stream) MemcpyFromHostAsync(numa int, bytes float64) *sim.Signal {
+	return s.copyOnRoute(s.dev.rt.node.HostToGPU(numa, s.dev.id), bytes)
+}
+
+// Delay occupies the stream for a fixed duration. It models fixed
+// per-operation overheads (kernel launches, synchronization costs)
+// inserted explicitly by higher layers.
+func (s *Stream) Delay(d float64) *sim.Signal {
+	rt := s.dev.rt
+	return s.enqueue(func(done *sim.Signal) {
+		rt.sim.Schedule(d, done.Fire)
+	})
+}
+
+// Event marks a point in a stream's execution.
+type Event struct {
+	sig *sim.Signal
+}
+
+// Fired reports whether the event has completed.
+func (e *Event) Fired() bool { return e.sig.Fired() }
+
+// Signal exposes the underlying completion signal.
+func (e *Event) Signal() *sim.Signal { return e.sig }
+
+// RecordEvent captures the stream's current tail: the event fires when all
+// previously enqueued work completes.
+func (s *Stream) RecordEvent() *Event {
+	return &Event{sig: s.tail}
+}
+
+// WaitEvent makes subsequent operations on the stream wait for the event
+// (cudaStreamWaitEvent). The wait itself consumes no stream time.
+func (s *Stream) WaitEvent(e *Event) {
+	s.enqueue(func(done *sim.Signal) {
+		e.sig.OnFire(done.Fire)
+	})
+}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestFig4ThetaShape(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sizes = []float64{2 * hw.MiB, 64 * hw.MiB, 512 * hw.MiB}
+	fig, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 3 {
+		t.Fatalf("fig4 panels = %d, want 3", len(fig.Panels))
+	}
+	for _, panel := range fig.Panels {
+		// Fractions at each size must sum to 1.
+		for _, n := range opts.Sizes {
+			var sum float64
+			for _, s := range panel.Series {
+				v, ok := s.Value(n)
+				if !ok {
+					t.Fatalf("%s: missing size %v in series %s", panel.Title, n, s.Name)
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("%s: θ sums to %v at n=%v", panel.Title, sum, n)
+			}
+		}
+		// Direct path share shrinks as size grows (staged paths amortize).
+		direct := panel.FindSeries("direct")
+		if direct == nil {
+			t.Fatalf("%s: no direct series", panel.Title)
+		}
+		first := direct.Points[0].Value
+		last := direct.Points[len(direct.Points)-1].Value
+		if last >= first {
+			t.Errorf("%s: direct θ did not shrink with size (%.3f -> %.3f)",
+				panel.Title, first, last)
+		}
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	fig, err := Fig5(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 1 {
+		t.Fatalf("quick fig5 panels = %d, want 1", len(fig.Panels))
+	}
+	panel := fig.Panels[0]
+	for _, name := range []string{SeriesDirect, SeriesStatic, SeriesDynamic, SeriesPredicted, SeriesErrPct} {
+		if panel.FindSeries(name) == nil {
+			t.Fatalf("missing series %q", name)
+		}
+	}
+	n := 64.0 * hw.MiB
+	direct, _ := panel.FindSeries(SeriesDirect).Value(n)
+	dynamic, _ := panel.FindSeries(SeriesDynamic).Value(n)
+	static, _ := panel.FindSeries(SeriesStatic).Value(n)
+	if dynamic <= direct {
+		t.Errorf("dynamic (%.2f GB/s) not above direct (%.2f GB/s)", dynamic/1e9, direct/1e9)
+	}
+	if static <= direct {
+		t.Errorf("static (%.2f GB/s) not above direct (%.2f GB/s)", static/1e9, direct/1e9)
+	}
+	errPct, _ := panel.FindSeries(SeriesErrPct).Value(n)
+	if errPct > 15 {
+		t.Errorf("prediction error %.1f%% at 64 MiB too high", errPct)
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	fig, err := Fig6(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := fig.Panels[0]
+	n := 64.0 * hw.MiB
+	direct, _ := panel.FindSeries(SeriesDirect).Value(n)
+	dynamic, _ := panel.FindSeries(SeriesDynamic).Value(n)
+	if dynamic <= direct {
+		t.Errorf("BIBW dynamic (%.2f) not above direct (%.2f)", dynamic/1e9, direct/1e9)
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	fig, err := Fig7(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alltoall + allreduce, one cluster, one path set → 2 panels.
+	if len(fig.Panels) != 2 {
+		t.Fatalf("quick fig7 panels = %d, want 2", len(fig.Panels))
+	}
+	for _, panel := range fig.Panels {
+		dyn := panel.FindSeries(SeriesDynamicSpeedup)
+		if dyn == nil {
+			t.Fatalf("%s: no dynamic speedup series", panel.Title)
+		}
+		for _, pt := range dyn.Points {
+			if pt.Value <= 1.0 {
+				t.Errorf("%s: dynamic speedup %.3f ≤ 1 at %v", panel.Title, pt.Value, pt.Bytes)
+			}
+			if pt.Value > 2.0 {
+				t.Errorf("%s: dynamic speedup %.3f implausible", panel.Title, pt.Value)
+			}
+		}
+	}
+}
+
+func TestHeadlineAggregation(t *testing.T) {
+	opts := QuickOptions()
+	h, f5, f6, f7, err := RunHeadline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5 == nil || f6 == nil || f7 == nil {
+		t.Fatal("missing figures")
+	}
+	if h.PredictionsCount == 0 {
+		t.Fatal("no predictions aggregated")
+	}
+	if h.MaxP2PSpeedup <= 1.0 {
+		t.Fatalf("max P2P speedup %.3f", h.MaxP2PSpeedup)
+	}
+	if h.MaxCollectiveSpeedup <= 1.0 {
+		t.Fatalf("max collective speedup %.3f", h.MaxCollectiveSpeedup)
+	}
+	if h.MeanErrBWNoHostPct > 15 {
+		t.Fatalf("BW prediction error %.1f%% too high", h.MeanErrBWNoHostPct)
+	}
+}
+
+func TestRenderTextAndCSV(t *testing.T) {
+	fig, err := Fig4(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := RenderText(&txt, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "direct") {
+		t.Fatalf("text rendering missing content:\n%s", out)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, fig); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) < 4 || !strings.HasPrefix(lines[0], "figure,panel,series") {
+		t.Fatalf("csv rendering wrong:\n%s", csvBuf.String())
+	}
+}
+
+func TestRenderHeadline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderHeadline(&buf, Headline{MaxP2PSpeedup: 2.9}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.90x") {
+		t.Fatalf("headline rendering:\n%s", buf.String())
+	}
+}
+
+func TestUnknownCluster(t *testing.T) {
+	opts := QuickOptions()
+	opts.Clusters = []string{"hal9000"}
+	if _, err := Fig5(opts); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}

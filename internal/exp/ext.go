@@ -1,0 +1,317 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/omb"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ucx"
+)
+
+// Extension series names.
+const (
+	SeriesMeasuredNaive = "measured_naive"
+	SeriesMeasuredAware = "measured_aware"
+	SeriesPredNaive     = "pred_naive"
+	SeriesPredAware     = "pred_aware"
+	SeriesErrNaivePct   = "err_naive_%"
+	SeriesErrAwarePct   = "err_aware_%"
+)
+
+// ExtBidirAware evaluates the contention-aware model extension (the
+// paper's §6 future work) on the workload where the base model fails:
+// bidirectional transfers with host staging (Observation 5). For each
+// cluster it reports measured BIBW and prediction error with the naive
+// model versus the bidirectional-aware model.
+func ExtBidirAware(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-bidir",
+		Caption: "Extension: contention-aware model on host-staged BIBW " +
+			"(naive vs bidirectional-aware planning and prediction)",
+	}
+	for _, cluster := range opts.Clusters {
+		panel, err := bidirAwarePanel(cluster, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Panels = append(fig.Panels, *panel)
+	}
+	return fig, nil
+}
+
+func bidirAwarePanel(cluster string, opts Options) (*Panel, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	const psName = "3gpus_host"
+	panel := &Panel{
+		Title:  fmt.Sprintf("BIBW with host staging on %s", cluster),
+		YLabel: "bandwidth (GB/s)",
+	}
+
+	measure := func(aware bool) ([]omb.Sample, error) {
+		cfg := omb.DefaultP2PConfig(spec)
+		cfg.Warmup = opts.Warmup
+		cfg.Iters = opts.Iters
+		cfg.UCX.PathSet = psName
+		cfg.UCX.BidirAware = aware
+		return omb.BiBW(cfg, opts.Sizes)
+	}
+	naive, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Predictions: aggregate BIBW = 2× the per-direction prediction.
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUsWithHost)
+	if err != nil {
+		return nil, err
+	}
+	naiveModel := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	bidirSrc, err := core.BidirectionalSource(node, paths)
+	if err != nil {
+		return nil, err
+	}
+	awareModel := core.NewModel(bidirSrc, core.DefaultOptions())
+
+	var measNaive, measAware, predNaive, predAware, errNaive, errAware []Point
+	for i, n := range opts.Sizes {
+		pn, err := naiveModel.PredictBandwidth(paths, n)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := awareModel.PredictBandwidth(paths, n)
+		if err != nil {
+			return nil, err
+		}
+		pn *= 2
+		pa *= 2
+		measNaive = append(measNaive, Point{n, naive[i].Bandwidth})
+		measAware = append(measAware, Point{n, aware[i].Bandwidth})
+		predNaive = append(predNaive, Point{n, pn})
+		predAware = append(predAware, Point{n, pa})
+		errNaive = append(errNaive, Point{n, stats.PercentErr(pn, naive[i].Bandwidth)})
+		errAware = append(errAware, Point{n, stats.PercentErr(pa, aware[i].Bandwidth)})
+	}
+	panel.Series = []Series{
+		{Name: SeriesMeasuredNaive, Points: measNaive},
+		{Name: SeriesMeasuredAware, Points: measAware},
+		{Name: SeriesPredNaive, Points: predNaive},
+		{Name: SeriesPredAware, Points: predAware},
+		{Name: SeriesErrNaivePct, Points: errNaive},
+		{Name: SeriesErrAwarePct, Points: errAware},
+	}
+	return panel, nil
+}
+
+// Adaptive-φ extension series.
+const (
+	SeriesDynNaivePhi    = "dynamic_fixed_phi"
+	SeriesDynAdaptivePhi = "dynamic_adaptive_phi"
+)
+
+// ExtAdaptivePhi evaluates the adaptive-φ planner: recomputing the chunk
+// linearization constant at each path's actual share removes the
+// small-message mis-planning of the fixed-φ model (the paper's
+// Observation 4) while staying closed-form. One panel per cluster,
+// unidirectional BW, static search as the reference optimum.
+func ExtAdaptivePhi(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-adaptive-phi",
+		Caption: "Extension: adaptive φ fixes small-message planning " +
+			"(unidirectional BW, 3 GPU paths)",
+	}
+	planners := newPlannerCache(opts)
+	for _, cluster := range opts.Clusters {
+		spec, err := specFor(cluster)
+		if err != nil {
+			return nil, err
+		}
+		const psName = "3gpus"
+		static, err := planners.get(cluster, psName)
+		if err != nil {
+			return nil, err
+		}
+		measure := func(adaptive bool, planner ucx.Planner) ([]omb.Sample, error) {
+			cfg := omb.DefaultP2PConfig(spec)
+			cfg.Warmup = opts.Warmup
+			cfg.Iters = opts.Iters
+			cfg.UCX.PathSet = psName
+			cfg.UCX.ModelOptions.AdaptivePhi = adaptive
+			cfg.UCX.Planner = planner
+			return omb.BW(cfg, opts.Sizes)
+		}
+		naive, err := measure(false, nil)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := measure(true, nil)
+		if err != nil {
+			return nil, err
+		}
+		staticSamples, err := measure(false, static)
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("adaptive phi on %s; %s", cluster, pathSetLabel(psName)),
+			YLabel: "bandwidth (GB/s)",
+		}
+		var nPts, aPts, sPts []Point
+		for i := range naive {
+			nPts = append(nPts, Point{naive[i].Bytes, naive[i].Bandwidth})
+			aPts = append(aPts, Point{adaptive[i].Bytes, adaptive[i].Bandwidth})
+			sPts = append(sPts, Point{staticSamples[i].Bytes, staticSamples[i].Bandwidth})
+		}
+		panel.Series = []Series{
+			{Name: SeriesDynNaivePhi, Points: nPts},
+			{Name: SeriesDynAdaptivePhi, Points: aPts},
+			{Name: SeriesStatic, Points: sPts},
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// Pattern-aware extension series.
+const (
+	SeriesNaiveMultipath = "multipath"
+	SeriesPatternAware   = "pattern_aware"
+	SeriesAwareGainPct   = "gain_%"
+)
+
+// ExtPatternAware evaluates the second §3/§6 extension: collectives whose
+// communication pattern is known pass it to the planner, which derates
+// the links concurrent exchanges occupy. The figure compares collective
+// latency of naive multipath vs pattern-aware multipath.
+func ExtPatternAware(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-pattern",
+		Caption: "Extension: pattern-aware path planning in collectives " +
+			"(latency, lower is better)",
+	}
+	for _, coll := range []string{"alltoall", "allreduce"} {
+		for _, cluster := range opts.Clusters {
+			panel, err := patternAwarePanel(coll, cluster, opts)
+			if err != nil {
+				return nil, err
+			}
+			fig.Panels = append(fig.Panels, *panel)
+		}
+	}
+	return fig, nil
+}
+
+func patternAwarePanel(coll, cluster string, opts Options) (*Panel, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	panel := &Panel{
+		Title:  fmt.Sprintf("%s on %s; 3 GPU paths, pattern-aware", coll, cluster),
+		YLabel: "latency (ms)",
+	}
+	measure := func(aware bool) ([]omb.Sample, error) {
+		cfg := omb.DefaultCollConfig(spec)
+		cfg.Warmup = opts.Warmup
+		cfg.Iters = opts.Iters
+		cfg.UCX.PathSet = "3gpus"
+		cfg.PatternAware = aware
+		if coll == "alltoall" {
+			return omb.AlltoallLatency(cfg, opts.CollSizes)
+		}
+		return omb.AllreduceLatency(cfg, opts.CollSizes)
+	}
+	naive, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	var nPts, aPts, gPts []Point
+	for i := range naive {
+		nPts = append(nPts, Point{naive[i].Bytes, naive[i].Latency * 1e3})
+		aPts = append(aPts, Point{aware[i].Bytes, aware[i].Latency * 1e3})
+		gPts = append(gPts, Point{naive[i].Bytes,
+			100 * (naive[i].Latency - aware[i].Latency) / naive[i].Latency})
+	}
+	panel.Series = []Series{
+		{Name: SeriesNaiveMultipath, Points: nPts},
+		{Name: SeriesPatternAware, Points: aPts},
+		{Name: SeriesAwareGainPct, Points: gPts},
+	}
+	return panel, nil
+}
+
+// ExtNVSwitch runs the unidirectional comparison on the NVSwitch-class
+// eight-GPU preset — the architecture the paper plans to investigate.
+// With a non-blocking switch the direct path is so fast that staged paths
+// help less; the panel shows whether the model still picks sensible
+// configurations (mostly direct, modest staged shares).
+func ExtNVSwitch(opts Options) (*Figure, error) {
+	spec := hw.NVSwitchNode()
+	fig := &Figure{
+		ID:      "ext-nvswitch",
+		Caption: "Extension: model-driven multi-path on an NVSwitch-class 8-GPU node",
+	}
+	panel := &Panel{
+		Title:  "BW on nvswitch; 3 GPU paths, win=1",
+		YLabel: "bandwidth (GB/s)",
+	}
+	cfgDirect := omb.DefaultP2PConfig(spec)
+	cfgDirect.Warmup = opts.Warmup
+	cfgDirect.Iters = opts.Iters
+	cfgDirect.UCX.MultipathEnable = false
+	direct, err := omb.BW(cfgDirect, opts.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	cfgMulti := omb.DefaultP2PConfig(spec)
+	cfgMulti.Warmup = opts.Warmup
+	cfgMulti.Iters = opts.Iters
+	cfgMulti.UCX.PathSet = "3gpus"
+	multi, err := omb.BW(cfgMulti, opts.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, err
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	paths, err := spec.EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		return nil, err
+	}
+	var dPts, mPts, pPts []Point
+	for i, n := range opts.Sizes {
+		pred, err := model.PredictBandwidth(paths, n)
+		if err != nil {
+			return nil, err
+		}
+		dPts = append(dPts, Point{n, direct[i].Bandwidth})
+		mPts = append(mPts, Point{n, multi[i].Bandwidth})
+		pPts = append(pPts, Point{n, pred})
+	}
+	panel.Series = []Series{
+		{Name: SeriesDirect, Points: dPts},
+		{Name: SeriesDynamic, Points: mPts},
+		{Name: SeriesPredicted, Points: pPts},
+	}
+	fig.Panels = append(fig.Panels, *panel)
+	return fig, nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// Fig4 regenerates Figure 4: the model's θ (message-fraction) distribution
+// across paths versus message size, for OMB unidirectional transfers on
+// Beluga — one panel per path configuration: (a) 2 paths, (b) 3 paths,
+// (c) 4 paths including host staging.
+func Fig4(opts Options) (*Figure, error) {
+	spec, err := specFor("beluga")
+	if err != nil {
+		return nil, err
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, err
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+
+	fig := &Figure{
+		ID: "fig4",
+		Caption: "Distribution of θ (message fraction) across paths for " +
+			"unidirectional transfers on Beluga",
+	}
+	for _, psName := range []string{"2gpus", "3gpus", "3gpus_host"} {
+		sel, err := ucx.PathSetByName(psName)
+		if err != nil {
+			return nil, err
+		}
+		paths, err := spec.EnumeratePaths(0, 1, sel)
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("theta distribution; %s", pathSetLabel(psName)),
+			YLabel: "theta (fraction of message)",
+		}
+		series := make([]Series, len(paths))
+		for i, p := range paths {
+			series[i] = Series{Name: p.String()}
+		}
+		for _, n := range opts.Sizes {
+			pl, err := model.PlanTransfer(paths, n)
+			if err != nil {
+				return nil, err
+			}
+			for i := range pl.Paths {
+				series[i].Points = append(series[i].Points, Point{
+					Bytes: n,
+					Value: pl.Paths[i].Bytes / n,
+				})
+			}
+		}
+		panel.Series = series
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}

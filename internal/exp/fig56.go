@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/omb"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ucx"
+)
+
+// Series names used in the bandwidth figures (paper legend).
+const (
+	SeriesDirect    = "direct"     // single direct path baseline
+	SeriesStatic    = "static"     // statically tuned distribution
+	SeriesDynamic   = "dynamic"    // model-driven runtime distribution
+	SeriesPredicted = "predicted"  // model's predicted bandwidth
+	SeriesErrPct    = "pred_err_%" // prediction error vs observed optimum
+)
+
+// Fig5 regenerates Figure 5: unidirectional OMB bandwidth on every
+// cluster × path-set × window combination, comparing the direct baseline,
+// the statically tuned distribution, the dynamic (model-driven)
+// distribution, and the model's prediction.
+func Fig5(opts Options) (*Figure, error) {
+	return figBandwidth(false, opts)
+}
+
+// Fig6 regenerates Figure 6: the bidirectional (BIBW) variant.
+func Fig6(opts Options) (*Figure, error) {
+	return figBandwidth(true, opts)
+}
+
+func figBandwidth(bidirectional bool, opts Options) (*Figure, error) {
+	name, caption := "fig5", "Unidirectional MPI bandwidth (BW)"
+	if bidirectional {
+		name, caption = "fig6", "Bidirectional MPI bandwidth (BIBW)"
+	}
+	fig := &Figure{ID: name, Caption: caption + ": direct vs static vs dynamic vs predicted"}
+	planners := newPlannerCache(opts)
+
+	for _, cluster := range opts.Clusters {
+		for _, psName := range opts.PathSets {
+			for _, window := range opts.Windows {
+				panel, err := bandwidthPanel(bidirectional, cluster, psName, window, opts, planners)
+				if err != nil {
+					return nil, err
+				}
+				fig.Panels = append(fig.Panels, *panel)
+			}
+		}
+	}
+	return fig, nil
+}
+
+func bandwidthPanel(bidirectional bool, cluster, psName string, window int,
+	opts Options, planners *plannerCache) (*Panel, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	kind := "BW"
+	if bidirectional {
+		kind = "BIBW"
+	}
+	panel := &Panel{
+		Title:  fmt.Sprintf("%s on %s; %s, win=%d", kind, cluster, pathSetLabel(psName), window),
+		YLabel: "bandwidth (GB/s)",
+	}
+
+	run := func(cfg omb.P2PConfig) ([]omb.Sample, error) {
+		if bidirectional {
+			return omb.BiBW(cfg, opts.Sizes)
+		}
+		return omb.BW(cfg, opts.Sizes)
+	}
+	baseCfg := func() omb.P2PConfig {
+		cfg := omb.DefaultP2PConfig(spec)
+		cfg.Window = window
+		cfg.Warmup = opts.Warmup
+		cfg.Iters = opts.Iters
+		return cfg
+	}
+
+	// Direct baseline: multipath off.
+	cfg := baseCfg()
+	cfg.UCX.MultipathEnable = false
+	direct, err := run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: direct series (%s): %w", panel.Title, err)
+	}
+
+	// Dynamic: the model-driven runtime.
+	cfg = baseCfg()
+	cfg.UCX.PathSet = psName
+	dynamic, err := run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: dynamic series (%s): %w", panel.Title, err)
+	}
+
+	// Static: replay the offline exhaustive tuning.
+	static, err := planners.get(cluster, psName)
+	if err != nil {
+		return nil, err
+	}
+	cfg = baseCfg()
+	cfg.UCX.PathSet = psName
+	cfg.UCX.Planner = static
+	staticSamples, err := run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: static series (%s): %w", panel.Title, err)
+	}
+
+	// Predicted: the model's analytic bandwidth (both directions for BIBW,
+	// which is exactly where the paper's model over-predicts under
+	// host-staged contention).
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, err
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	sel, err := ucx.PathSetByName(psName)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := spec.EnumeratePaths(0, 1, sel)
+	if err != nil {
+		return nil, err
+	}
+	var predicted []Point
+	for _, n := range opts.Sizes {
+		bw, err := model.PredictBandwidth(paths, n)
+		if err != nil {
+			return nil, err
+		}
+		if bidirectional {
+			bw *= 2
+		}
+		predicted = append(predicted, Point{Bytes: n, Value: bw})
+	}
+
+	toPoints := func(samples []omb.Sample) []Point {
+		pts := make([]Point, len(samples))
+		for i, s := range samples {
+			pts[i] = Point{Bytes: s.Bytes, Value: s.Bandwidth}
+		}
+		return pts
+	}
+	directPts := toPoints(direct)
+	staticPts := toPoints(staticSamples)
+	dynamicPts := toPoints(dynamic)
+
+	// Prediction error vs the observed optimum (best measured config).
+	var errPts []Point
+	for i, n := range opts.Sizes {
+		best := staticPts[i].Value
+		if dynamicPts[i].Value > best {
+			best = dynamicPts[i].Value
+		}
+		errPts = append(errPts, Point{Bytes: n, Value: stats.PercentErr(predicted[i].Value, best)})
+	}
+
+	panel.Series = []Series{
+		{Name: SeriesDirect, Points: directPts},
+		{Name: SeriesStatic, Points: staticPts},
+		{Name: SeriesDynamic, Points: dynamicPts},
+		{Name: SeriesPredicted, Points: predicted},
+		{Name: SeriesErrPct, Points: errPts},
+	}
+	return panel, nil
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/omb"
+)
+
+// Collective series names (speedup over the default single-path stack).
+const (
+	SeriesDynamicSpeedup = "dynamic_speedup"
+	SeriesStaticSpeedup  = "static_speedup"
+)
+
+// Fig7 regenerates Figure 7: latency speedup of MPI_Alltoall and
+// MPI_Allreduce with multi-path transfers enabled, against the default
+// MPI+UCC+UCX (single-path) stack, per cluster and per path set. Host
+// staging is excluded, as in the paper (§5.3 drops it due to the BIBW
+// contention of Observation 5).
+func Fig7(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID:      "fig7",
+		Caption: "Latency speedup of MPI_Alltoall and MPI_Allreduce vs the default single-path stack",
+	}
+	planners := newPlannerCache(opts)
+	for _, coll := range []string{"alltoall", "allreduce"} {
+		for _, cluster := range opts.Clusters {
+			for _, psName := range opts.PathSets {
+				if psName == "3gpus_host" {
+					continue // paper presents collectives without host staging
+				}
+				panel, err := collectivePanel(coll, cluster, psName, opts, planners)
+				if err != nil {
+					return nil, err
+				}
+				fig.Panels = append(fig.Panels, *panel)
+			}
+		}
+	}
+	return fig, nil
+}
+
+func collectivePanel(coll, cluster, psName string, opts Options, planners *plannerCache) (*Panel, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	panel := &Panel{
+		Title:  fmt.Sprintf("%s on %s; %s", coll, cluster, pathSetLabel(psName)),
+		YLabel: "speedup vs single path",
+	}
+
+	measure := func(cfg omb.CollConfig) ([]omb.Sample, error) {
+		if coll == "alltoall" {
+			return omb.AlltoallLatency(cfg, opts.CollSizes)
+		}
+		return omb.AllreduceLatency(cfg, opts.CollSizes)
+	}
+	baseCfg := func() omb.CollConfig {
+		cfg := omb.DefaultCollConfig(spec)
+		cfg.Warmup = opts.Warmup
+		cfg.Iters = opts.Iters
+		return cfg
+	}
+
+	// Baseline: default stack, single path.
+	cfg := baseCfg()
+	cfg.UCX.MultipathEnable = false
+	base, err := measure(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: collective baseline (%s): %w", panel.Title, err)
+	}
+
+	// Dynamic: model-driven multi-path.
+	cfg = baseCfg()
+	cfg.UCX.PathSet = psName
+	dynamic, err := measure(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: collective dynamic (%s): %w", panel.Title, err)
+	}
+
+	// Static: replayed offline tuning.
+	static, err := planners.get(cluster, psName)
+	if err != nil {
+		return nil, err
+	}
+	cfg = baseCfg()
+	cfg.UCX.PathSet = psName
+	cfg.UCX.Planner = static
+	staticSamples, err := measure(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: collective static (%s): %w", panel.Title, err)
+	}
+
+	dynPts := make([]Point, len(base))
+	statPts := make([]Point, len(base))
+	for i := range base {
+		dynPts[i] = Point{Bytes: base[i].Bytes, Value: base[i].Latency / dynamic[i].Latency}
+		statPts[i] = Point{Bytes: base[i].Bytes, Value: base[i].Latency / staticSamples[i].Latency}
+	}
+	panel.Series = []Series{
+		{Name: SeriesDynamicSpeedup, Points: dynPts},
+		{Name: SeriesStaticSpeedup, Points: statPts},
+	}
+	return panel, nil
+}

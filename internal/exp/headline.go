@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/stats"
+)
+
+// Headline aggregates the paper's headline claims from the figure data:
+//
+//   - mean prediction error for messages > 4 MB, unidirectional (paper:
+//     < 6 %), split by host-staged vs not,
+//   - mean BIBW prediction error without host staging (paper: ≈ 8 %),
+//   - maximum P2P speedup of the dynamic configuration over the direct
+//     baseline (paper: up to 2.9×),
+//   - maximum collective speedup (paper: up to 1.4×).
+type Headline struct {
+	MeanErrBWLargePct      float64 // BW, n > 4 MiB, all configs
+	MeanErrBWNoHostPct     float64 // BW, n > 4 MiB, without host staging
+	MeanErrBIBWNoHostPct   float64 // BIBW, n > 4 MiB, without host staging
+	MeanErrBIBWWithHostPct float64 // BIBW, n > 4 MiB, host-staged configs
+	MaxP2PSpeedup          float64
+	MaxCollectiveSpeedup   float64
+	DynamicVsStaticGeoMean float64 // dynamic/static bandwidth ratio (BW)
+	PredictionsCount       int
+}
+
+// HeadlineFromFigures computes the aggregate from already-generated
+// figures (fig5 and fig6 are required; fig7 may be nil).
+func HeadlineFromFigures(fig5, fig6, fig7 *Figure) Headline {
+	var h Headline
+	var errAll, errNoHost, errBiNoHost, errBiHost []float64
+	var dynStatic []float64
+
+	collectErr := func(fig *Figure, noHost *[]float64, withHost *[]float64) {
+		if fig == nil {
+			return
+		}
+		for _, panel := range fig.Panels {
+			errSeries := panel.FindSeries(SeriesErrPct)
+			if errSeries == nil {
+				continue
+			}
+			host := strings.Contains(panel.Title, "host")
+			for _, pt := range errSeries.Points {
+				if pt.Bytes <= 4*hw.MiB {
+					continue
+				}
+				h.PredictionsCount++
+				if host {
+					if withHost != nil {
+						*withHost = append(*withHost, pt.Value)
+					}
+				} else if noHost != nil {
+					*noHost = append(*noHost, pt.Value)
+				}
+			}
+		}
+	}
+
+	// BW errors: split host vs not, and collect the union.
+	var errBWHost []float64
+	collectErr(fig5, &errNoHost, &errBWHost)
+	errAll = append(append([]float64(nil), errNoHost...), errBWHost...)
+	collectErr(fig6, &errBiNoHost, &errBiHost)
+
+	if fig5 != nil {
+		for _, panel := range fig5.Panels {
+			direct := panel.FindSeries(SeriesDirect)
+			dynamic := panel.FindSeries(SeriesDynamic)
+			static := panel.FindSeries(SeriesStatic)
+			if direct == nil || dynamic == nil {
+				continue
+			}
+			for i, pt := range dynamic.Points {
+				if i < len(direct.Points) && direct.Points[i].Value > 0 {
+					if sp := pt.Value / direct.Points[i].Value; sp > h.MaxP2PSpeedup {
+						h.MaxP2PSpeedup = sp
+					}
+				}
+				// Dynamic-vs-static quality is the paper's large-message
+				// claim; small messages are its acknowledged weak spot
+				// (Observation 4), so aggregate only n > 4 MiB.
+				if static != nil && i < len(static.Points) && static.Points[i].Value > 0 &&
+					pt.Bytes > 4*hw.MiB {
+					dynStatic = append(dynStatic, pt.Value/static.Points[i].Value)
+				}
+			}
+		}
+	}
+	if fig7 != nil {
+		for _, panel := range fig7.Panels {
+			for _, series := range panel.Series {
+				for _, pt := range series.Points {
+					if pt.Value > h.MaxCollectiveSpeedup {
+						h.MaxCollectiveSpeedup = pt.Value
+					}
+				}
+			}
+		}
+	}
+
+	h.MeanErrBWLargePct = stats.Mean(errAll)
+	h.MeanErrBWNoHostPct = stats.Mean(errNoHost)
+	h.MeanErrBIBWNoHostPct = stats.Mean(errBiNoHost)
+	h.MeanErrBIBWWithHostPct = stats.Mean(errBiHost)
+	h.DynamicVsStaticGeoMean = stats.GeoMean(dynStatic)
+	return h
+}
+
+// RunHeadline generates the required figures and aggregates them.
+func RunHeadline(opts Options) (Headline, *Figure, *Figure, *Figure, error) {
+	f5, err := Fig5(opts)
+	if err != nil {
+		return Headline{}, nil, nil, nil, err
+	}
+	f6, err := Fig6(opts)
+	if err != nil {
+		return Headline{}, nil, nil, nil, err
+	}
+	f7, err := Fig7(opts)
+	if err != nil {
+		return Headline{}, nil, nil, nil, err
+	}
+	return HeadlineFromFigures(f5, f6, f7), f5, f6, f7, nil
+}

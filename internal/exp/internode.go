@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/internode"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Inter-node extension series.
+const (
+	SeriesOneRail   = "1_rail"
+	SeriesTwoRails  = "2_rails"
+	SeriesAllRails  = "4_rails"
+	SeriesPredRails = "predicted_4_rails"
+)
+
+// ExtInterNode evaluates the multi-node future-work extension: a single
+// inter-node transfer split across NIC rails via NVLink fan-out/fan-in,
+// planned by the same equal-time model. One panel, unidirectional
+// bandwidth vs size, plus the model's prediction for the full rail set.
+func ExtInterNode(opts Options) (*Figure, error) {
+	fig := &Figure{
+		ID: "ext-internode",
+		Caption: "Extension: multi-rail inter-node transfers " +
+			"(two Narval-class nodes, one NIC rail per NUMA domain)",
+	}
+	panel := Panel{
+		Title:  "inter-node BW, GPU0@A -> GPU0@B",
+		YLabel: "bandwidth (GB/s)",
+	}
+	measure := func(n float64, maxPeers int) (measured, predicted float64, err error) {
+		s := sim.New()
+		c, err := internode.BuildCluster(s, internode.DefaultClusterSpec())
+		if err != nil {
+			return 0, 0, err
+		}
+		pl, err := c.PlanTransfer(0, 0, 1, 0, n, maxPeers, core.DefaultOptions())
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := c.Execute(pl)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := s.Run(); err != nil {
+			return 0, 0, err
+		}
+		if res.Done.Err() != nil {
+			return 0, 0, res.Done.Err()
+		}
+		return res.Bandwidth(), pl.PredictedBandwidth, nil
+	}
+
+	var one, two, all, pred, errPts []Point
+	for _, n := range opts.Sizes {
+		b1, _, err := measure(n, 0)
+		if err != nil {
+			return nil, fmt.Errorf("exp: internode 1 rail: %w", err)
+		}
+		b2, _, err := measure(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		b4, p4, err := measure(n, -1)
+		if err != nil {
+			return nil, err
+		}
+		one = append(one, Point{n, b1})
+		two = append(two, Point{n, b2})
+		all = append(all, Point{n, b4})
+		pred = append(pred, Point{n, p4})
+		errPts = append(errPts, Point{n, stats.PercentErr(p4, b4)})
+	}
+	panel.Series = []Series{
+		{Name: SeriesOneRail, Points: one},
+		{Name: SeriesTwoRails, Points: two},
+		{Name: SeriesAllRails, Points: all},
+		{Name: SeriesPredRails, Points: pred},
+		{Name: SeriesErrPct, Points: errPts},
+	}
+	fig.Panels = append(fig.Panels, panel)
+	return fig, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/omb"
+	"repro/internal/stats"
+)
+
+// ObsWindowScaling quantifies §5.2 Observation 2: as the OSU window size
+// grows, (a) the gap between the statically tuned and dynamic
+// configurations narrows and (b) the prediction error shrinks, because
+// concurrent transfers amortize latency effects. One panel per cluster;
+// series are indexed by window size at a fixed large message.
+func ObsWindowScaling(opts Options) (*Figure, error) {
+	const psName = "3gpus"
+	windows := []int{1, 2, 4, 8, 16}
+	fig := &Figure{
+		ID: "obs2-window",
+		Caption: "Observation 2: window size narrows the static/dynamic gap " +
+			"and the prediction error (64 MiB, 3 GPU paths)",
+	}
+	planners := newPlannerCache(opts)
+	n := float64(64 * (1 << 20))
+
+	for _, cluster := range opts.Clusters {
+		spec, err := specFor(cluster)
+		if err != nil {
+			return nil, err
+		}
+		static, err := planners.get(cluster, psName)
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("window scaling on %s", cluster),
+			YLabel: "ratio / percent",
+			XLabel: "window",
+		}
+		var gapPts, errPts []Point
+		for _, win := range windows {
+			mk := func(mutate func(*omb.P2PConfig)) (float64, error) {
+				cfg := omb.DefaultP2PConfig(spec)
+				cfg.Window = win
+				cfg.Warmup = opts.Warmup
+				cfg.Iters = opts.Iters
+				mutate(&cfg)
+				samples, err := omb.BW(cfg, []float64{n})
+				if err != nil {
+					return 0, err
+				}
+				return samples[0].Bandwidth, nil
+			}
+			dynBW, err := mk(func(c *omb.P2PConfig) { c.UCX.PathSet = psName })
+			if err != nil {
+				return nil, err
+			}
+			statBW, err := mk(func(c *omb.P2PConfig) {
+				c.UCX.PathSet = psName
+				c.UCX.Planner = static
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Prediction error vs the better measured configuration.
+			node := dynBW
+			if statBW > node {
+				node = statBW
+			}
+			pred, err := predictedBW(cluster, psName, n)
+			if err != nil {
+				return nil, err
+			}
+			// Use window (not bytes) as the x-coordinate.
+			gapPts = append(gapPts, Point{Bytes: float64(win), Value: dynBW / statBW})
+			errPts = append(errPts, Point{Bytes: float64(win), Value: stats.PercentErr(pred, node)})
+		}
+		panel.Series = []Series{
+			{Name: "dynamic_over_static", Points: gapPts},
+			{Name: SeriesErrPct, Points: errPts},
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// predictedBW evaluates the model's bandwidth for a cluster/path-set/size.
+func predictedBW(cluster, psName string, n float64) (float64, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return 0, err
+	}
+	node, model, paths, err := modelFor(spec, psName)
+	if err != nil {
+		return 0, err
+	}
+	_ = node
+	pl, err := model.PlanTransfer(paths, n)
+	if err != nil {
+		return 0, err
+	}
+	return pl.PredictedBandwidth, nil
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// RenderText writes the figure as aligned text tables, one per panel:
+// rows are message sizes, columns are series. Bandwidth-like values are
+// printed in GB/s; ratios and percentages as-is.
+func RenderText(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Caption); err != nil {
+		return err
+	}
+	for pi := range fig.Panels {
+		panel := &fig.Panels[pi]
+		if _, err := fmt.Fprintf(w, "\n-- %s (%s) --\n", panel.Title, panel.YLabel); err != nil {
+			return err
+		}
+		if len(panel.Series) == 0 {
+			continue
+		}
+		// Header.
+		xlabel := panel.XLabel
+		if xlabel == "" {
+			xlabel = "size"
+		}
+		cols := []string{xlabel}
+		for _, s := range panel.Series {
+			cols = append(cols, s.Name)
+		}
+		rows := [][]string{cols}
+		for _, pt := range panel.Series[0].Points {
+			x := stats.HumanBytes(pt.Bytes)
+			if panel.XLabel != "" {
+				x = fmt.Sprintf("%g", pt.Bytes)
+			}
+			row := []string{x}
+			for _, s := range panel.Series {
+				v, ok := s.Value(pt.Bytes)
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, formatValue(panel.YLabel, s.Name, v))
+			}
+			rows = append(rows, row)
+		}
+		if err := writeAligned(w, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatValue(ylabel, series string, v float64) string {
+	switch {
+	case strings.Contains(series, "%"):
+		// Percentage series keep their value regardless of panel units.
+		return fmt.Sprintf("%.2f", v)
+	case strings.Contains(ylabel, "GB/s"):
+		return fmt.Sprintf("%.2f", v/1e9)
+	case strings.Contains(ylabel, "fraction"):
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the figure as long-form CSV:
+// figure,panel,series,bytes,value.
+func WriteCSV(w io.Writer, fig *Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "panel", "series", "bytes", "value"}); err != nil {
+		return err
+	}
+	for _, panel := range fig.Panels {
+		for _, s := range panel.Series {
+			for _, pt := range s.Points {
+				rec := []string{
+					fig.ID,
+					panel.Title,
+					s.Name,
+					strconv.FormatFloat(pt.Bytes, 'f', 0, 64),
+					strconv.FormatFloat(pt.Value, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderHeadline writes the headline aggregate as a text table.
+func RenderHeadline(w io.Writer, h Headline) error {
+	rows := [][]string{
+		{"metric", "measured", "paper"},
+		{"mean prediction error, BW > 4MiB (all configs)", fmt.Sprintf("%.1f%%", h.MeanErrBWLargePct), "<6%"},
+		{"mean prediction error, BW > 4MiB (no host)", fmt.Sprintf("%.1f%%", h.MeanErrBWNoHostPct), "<6%"},
+		{"mean prediction error, BIBW > 4MiB (no host)", fmt.Sprintf("%.1f%%", h.MeanErrBIBWNoHostPct), "~8%"},
+		{"mean prediction error, BIBW > 4MiB (host-staged)", fmt.Sprintf("%.1f%%", h.MeanErrBIBWWithHostPct), ">8% (contention unmodeled)"},
+		{"max P2P speedup vs direct", fmt.Sprintf("%.2fx", h.MaxP2PSpeedup), "up to 2.9x"},
+		{"max collective speedup vs single path", fmt.Sprintf("%.2fx", h.MaxCollectiveSpeedup), "up to 1.4x"},
+		{"dynamic/static bandwidth ratio (geomean)", fmt.Sprintf("%.3f", h.DynamicVsStaticGeoMean), "~1 (model matches tuning)"},
+		{"prediction points aggregated", strconv.Itoa(h.PredictionsCount), ""},
+	}
+	if _, err := fmt.Fprintln(w, "== headline: paper-vs-measured aggregate =="); err != nil {
+		return err
+	}
+	return writeAligned(w, rows)
+}

@@ -1,0 +1,327 @@
+// Package fluid models data movement as fluid flows over a capacitated
+// link network with max-min fair bandwidth sharing.
+//
+// Each Flow transfers a byte count over a route (an ordered set of Links).
+// At any instant every active flow receives a rate computed by progressive
+// filling (max-min fairness): link capacity is divided evenly among the
+// flows crossing it, flows bottlenecked elsewhere release their unused
+// share, and the process repeats until all flows are frozen. Whenever the
+// flow set changes, remaining bytes are settled at the old rates and all
+// rates and completion times are recomputed.
+//
+// This is the standard fluid approximation used by network and interconnect
+// simulators: it captures bandwidth contention (the phenomenon the paper's
+// evaluation highlights for host-staged bidirectional transfers) without
+// per-packet simulation.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Link is a unidirectional capacitated resource. Two directions of a
+// physical cable are two Links. A shared resource such as a host memory
+// channel is also a Link that multiple routes traverse.
+type Link struct {
+	name     string
+	capacity float64 // bytes per second
+	net      *Network
+	active   map[*Flow]struct{}
+
+	// accounting
+	bytesCarried float64
+	busy         float64  // integrated seconds with >=1 active flow
+	lastChange   sim.Time // last time active-set or rates changed
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// ActiveFlows returns the number of flows currently crossing the link.
+func (l *Link) ActiveFlows() int { return len(l.active) }
+
+// BytesCarried returns the total bytes the link has carried so far.
+func (l *Link) BytesCarried() float64 {
+	l.net.settle()
+	return l.bytesCarried
+}
+
+// BusyTime returns the total virtual time the link spent with at least one
+// active flow.
+func (l *Link) BusyTime() float64 {
+	l.net.settle()
+	return l.busy
+}
+
+// Flow is an in-progress transfer over a route.
+type Flow struct {
+	route      []*Link
+	remaining  float64
+	rate       float64
+	done       *sim.Signal
+	completion sim.EventHandle
+	finished   bool
+	started    sim.Time
+	net        *Network
+}
+
+// Done returns the signal that fires when the flow completes.
+func (f *Flow) Done() *sim.Signal { return f.done }
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the last settlement.
+func (f *Flow) Remaining() float64 {
+	f.net.settle()
+	return f.remaining
+}
+
+// Started returns the virtual time the flow began.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Network owns links and active flows and performs rate allocation.
+type Network struct {
+	sim       *sim.Simulator
+	links     []*Link
+	flows     map[*Flow]struct{}
+	settledAt sim.Time
+}
+
+// NewNetwork creates an empty flow network on the given simulator.
+func NewNetwork(s *sim.Simulator) *Network {
+	return &Network{sim: s, flows: make(map[*Flow]struct{}), settledAt: s.Now()}
+}
+
+// Sim returns the simulator the network runs on.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// AddLink creates a link with the given capacity in bytes/second.
+// Capacity must be positive.
+func (n *Network) AddLink(name string, capacity float64) *Link {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fluid: link %q capacity must be positive and finite, got %v", name, capacity))
+	}
+	l := &Link{name: name, capacity: capacity, net: n, active: make(map[*Flow]struct{})}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// ActiveFlowCount returns the number of in-flight flows.
+func (n *Network) ActiveFlowCount() int { return len(n.flows) }
+
+// StartFlow begins transferring bytes over route. The returned flow's Done
+// signal fires when the last byte arrives. A route must contain at least
+// one link; zero-byte flows complete at the current instant.
+func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
+	if len(route) == 0 {
+		panic("fluid: StartFlow requires a non-empty route")
+	}
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("fluid: StartFlow bytes must be non-negative, got %v", bytes))
+	}
+	for _, l := range route {
+		if l.net != n {
+			panic("fluid: route link belongs to a different network")
+		}
+	}
+	f := &Flow{
+		route:     route,
+		remaining: bytes,
+		done:      n.sim.NewSignal(),
+		started:   n.sim.Now(),
+		net:       n,
+	}
+	if bytes == 0 {
+		f.finished = true
+		n.sim.Schedule(0, f.done.Fire)
+		return f
+	}
+	n.settle()
+	n.flows[f] = struct{}{}
+	for _, l := range route {
+		l.active[f] = struct{}{}
+	}
+	n.reallocate()
+	return f
+}
+
+// settle advances per-flow remaining bytes and per-link accounting from the
+// last settlement point to now, using the rates in force over that span.
+func (n *Network) settle() {
+	now := n.sim.Now()
+	dt := now - n.settledAt
+	if dt <= 0 {
+		return
+	}
+	for f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	for _, l := range n.links {
+		var sum float64
+		for f := range l.active {
+			sum += f.rate
+		}
+		l.bytesCarried += sum * dt
+		if len(l.active) > 0 {
+			l.busy += dt
+		}
+	}
+	n.settledAt = now
+}
+
+// reallocate computes max-min fair rates for all active flows and
+// reschedules their completion events.
+func (n *Network) reallocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	rates := n.maxMinRates()
+	for f := range n.flows {
+		f.rate = rates[f]
+		f.completion.Cancel()
+		if f.rate <= 0 {
+			// No capacity at all (cannot happen with positive link
+			// capacities, but guard against division by zero).
+			continue
+		}
+		eta := f.remaining / f.rate
+		ff := f
+		f.completion = n.sim.Schedule(eta, func() { n.finish(ff) })
+	}
+}
+
+// maxMinRates runs progressive filling over the current flow set.
+func (n *Network) maxMinRates() map[*Flow]float64 {
+	rates := make(map[*Flow]float64, len(n.flows))
+	frozen := make(map[*Flow]bool, len(n.flows))
+	residual := make(map[*Link]float64)
+
+	// Deterministic iteration: collect links with active flows, sorted by
+	// creation order (the links slice already is).
+	activeLinks := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		if len(l.active) > 0 {
+			activeLinks = append(activeLinks, l)
+			residual[l] = l.capacity
+		}
+	}
+
+	unfrozenCount := func(l *Link) int {
+		c := 0
+		for f := range l.active {
+			if !frozen[f] {
+				c++
+			}
+		}
+		return c
+	}
+
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Find the bottleneck share: min over links of residual/unfrozen.
+		share := math.Inf(1)
+		for _, l := range activeLinks {
+			c := unfrozenCount(l)
+			if c == 0 {
+				continue
+			}
+			s := residual[l] / float64(c)
+			if s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			break // no constraining link left; shouldn't happen
+		}
+		// Freeze all unfrozen flows on links that hit the bottleneck share
+		// (within a small relative tolerance to absorb float error).
+		tol := share * 1e-9
+		var toFreeze []*Flow
+		for _, l := range activeLinks {
+			c := unfrozenCount(l)
+			if c == 0 {
+				continue
+			}
+			if residual[l]/float64(c) <= share+tol {
+				for f := range l.active {
+					if !frozen[f] {
+						toFreeze = append(toFreeze, f)
+					}
+				}
+			}
+		}
+		if len(toFreeze) == 0 {
+			break // numerical corner; freeze everything at share
+		}
+		// Dedup while keeping determinism (sort by start time then pointer
+		// is not available; sort by started then by insertion into route).
+		sort.Slice(toFreeze, func(i, j int) bool {
+			return toFreeze[i].started < toFreeze[j].started
+		})
+		seen := make(map[*Flow]bool, len(toFreeze))
+		for _, f := range toFreeze {
+			if seen[f] || frozen[f] {
+				continue
+			}
+			seen[f] = true
+			frozen[f] = true
+			rates[f] = share
+			remaining--
+			for _, l := range f.route {
+				residual[l] -= share
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+			}
+		}
+	}
+	// Any flow not frozen (degenerate corner) gets the last share.
+	for f := range n.flows {
+		if !frozen[f] {
+			rates[f] = 0
+		}
+	}
+	return rates
+}
+
+// finish completes a flow: verifies its bytes drained, removes it from the
+// network, fires its done signal, and re-rates the survivors.
+func (n *Network) finish(f *Flow) {
+	if f.finished {
+		return
+	}
+	n.settle()
+	// Tolerate tiny residues from float arithmetic.
+	if f.remaining > 1e-6*math.Max(1, f.rate) {
+		// Rates changed since this event was scheduled; the event should
+		// have been canceled. Defensive: reschedule.
+		if f.rate > 0 {
+			ff := f
+			f.completion = n.sim.Schedule(f.remaining/f.rate, func() { n.finish(ff) })
+		}
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	f.rate = 0
+	delete(n.flows, f)
+	for _, l := range f.route {
+		delete(l.active, f)
+	}
+	f.done.Fire()
+	n.reallocate()
+}

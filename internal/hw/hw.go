@@ -1,0 +1,302 @@
+// Package hw describes multi-GPU node hardware: GPUs, NUMA domains,
+// NVLink / PCIe / inter-socket links, and host memory channels. A Spec is
+// a declarative description; Build realizes it as a fluid-flow network
+// whose links carry simulated transfers.
+//
+// The package also enumerates the communication paths the paper's model
+// reasons about: the direct GPU-to-GPU path, GPU-staged paths through an
+// intermediate GPU, and host-staged paths through host memory (§3.1 of the
+// paper).
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// Byte-size and rate units. Message sizes follow OSU conventions (powers
+// of two), bandwidths use decimal GB/s as in vendor link specs.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+
+	GBps = 1e9 // bytes per second
+)
+
+// LinkProps are the Hockney parameters of one physical link direction:
+// sustained bandwidth in bytes/second and startup latency in seconds.
+type LinkProps struct {
+	Bandwidth float64
+	Latency   float64
+}
+
+// Pair is an unordered pair of small indices (GPU or NUMA ids).
+type Pair struct{ A, B int }
+
+// MakePair normalizes the order so Pair{1,0} == Pair{0,1}.
+func MakePair(a, b int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// Spec declaratively describes a node topology.
+type Spec struct {
+	Name string
+	GPUs int
+	// NUMAs is the number of NUMA domains holding host memory.
+	NUMAs int
+	// GPUNuma maps each GPU to its NUMA domain (PCIe attachment point).
+	GPUNuma []int
+	// NVLink gives per-direction properties of the aggregate NVLink
+	// connection between a GPU pair. Pairs without an entry have no
+	// direct link.
+	NVLink map[Pair]LinkProps
+	// PCIe gives per-GPU, per-direction host link properties.
+	PCIe []LinkProps
+	// Mem gives each NUMA domain's host memory channel. The channel is a
+	// single shared resource: traffic into and out of host memory contends
+	// on it, which is what degrades bidirectional host-staged transfers.
+	Mem []LinkProps
+	// Inter gives per-direction properties of inter-NUMA links (UPI/xGMI).
+	// Pairs without an entry are routed through intermediate NUMA domains
+	// only if present; we require direct entries for all pairs that need
+	// to communicate.
+	Inter map[Pair]LinkProps
+	// GPUSyncOverhead is epsilon for a stream-event synchronization on a
+	// staging GPU (paper's ε for GPU-staged paths).
+	GPUSyncOverhead float64
+	// HostSyncOverhead is epsilon for synchronizing a host-staged chunk.
+	HostSyncOverhead float64
+}
+
+// Validate checks internal consistency of the spec.
+func (sp *Spec) Validate() error {
+	if sp.GPUs < 2 {
+		return fmt.Errorf("hw: topology %q needs at least 2 GPUs, has %d", sp.Name, sp.GPUs)
+	}
+	if sp.NUMAs < 1 {
+		return fmt.Errorf("hw: topology %q needs at least 1 NUMA domain", sp.Name)
+	}
+	if len(sp.GPUNuma) != sp.GPUs {
+		return fmt.Errorf("hw: GPUNuma has %d entries, want %d", len(sp.GPUNuma), sp.GPUs)
+	}
+	for g, nm := range sp.GPUNuma {
+		if nm < 0 || nm >= sp.NUMAs {
+			return fmt.Errorf("hw: GPU %d mapped to invalid NUMA %d", g, nm)
+		}
+	}
+	if len(sp.PCIe) != sp.GPUs {
+		return fmt.Errorf("hw: PCIe has %d entries, want %d", len(sp.PCIe), sp.GPUs)
+	}
+	if len(sp.Mem) != sp.NUMAs {
+		return fmt.Errorf("hw: Mem has %d entries, want %d", len(sp.Mem), sp.NUMAs)
+	}
+	for p, lp := range sp.NVLink {
+		if p.A < 0 || p.B >= sp.GPUs || p.A >= p.B {
+			return fmt.Errorf("hw: bad NVLink pair %v", p)
+		}
+		if lp.Bandwidth <= 0 {
+			return fmt.Errorf("hw: NVLink pair %v has non-positive bandwidth", p)
+		}
+	}
+	for p := range sp.Inter {
+		if p.A < 0 || p.B >= sp.NUMAs || p.A >= p.B {
+			return fmt.Errorf("hw: bad Inter pair %v", p)
+		}
+	}
+	return nil
+}
+
+// HasNVLink reports whether GPUs a and b share a direct link.
+func (sp *Spec) HasNVLink(a, b int) bool {
+	_, ok := sp.NVLink[MakePair(a, b)]
+	return ok
+}
+
+// Node is a realized topology: a fluid network plus named link handles.
+type Node struct {
+	Spec *Spec
+	Net  *fluid.Network
+
+	nvl      map[[2]int]*fluid.Link // directed GPU->GPU
+	pcieUp   []*fluid.Link          // GPU -> host complex
+	pcieDown []*fluid.Link          // host complex -> GPU
+	mem      []*fluid.Link          // shared per-NUMA memory channel
+	inter    map[[2]int]*fluid.Link // directed NUMA->NUMA
+}
+
+// Build realizes the spec on a fresh fluid network bound to s.
+func Build(s *sim.Simulator, sp *Spec) (*Node, error) {
+	return BuildInto(fluid.NewNetwork(s), sp, "")
+}
+
+// BuildInto realizes the spec on an existing network, prefixing link
+// names (used to compose several nodes into one cluster-wide network).
+func BuildInto(net *fluid.Network, sp *Spec, prefix string) (*Node, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Spec:     sp,
+		Net:      net,
+		nvl:      make(map[[2]int]*fluid.Link),
+		pcieUp:   make([]*fluid.Link, sp.GPUs),
+		pcieDown: make([]*fluid.Link, sp.GPUs),
+		mem:      make([]*fluid.Link, sp.NUMAs),
+		inter:    make(map[[2]int]*fluid.Link),
+	}
+	for _, p := range nvlinkPairs(sp) {
+		lp := sp.NVLink[p]
+		n.nvl[[2]int{p.A, p.B}] = net.AddLink(fmt.Sprintf("%snvlink:%d->%d", prefix, p.A, p.B), lp.Bandwidth)
+		n.nvl[[2]int{p.B, p.A}] = net.AddLink(fmt.Sprintf("%snvlink:%d->%d", prefix, p.B, p.A), lp.Bandwidth)
+	}
+	for g := 0; g < sp.GPUs; g++ {
+		n.pcieUp[g] = net.AddLink(fmt.Sprintf("%spcie:%d->host", prefix, g), sp.PCIe[g].Bandwidth)
+		n.pcieDown[g] = net.AddLink(fmt.Sprintf("%spcie:host->%d", prefix, g), sp.PCIe[g].Bandwidth)
+	}
+	for m := 0; m < sp.NUMAs; m++ {
+		n.mem[m] = net.AddLink(fmt.Sprintf("%smem:%d", prefix, m), sp.Mem[m].Bandwidth)
+	}
+	for _, p := range interPairs(sp) {
+		lp := sp.Inter[p]
+		n.inter[[2]int{p.A, p.B}] = net.AddLink(fmt.Sprintf("%sinter:%d->%d", prefix, p.A, p.B), lp.Bandwidth)
+		n.inter[[2]int{p.B, p.A}] = net.AddLink(fmt.Sprintf("%sinter:%d->%d", prefix, p.B, p.A), lp.Bandwidth)
+	}
+	return n, nil
+}
+
+// nvlinkPairs returns NVLink pairs in deterministic order.
+func nvlinkPairs(sp *Spec) []Pair {
+	var out []Pair
+	for a := 0; a < sp.GPUs; a++ {
+		for b := a + 1; b < sp.GPUs; b++ {
+			if _, ok := sp.NVLink[Pair{a, b}]; ok {
+				out = append(out, Pair{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func interPairs(sp *Spec) []Pair {
+	var out []Pair
+	for a := 0; a < sp.NUMAs; a++ {
+		for b := a + 1; b < sp.NUMAs; b++ {
+			if _, ok := sp.Inter[Pair{a, b}]; ok {
+				out = append(out, Pair{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Route is a unidirectional transfer route: fluid links traversed plus the
+// summed startup latency of those hops.
+type Route struct {
+	Links   []*fluid.Link
+	Latency float64
+	// Bandwidth is the bottleneck (minimum) capacity along the route.
+	Bandwidth float64
+}
+
+// MakeRoute builds a route from explicit links (used by extensions that
+// compose routes across node boundaries, e.g. inter-node rails).
+func MakeRoute(latency float64, links ...*fluid.Link) Route {
+	return mkRoute(latency, links...)
+}
+
+func mkRoute(latency float64, links ...*fluid.Link) Route {
+	bw := 0.0
+	for i, l := range links {
+		if i == 0 || l.Capacity() < bw {
+			bw = l.Capacity()
+		}
+	}
+	return Route{Links: links, Latency: latency, Bandwidth: bw}
+}
+
+// GPUToGPU returns the direct route between two GPUs over NVLink.
+// ok is false when no direct link exists.
+func (n *Node) GPUToGPU(src, dst int) (Route, bool) {
+	l, ok := n.nvl[[2]int{src, dst}]
+	if !ok {
+		return Route{}, false
+	}
+	lp := n.Spec.NVLink[MakePair(src, dst)]
+	return mkRoute(lp.Latency, l), true
+}
+
+// GPUToHost returns the route from a GPU into the memory of NUMA domain m.
+func (n *Node) GPUToHost(gpu, m int) Route {
+	sp := n.Spec
+	gn := sp.GPUNuma[gpu]
+	lat := sp.PCIe[gpu].Latency + sp.Mem[m].Latency
+	links := []*fluid.Link{n.pcieUp[gpu]}
+	if gn != m {
+		il, ok := n.inter[[2]int{gn, m}]
+		if !ok {
+			// No direct inter-NUMA link: treat as unreachable by panicking
+			// in tests; production specs always provide them.
+			panic(fmt.Sprintf("hw: no inter-NUMA link %d->%d", gn, m))
+		}
+		links = append(links, il)
+		lat += sp.Inter[MakePair(gn, m)].Latency
+	}
+	links = append(links, n.mem[m])
+	return mkRoute(lat, links...)
+}
+
+// HostToGPU returns the route from NUMA domain m's memory to a GPU.
+func (n *Node) HostToGPU(m, gpu int) Route {
+	sp := n.Spec
+	gn := sp.GPUNuma[gpu]
+	lat := sp.Mem[m].Latency + sp.PCIe[gpu].Latency
+	links := []*fluid.Link{n.mem[m]}
+	if gn != m {
+		il, ok := n.inter[[2]int{m, gn}]
+		if !ok {
+			panic(fmt.Sprintf("hw: no inter-NUMA link %d->%d", m, gn))
+		}
+		links = append(links, il)
+		lat += sp.Inter[MakePair(m, gn)].Latency
+	}
+	links = append(links, n.pcieDown[gpu])
+	return mkRoute(lat, links...)
+}
+
+// MemLink exposes the shared memory-channel link of a NUMA domain
+// (useful for utilization reporting).
+func (n *Node) MemLink(m int) *fluid.Link { return n.mem[m] }
+
+// NVLinkHandle exposes the directed NVLink fluid link between two GPUs.
+func (n *Node) NVLinkHandle(src, dst int) (*fluid.Link, bool) {
+	l, ok := n.nvl[[2]int{src, dst}]
+	return l, ok
+}
+
+// PCIeUp and PCIeDown expose per-GPU host links.
+func (n *Node) PCIeUp(gpu int) *fluid.Link   { return n.pcieUp[gpu] }
+func (n *Node) PCIeDown(gpu int) *fluid.Link { return n.pcieDown[gpu] }
+
+// StagingNUMA picks the NUMA domain used for a host-staged transfer
+// between src and dst GPUs. The pinned staging region for a GPU pair is
+// allocated once and shared by both directions (as the runtime's
+// registration cache does), so the choice is symmetric: the domain of the
+// lower-numbered GPU. Both directions of a bidirectional transfer
+// therefore stage through the same memory channel, which is what makes
+// host staging contend under BIBW (Observation 5).
+func (n *Node) StagingNUMA(src, dst int) int { return n.Spec.StagingNUMA(src, dst) }
+
+// StagingNUMA is the spec-level staging-domain policy (see Node.StagingNUMA).
+func (sp *Spec) StagingNUMA(src, dst int) int {
+	g := src
+	if dst < g {
+		g = dst
+	}
+	return sp.GPUNuma[g]
+}

@@ -1,0 +1,132 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// specJSON is the serialized topology format. Bandwidths are in GB/s and
+// latencies in microseconds — the units vendor documentation quotes — so
+// hand-written files stay legible; they are converted on load.
+type specJSON struct {
+	Name    string `json:"name"`
+	GPUs    int    `json:"gpus"`
+	NUMAs   int    `json:"numas"`
+	GPUNuma []int  `json:"gpu_numa"`
+	// NVLink entries connect GPU pairs.
+	NVLink []linkJSON `json:"nvlink"`
+	// PCIe is per GPU (single entry replicates to all GPUs).
+	PCIe []propsJSON `json:"pcie"`
+	// Mem is per NUMA domain (single entry replicates).
+	Mem []propsJSON `json:"mem"`
+	// Inter entries connect NUMA pairs.
+	Inter []linkJSON `json:"inter"`
+
+	GPUSyncOverheadUs  float64 `json:"gpu_sync_overhead_us"`
+	HostSyncOverheadUs float64 `json:"host_sync_overhead_us"`
+}
+
+type linkJSON struct {
+	A int `json:"a"`
+	B int `json:"b"`
+	propsJSON
+}
+
+type propsJSON struct {
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+	LatencyUs     float64 `json:"latency_us"`
+}
+
+func (p propsJSON) toProps() LinkProps {
+	return LinkProps{Bandwidth: p.BandwidthGBps * GBps, Latency: p.LatencyUs * 1e-6}
+}
+
+// SpecFromJSON parses a topology description. Single-entry PCIe or Mem
+// lists are replicated across all GPUs / NUMA domains. The result is
+// validated before being returned.
+func SpecFromJSON(r io.Reader) (*Spec, error) {
+	var sj specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("hw: decode topology: %w", err)
+	}
+	sp := &Spec{
+		Name:             sj.Name,
+		GPUs:             sj.GPUs,
+		NUMAs:            sj.NUMAs,
+		GPUNuma:          sj.GPUNuma,
+		NVLink:           make(map[Pair]LinkProps, len(sj.NVLink)),
+		Inter:            make(map[Pair]LinkProps, len(sj.Inter)),
+		GPUSyncOverhead:  sj.GPUSyncOverheadUs * 1e-6,
+		HostSyncOverhead: sj.HostSyncOverheadUs * 1e-6,
+	}
+	for _, l := range sj.NVLink {
+		sp.NVLink[MakePair(l.A, l.B)] = l.toProps()
+	}
+	for _, l := range sj.Inter {
+		sp.Inter[MakePair(l.A, l.B)] = l.toProps()
+	}
+	switch len(sj.PCIe) {
+	case sj.GPUs:
+		for _, p := range sj.PCIe {
+			sp.PCIe = append(sp.PCIe, p.toProps())
+		}
+	case 1:
+		for i := 0; i < sj.GPUs; i++ {
+			sp.PCIe = append(sp.PCIe, sj.PCIe[0].toProps())
+		}
+	default:
+		return nil, fmt.Errorf("hw: pcie has %d entries, want 1 or %d", len(sj.PCIe), sj.GPUs)
+	}
+	switch len(sj.Mem) {
+	case sj.NUMAs:
+		for _, m := range sj.Mem {
+			sp.Mem = append(sp.Mem, m.toProps())
+		}
+	case 1:
+		for i := 0; i < sj.NUMAs; i++ {
+			sp.Mem = append(sp.Mem, sj.Mem[0].toProps())
+		}
+	default:
+		return nil, fmt.Errorf("hw: mem has %d entries, want 1 or %d", len(sj.Mem), sj.NUMAs)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// WriteJSON serializes a spec in the SpecFromJSON format.
+func (sp *Spec) WriteJSON(w io.Writer) error {
+	sj := specJSON{
+		Name:               sp.Name,
+		GPUs:               sp.GPUs,
+		NUMAs:              sp.NUMAs,
+		GPUNuma:            sp.GPUNuma,
+		GPUSyncOverheadUs:  sp.GPUSyncOverhead * 1e6,
+		HostSyncOverheadUs: sp.HostSyncOverhead * 1e6,
+	}
+	for _, p := range nvlinkPairs(sp) {
+		lp := sp.NVLink[p]
+		sj.NVLink = append(sj.NVLink, linkJSON{A: p.A, B: p.B, propsJSON: fromProps(lp)})
+	}
+	for _, p := range interPairs(sp) {
+		lp := sp.Inter[p]
+		sj.Inter = append(sj.Inter, linkJSON{A: p.A, B: p.B, propsJSON: fromProps(lp)})
+	}
+	for _, lp := range sp.PCIe {
+		sj.PCIe = append(sj.PCIe, fromProps(lp))
+	}
+	for _, lp := range sp.Mem {
+		sj.Mem = append(sj.Mem, fromProps(lp))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+func fromProps(lp LinkProps) propsJSON {
+	return propsJSON{BandwidthGBps: lp.Bandwidth / GBps, LatencyUs: lp.Latency * 1e6}
+}

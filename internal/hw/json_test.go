@@ -1,0 +1,123 @@
+package hw
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleTopoJSON = `{
+  "name": "custom2",
+  "gpus": 2,
+  "numas": 1,
+  "gpu_numa": [0, 0],
+  "nvlink": [{"a": 0, "b": 1, "bandwidth_gbps": 50, "latency_us": 1.5}],
+  "pcie": [{"bandwidth_gbps": 12, "latency_us": 5}],
+  "mem": [{"bandwidth_gbps": 40, "latency_us": 0.4}],
+  "inter": [],
+  "gpu_sync_overhead_us": 3,
+  "host_sync_overhead_us": 4
+}`
+
+func TestSpecFromJSON(t *testing.T) {
+	sp, err := SpecFromJSON(strings.NewReader(sampleTopoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "custom2" || sp.GPUs != 2 {
+		t.Fatalf("spec = %+v", sp)
+	}
+	lp := sp.NVLink[Pair{0, 1}]
+	if lp.Bandwidth != 50*GBps {
+		t.Fatalf("nvlink bandwidth = %v", lp.Bandwidth)
+	}
+	if math.Abs(lp.Latency-1.5e-6) > 1e-15 {
+		t.Fatalf("nvlink latency = %v", lp.Latency)
+	}
+	// Single PCIe entry replicated to both GPUs.
+	if len(sp.PCIe) != 2 || sp.PCIe[1].Bandwidth != 12*GBps {
+		t.Fatalf("pcie = %+v", sp.PCIe)
+	}
+	if sp.GPUSyncOverhead != 3e-6 || sp.HostSyncOverhead != 4e-6 {
+		t.Fatalf("sync overheads = %v / %v", sp.GPUSyncOverhead, sp.HostSyncOverhead)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := Narval()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := SpecFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPUs != orig.GPUs || got.NUMAs != orig.NUMAs {
+		t.Fatalf("shape lost: %+v", got)
+	}
+	for p, want := range orig.NVLink {
+		lp, ok := got.NVLink[p]
+		if !ok {
+			t.Fatalf("nvlink pair %v lost", p)
+		}
+		if math.Abs(lp.Bandwidth-want.Bandwidth) > 1 {
+			t.Fatalf("pair %v bandwidth %v != %v", p, lp.Bandwidth, want.Bandwidth)
+		}
+	}
+	for p := range orig.Inter {
+		if _, ok := got.Inter[p]; !ok {
+			t.Fatalf("inter pair %v lost", p)
+		}
+	}
+}
+
+func TestSpecFromJSONErrors(t *testing.T) {
+	cases := []string{
+		`{nope`, // syntax
+		`{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],"unknown_field":1}`,                                        // unknown field
+		`{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],"pcie":[],"mem":[{"bandwidth_gbps":1}]}`,                   // no pcie
+		`{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],"pcie":[{"bandwidth_gbps":1}],"mem":[]}`,                   // no mem
+		`{"name":"x","gpus":1,"numas":1,"gpu_numa":[0],"pcie":[{"bandwidth_gbps":1}],"mem":[{"bandwidth_gbps":1}]}`, // too few gpus
+	}
+	for i, c := range cases {
+		if _, err := SpecFromJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSpecFromJSONBuildsAndRuns(t *testing.T) {
+	sp, err := SpecFromJSON(strings.NewReader(sampleTopoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := sp.EnumeratePaths(0, 1, AllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 GPUs: direct + host-staged only.
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+}
+
+func TestSampleTopologyFileLoads(t *testing.T) {
+	f, err := os.Open("../../testdata/custom-topology.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sp, err := SpecFromJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "custom-2gpu" || sp.GPUs != 2 {
+		t.Fatalf("sample topology parsed wrong: %+v", sp)
+	}
+	if _, err := sp.EnumeratePaths(0, 1, AllPaths); err != nil {
+		t.Fatal(err)
+	}
+}

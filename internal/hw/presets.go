@@ -1,0 +1,140 @@
+package hw
+
+// Preset topologies. Bandwidths are sustained per-direction figures chosen
+// from public link specifications (NVLink-V2/V3 sub-link ≈ 24 GB/s
+// effective, PCIe 3.0/4.0 x16 ≈ 11/22 GB/s effective); the paper's absolute
+// numbers depend on the authors' testbed, but the model only needs the
+// relative shape, which these presets preserve.
+
+// Beluga models a Calcul Québec Beluga GPU node: four V100 GPUs, two
+// NVLink-V2 sub-links between every GPU pair, all GPUs and one CPU in a
+// single NUMA domain (paper §5.1, Fig. 1).
+func Beluga() *Spec {
+	nv := LinkProps{Bandwidth: 48 * GBps, Latency: 2.0e-6} // 2 sub-links
+	pcie := LinkProps{Bandwidth: 11 * GBps, Latency: 6.0e-6}
+	sp := &Spec{
+		Name:    "beluga",
+		GPUs:    4,
+		NUMAs:   1,
+		GPUNuma: []int{0, 0, 0, 0},
+		NVLink:  map[Pair]LinkProps{},
+		PCIe:    []LinkProps{pcie, pcie, pcie, pcie},
+		// The host memory channel sustains both host-staged legs of one
+		// direction (2×11 GB/s) but saturates when a bidirectional
+		// transfer stages through it (4×11 GB/s demanded) — the cause of
+		// the paper's Observation 5.
+		Mem: []LinkProps{
+			{Bandwidth: 26 * GBps, Latency: 0.5e-6},
+		},
+		Inter:            map[Pair]LinkProps{},
+		GPUSyncOverhead:  3.0e-6,
+		HostSyncOverhead: 5.0e-6,
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			sp.NVLink[Pair{a, b}] = nv
+		}
+	}
+	return sp
+}
+
+// Narval models a Calcul Québec Narval GPU node: four A100 GPUs in a full
+// NVLink-V3 mesh (four sub-links per pair), each GPU in its own NUMA
+// domain with a single memory channel, NUMA domains joined by an
+// inter-socket fabric (paper §5.1, Fig. 3). Host-staged transfers between
+// GPUs therefore cross an extra inter-NUMA hop and contend on a narrow
+// memory channel — the cause of the paper's Observation 3.
+func Narval() *Spec {
+	nv := LinkProps{Bandwidth: 95 * GBps, Latency: 1.8e-6} // 4 sub-links
+	pcie := LinkProps{Bandwidth: 22 * GBps, Latency: 5.0e-6}
+	mem := LinkProps{Bandwidth: 20 * GBps, Latency: 0.6e-6} // one channel
+	inter := LinkProps{Bandwidth: 18 * GBps, Latency: 1.0e-6}
+	sp := &Spec{
+		Name:    "narval",
+		GPUs:    4,
+		NUMAs:   4,
+		GPUNuma: []int{0, 1, 2, 3},
+		NVLink:  map[Pair]LinkProps{},
+		PCIe:    []LinkProps{pcie, pcie, pcie, pcie},
+		Mem:     []LinkProps{mem, mem, mem, mem},
+		Inter:   map[Pair]LinkProps{},
+		// A100 event sync and host sync are slightly cheaper than V100's.
+		GPUSyncOverhead:  2.5e-6,
+		HostSyncOverhead: 5.0e-6,
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			sp.NVLink[Pair{a, b}] = nv
+		}
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			sp.Inter[Pair{a, b}] = inter
+		}
+	}
+	return sp
+}
+
+// NVSwitchNode models an NVSwitch-based eight-GPU node (DGX-class), the
+// architecture the paper names as future work. The switch is non-blocking,
+// so every GPU pair sees full NVLink bandwidth simultaneously; we model it
+// as a dedicated per-pair link.
+func NVSwitchNode() *Spec {
+	nv := LinkProps{Bandwidth: 250 * GBps, Latency: 1.5e-6}
+	pcie := LinkProps{Bandwidth: 22 * GBps, Latency: 5.0e-6}
+	mem := LinkProps{Bandwidth: 90 * GBps, Latency: 0.5e-6}
+	inter := LinkProps{Bandwidth: 35 * GBps, Latency: 0.9e-6}
+	sp := &Spec{
+		Name:    "nvswitch",
+		GPUs:    8,
+		NUMAs:   2,
+		GPUNuma: []int{0, 0, 0, 0, 1, 1, 1, 1},
+		NVLink:  map[Pair]LinkProps{},
+		PCIe: []LinkProps{
+			pcie, pcie, pcie, pcie, pcie, pcie, pcie, pcie,
+		},
+		Mem:              []LinkProps{mem, mem},
+		Inter:            map[Pair]LinkProps{{A: 0, B: 1}: inter},
+		GPUSyncOverhead:  2.5e-6,
+		HostSyncOverhead: 5.0e-6,
+	}
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			sp.NVLink[Pair{a, b}] = nv
+		}
+	}
+	return sp
+}
+
+// Synthetic is a small topology with round numbers, used by tests that
+// assert exact transfer times: NVLink 100 B/s with zero latency between
+// all pairs of 4 GPUs, PCIe 10 B/s, ample memory, one NUMA domain, zero
+// sync overheads unless overridden.
+func Synthetic() *Spec {
+	nv := LinkProps{Bandwidth: 100, Latency: 0}
+	pcie := LinkProps{Bandwidth: 10, Latency: 0}
+	sp := &Spec{
+		Name:    "synthetic",
+		GPUs:    4,
+		NUMAs:   1,
+		GPUNuma: []int{0, 0, 0, 0},
+		NVLink:  map[Pair]LinkProps{},
+		PCIe:    []LinkProps{pcie, pcie, pcie, pcie},
+		Mem:     []LinkProps{{Bandwidth: 1000, Latency: 0}},
+		Inter:   map[Pair]LinkProps{},
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			sp.NVLink[Pair{a, b}] = nv
+		}
+	}
+	return sp
+}
+
+// Presets maps preset names to constructors, for command-line tools.
+var Presets = map[string]func() *Spec{
+	"beluga":    Beluga,
+	"narval":    Narval,
+	"nvswitch":  NVSwitchNode,
+	"synthetic": Synthetic,
+}

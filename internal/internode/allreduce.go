@@ -1,0 +1,145 @@
+package internode
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// Hierarchical Allreduce across the cluster — the standard multi-node
+// scheme (NCCL's tree/ring hierarchy collapses to it for two nodes):
+//
+//  1. intra-node reduce-scatter on every node (multi-path NVLink),
+//  2. inter-node exchange: every GPU swaps its reduced slice with its
+//     counterpart on the other node through its own NIC rail — all rails
+//     run in parallel — and combines,
+//  3. intra-node allgather on every node.
+//
+// It composes the per-node MPI runtime with the inter-node engine on one
+// shared simulator, which is exactly the layering a production stack uses.
+
+// AllreduceConfig tunes the hierarchical collective.
+type AllreduceConfig struct {
+	// Bytes is the per-GPU buffer size.
+	Bytes float64
+	// UCX configures the per-node transports.
+	UCX ucx.Config
+	// ReduceBandwidth is the on-GPU combine throughput (0 = free).
+	ReduceBandwidth float64
+}
+
+// AllreduceResult reports the collective's timing.
+type AllreduceResult struct {
+	// Latency is the end-to-end time of the slowest rank.
+	Latency float64
+	// InterNodeBytes is the volume each GPU exchanged across the wire.
+	InterNodeBytes float64
+}
+
+// HierarchicalAllreduce runs the collective on a two-node cluster and
+// returns its latency. The cluster must have been freshly built (an idle
+// simulator).
+func (c *Cluster) HierarchicalAllreduce(cfg AllreduceConfig) (*AllreduceResult, error) {
+	if len(c.Nodes) != 2 {
+		return nil, fmt.Errorf("internode: hierarchical allreduce supports 2 nodes, have %d", len(c.Nodes))
+	}
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("internode: allreduce of %v bytes", cfg.Bytes)
+	}
+	gpus := c.Spec.Node.GPUs
+	slice := cfg.Bytes / float64(gpus)
+
+	opts := mpi.DefaultOptions()
+	opts.ReduceBandwidth = cfg.ReduceBandwidth
+
+	worlds := make([]*mpi.World, 2)
+	for i := 0; i < 2; i++ {
+		ctx, err := ucx.NewContext(c.Runtimes[i], cfg.UCX)
+		if err != nil {
+			return nil, err
+		}
+		w, err := mpi.NewWorld(ctx, gpus, opts)
+		if err != nil {
+			return nil, err
+		}
+		worlds[i] = w
+	}
+
+	// Inter-node exchange rendezvous: sendDone[node][gpu] fires when the
+	// slice from (node, gpu) has landed on the peer node.
+	s := c.Sim
+	sendDone := [2][]*sim.Signal{}
+	for i := 0; i < 2; i++ {
+		sendDone[i] = make([]*sim.Signal, gpus)
+		for g := 0; g < gpus; g++ {
+			sendDone[i][g] = s.NewSignal()
+		}
+	}
+
+	var worst float64
+	body := func(node int) func(p *sim.Proc, r *mpi.Rank) error {
+		return func(p *sim.Proc, r *mpi.Rank) error {
+			start := p.Now()
+			// Phase 1: intra-node reduce-scatter.
+			if err := r.ReduceScatter(p, cfg.Bytes); err != nil {
+				return err
+			}
+			// Phase 2: swap the reduced slice with the counterpart GPU on
+			// the other node over this GPU's own rail.
+			g := r.ID()
+			peerNode := 1 - node
+			pl, err := c.PlanTransfer(node, g, peerNode, g, slice, 0, core.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			res, err := c.Execute(pl)
+			if err != nil {
+				return err
+			}
+			res.Done.OnFire(func() {
+				if res.Done.Err() != nil {
+					sendDone[node][g].Fail(res.Done.Err())
+					return
+				}
+				sendDone[node][g].Fire()
+			})
+			if err := p.Wait(sendDone[node][g]); err != nil {
+				return err
+			}
+			// Wait for the counterpart's slice and combine it.
+			if err := p.Wait(sendDone[peerNode][g]); err != nil {
+				return err
+			}
+			if cfg.ReduceBandwidth > 0 {
+				p.Sleep(slice / cfg.ReduceBandwidth)
+			}
+			// Phase 3: intra-node allgather.
+			if err := r.Allgather(p, slice); err != nil {
+				return err
+			}
+			if d := p.Now() - start; d > worst {
+				worst = d
+			}
+			return nil
+		}
+	}
+
+	done0, err0 := worlds[0].Spawn(body(0))
+	done1, err1 := worlds[1].Spawn(body(1))
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if !done0.Fired() || !done1.Fired() {
+		return nil, fmt.Errorf("internode: allreduce did not complete")
+	}
+	if err := err0(); err != nil {
+		return nil, err
+	}
+	if err := err1(); err != nil {
+		return nil, err
+	}
+	return &AllreduceResult{Latency: worst, InterNodeBytes: slice}, nil
+}

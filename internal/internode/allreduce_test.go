@@ -1,0 +1,93 @@
+package internode
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func TestHierarchicalAllreduceCompletes(t *testing.T) {
+	s := sim.New()
+	c, err := BuildCluster(s, DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.HierarchicalAllreduce(AllreduceConfig{
+		Bytes:           128 * hw.MiB,
+		UCX:             ucx.DefaultConfig(),
+		ReduceBandwidth: 150 * hw.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("no latency")
+	}
+	t.Logf("hierarchical allreduce 128MiB over 2 nodes: %.3f ms", res.Latency*1e3)
+	// Lower bound: the inter-node slice must cross a 22 GB/s rail once
+	// each way (full duplex → one slice time).
+	slice := 128.0 * hw.MiB / 4
+	if res.Latency < slice/(22*hw.GBps) {
+		t.Fatalf("latency %.4f ms below wire bound", res.Latency*1e3)
+	}
+	// Upper bound: all four rails run in parallel; if the exchange were
+	// serialized over one rail it would cost 4 slices each way plus the
+	// intra-node phases. Demand comfortably below that.
+	serialized := 8*slice/(22*hw.GBps) + 2*128*hw.MiB/(95*hw.GBps)
+	if res.Latency > serialized {
+		t.Fatalf("latency %.4f ms suggests rails serialized (bound %.4f ms)",
+			res.Latency*1e3, serialized*1e3)
+	}
+}
+
+func TestHierarchicalAllreduceValidation(t *testing.T) {
+	s := sim.New()
+	c, err := BuildCluster(s, DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.HierarchicalAllreduce(AllreduceConfig{Bytes: 0, UCX: ucx.DefaultConfig()}); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	cs := DefaultClusterSpec()
+	cs.Nodes = 3
+	s3 := sim.New()
+	c3, err := BuildCluster(s3, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.HierarchicalAllreduce(AllreduceConfig{Bytes: hw.MiB, UCX: ucx.DefaultConfig()}); err == nil {
+		t.Error("3-node allreduce accepted")
+	}
+}
+
+func TestHierarchicalAllreduceMultipathIntraHelps(t *testing.T) {
+	run := func(multipath bool) float64 {
+		s := sim.New()
+		c, err := BuildCluster(s, DefaultClusterSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ucx.DefaultConfig()
+		cfg.MultipathEnable = multipath
+		if multipath {
+			cfg.PathSet = "3gpus"
+		}
+		res, err := c.HierarchicalAllreduce(AllreduceConfig{
+			Bytes: 256 * hw.MiB,
+			UCX:   cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency
+	}
+	single := run(false)
+	multi := run(true)
+	if multi >= single {
+		t.Fatalf("multi-path intra phases did not help: %.3f vs %.3f ms",
+			multi*1e3, single*1e3)
+	}
+}

@@ -1,0 +1,279 @@
+// Package internode extends the multi-path model to the paper's second
+// future-work item: multi-node communication. A Cluster composes two or
+// more simulated nodes onto one fluid network and connects them with NIC
+// rails (one RDMA-capable NIC per NUMA domain, wired pairwise between
+// nodes, as A100/ConnectX systems are built).
+//
+// An inter-node GPU-to-GPU transfer is PCIe-bound through the source
+// GPU's own NIC. The multi-path idea generalizes directly: fan the
+// message out over NVLink to peer GPUs, each of which injects its share
+// through its *own* NIC rail — the same two-leg staged structure as the
+// intra-node model (leg 1: NVLink to the peer; leg 2: PCIe → wire → PCIe
+// to the remote GPU), so θ* and k* come from the very same equations.
+package internode
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/fluid"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// ClusterSpec describes a homogeneous multi-node cluster.
+type ClusterSpec struct {
+	// Node is the per-node topology (one NIC per NUMA domain).
+	Node *hw.Spec
+	// Nodes is the node count (≥ 2).
+	Nodes int
+	// NIC is the per-direction NIC/PCIe injection link of one rail.
+	NIC hw.LinkProps
+	// Wire is the per-direction inter-node cable of one rail (per NUMA
+	// domain; rail r connects NUMA r of every node pair).
+	Wire hw.LinkProps
+}
+
+// Validate checks the spec.
+func (cs *ClusterSpec) Validate() error {
+	if cs.Node == nil {
+		return fmt.Errorf("internode: nil node spec")
+	}
+	if err := cs.Node.Validate(); err != nil {
+		return err
+	}
+	if cs.Nodes < 2 {
+		return fmt.Errorf("internode: need ≥ 2 nodes, have %d", cs.Nodes)
+	}
+	if cs.NIC.Bandwidth <= 0 || cs.Wire.Bandwidth <= 0 {
+		return fmt.Errorf("internode: NIC and wire bandwidths must be positive")
+	}
+	return nil
+}
+
+// DefaultClusterSpec is two Narval-like nodes with one HDR-class NIC per
+// NUMA domain (25 GB/s wire).
+func DefaultClusterSpec() *ClusterSpec {
+	return &ClusterSpec{
+		Node:  hw.Narval(),
+		Nodes: 2,
+		NIC:   hw.LinkProps{Bandwidth: 24 * hw.GBps, Latency: 0.6e-6},
+		Wire:  hw.LinkProps{Bandwidth: 25 * hw.GBps, Latency: 1.2e-6},
+	}
+}
+
+// Cluster is a realized multi-node machine on one fluid network.
+type Cluster struct {
+	Spec  *ClusterSpec
+	Sim   *sim.Simulator
+	Net   *fluid.Network
+	Nodes []*hw.Node
+	// Runtimes gives one CUDA runtime per node.
+	Runtimes []*cuda.Runtime
+
+	// nicOut[node][rail] is the injection link GPU traffic takes from
+	// that node's rail NIC; wire[a][b][rail] the directed cable a→b.
+	nicOut [][]*fluid.Link
+	wire   map[[2]int][]*fluid.Link
+}
+
+// BuildCluster realizes the cluster.
+func BuildCluster(s *sim.Simulator, cs *ClusterSpec) (*Cluster, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	net := fluid.NewNetwork(s)
+	c := &Cluster{
+		Spec: cs,
+		Sim:  s,
+		Net:  net,
+		wire: make(map[[2]int][]*fluid.Link),
+	}
+	rails := cs.Node.NUMAs
+	for i := 0; i < cs.Nodes; i++ {
+		node, err := hw.BuildInto(net, cs.Node, fmt.Sprintf("n%d/", i))
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.Runtimes = append(c.Runtimes, cuda.NewRuntime(node))
+		nics := make([]*fluid.Link, rails)
+		for r := 0; r < rails; r++ {
+			nics[r] = net.AddLink(fmt.Sprintf("n%d/nic:%d", i, r), cs.NIC.Bandwidth)
+		}
+		c.nicOut = append(c.nicOut, nics)
+	}
+	for a := 0; a < cs.Nodes; a++ {
+		for b := 0; b < cs.Nodes; b++ {
+			if a == b {
+				continue
+			}
+			links := make([]*fluid.Link, rails)
+			for r := 0; r < rails; r++ {
+				links[r] = net.AddLink(fmt.Sprintf("wire:%d->%d:rail%d", a, b, r), cs.Wire.Bandwidth)
+			}
+			c.wire[[2]int{a, b}] = links
+		}
+	}
+	return c, nil
+}
+
+// railOf returns the NIC rail serving a GPU (its NUMA domain).
+func (c *Cluster) railOf(gpu int) int { return c.Spec.Node.GPUNuma[gpu] }
+
+// receiverFor picks the GPU on the destination node that rail r delivers
+// to with no extra hop: the first GPU in that rail's NUMA domain, or dst
+// itself when dst lives there.
+func (c *Cluster) receiverFor(rail, dst int) int {
+	sp := c.Spec.Node
+	if sp.GPUNuma[dst] == rail {
+		return dst
+	}
+	for g := 0; g < sp.GPUs; g++ {
+		if sp.GPUNuma[g] == rail {
+			return g
+		}
+	}
+	return dst
+}
+
+// WireRoute is the RDMA route from the injecting GPU on node a over its
+// rail into the receiving GPU on node b: PCIe up → NIC → wire → remote
+// PCIe down.
+func (c *Cluster) WireRoute(a, injector, b, receiver int) hw.Route {
+	rail := c.railOf(injector)
+	lat := c.Spec.Node.PCIe[injector].Latency + c.Spec.NIC.Latency +
+		c.Spec.Wire.Latency + c.Spec.Node.PCIe[receiver].Latency
+	return hw.MakeRoute(lat,
+		c.Nodes[a].PCIeUp(injector),
+		c.nicOut[a][rail],
+		c.wire[[2]int{a, b}][rail],
+		c.Nodes[b].PCIeDown(receiver),
+	)
+}
+
+// Path is one candidate inter-node path: up to three pipelined stages —
+// NVLink fan-out from Src to the injecting GPU Via (absent when
+// Via == Src), the RDMA wire hop from Via's rail to the receiving GPU
+// RemoteVia on the destination node, and NVLink fan-in from RemoteVia to
+// Dst (absent when RemoteVia == Dst).
+type Path struct {
+	Src, Dst      int
+	Via           int // injecting GPU on the source node
+	RemoteVia     int // receiving GPU on the destination node
+	SrcNode, Dst2 int // node indices
+}
+
+// Direct reports whether the path uses the source GPU's own NIC with
+// direct remote delivery (single stage).
+func (p Path) Direct() bool { return p.Via == p.Src && p.RemoteVia == p.Dst }
+
+// String renders a compact label.
+func (p Path) String() string {
+	if p.Direct() {
+		return "own-nic"
+	}
+	return fmt.Sprintf("rail%d(gpu%d->gpu%d)", p.Via, p.Via, p.RemoteVia)
+}
+
+// EnumeratePaths lists the candidate inter-node paths from srcGPU on node
+// a to dstGPU on node b: the source GPU's own rail plus one path per
+// NVLink-connected peer with a distinct rail, each delivering to the
+// rail-local GPU on the remote node and fanning in over NVLink.
+// maxPeers < 0 means all.
+func (c *Cluster) EnumeratePaths(a, srcGPU, b, dstGPU, maxPeers int) ([]Path, error) {
+	if a == b {
+		return nil, fmt.Errorf("internode: same node %d (use the intra-node stack)", a)
+	}
+	if a < 0 || a >= len(c.Nodes) || b < 0 || b >= len(c.Nodes) {
+		return nil, fmt.Errorf("internode: node index out of range")
+	}
+	sp := c.Spec.Node
+	if srcGPU < 0 || srcGPU >= sp.GPUs || dstGPU < 0 || dstGPU >= sp.GPUs {
+		return nil, fmt.Errorf("internode: GPU index out of range")
+	}
+	mk := func(via int) Path {
+		return Path{
+			Src: srcGPU, Dst: dstGPU, Via: via,
+			RemoteVia: c.receiverFor(c.railOf(via), dstGPU),
+			SrcNode:   a, Dst2: b,
+		}
+	}
+	paths := []Path{mk(srcGPU)}
+	added := 0
+	for g := 0; g < sp.GPUs && (maxPeers < 0 || added < maxPeers); g++ {
+		if g == srcGPU {
+			continue
+		}
+		if !sp.HasNVLink(srcGPU, g) {
+			continue
+		}
+		// A peer on the source rail shares the NIC and wire: no capacity.
+		if c.railOf(g) == c.railOf(srcGPU) {
+			continue
+		}
+		p := mk(g)
+		// The fan-in hop must exist.
+		if p.RemoteVia != dstGPU && !sp.HasNVLink(p.RemoteVia, dstGPU) {
+			continue
+		}
+		paths = append(paths, p)
+		added++
+	}
+	return paths, nil
+}
+
+// params collapses a path onto the model's two-leg form: leg 1 is the
+// NVLink fan-out (or the wire when there is no fan-out); leg 2 combines
+// the wire with the NVLink fan-in (bottleneck bandwidth, summed latency).
+// ε counts one staging synchronization per staging point.
+func (c *Cluster) params(p Path) (core.PathParam, error) {
+	wire := c.WireRoute(p.SrcNode, p.Via, p.Dst2, p.RemoteVia)
+	sp := c.Spec.Node
+	kind := hw.Direct
+	if !p.Direct() {
+		kind = hw.GPUStaged
+	}
+	pp := core.PathParam{
+		Path: hw.Path{Kind: kind, Src: p.Src, Dst: p.Dst, Via: p.Via},
+	}
+	wireLeg := core.LinkParam{Alpha: wire.Latency, Beta: wire.Bandwidth}
+	if p.RemoteVia != p.Dst {
+		nvIn, ok := c.Nodes[p.Dst2].GPUToGPU(p.RemoteVia, p.Dst)
+		if !ok {
+			return pp, fmt.Errorf("internode: no fan-in NVLink %d->%d", p.RemoteVia, p.Dst)
+		}
+		// Collapse wire + fan-in: the pipeline's steady rate is the
+		// bottleneck of the two; startup costs add.
+		wireLeg.Alpha += nvIn.Latency + sp.GPUSyncOverhead
+		if nvIn.Bandwidth < wireLeg.Beta {
+			wireLeg.Beta = nvIn.Bandwidth
+		}
+	}
+	if p.Via == p.Src {
+		if p.RemoteVia == p.Dst {
+			pp.Legs = []core.LinkParam{wireLeg}
+			return pp, nil
+		}
+		// Wire first, fan-in second: still two pipelined stages; model
+		// them as wire leg + fan-in leg.
+		nvIn, _ := c.Nodes[p.Dst2].GPUToGPU(p.RemoteVia, p.Dst)
+		pp.Legs = []core.LinkParam{
+			{Alpha: wire.Latency, Beta: wire.Bandwidth},
+			{Alpha: nvIn.Latency, Beta: nvIn.Bandwidth},
+		}
+		pp.Eps = sp.GPUSyncOverhead
+		return pp, nil
+	}
+	nvOut, ok := c.Nodes[p.SrcNode].GPUToGPU(p.Src, p.Via)
+	if !ok {
+		return pp, fmt.Errorf("internode: no NVLink %d->%d", p.Src, p.Via)
+	}
+	pp.Legs = []core.LinkParam{
+		{Alpha: nvOut.Latency, Beta: nvOut.Bandwidth},
+		wireLeg,
+	}
+	pp.Eps = sp.GPUSyncOverhead
+	return pp, nil
+}

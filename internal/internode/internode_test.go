@@ -1,0 +1,269 @@
+package internode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func buildDefault(t *testing.T) (*sim.Simulator, *Cluster) {
+	t.Helper()
+	s := sim.New()
+	c, err := BuildCluster(s, DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func runTransfer(t *testing.T, s *sim.Simulator, c *Cluster, n float64, maxPeers int) *Result {
+	t.Helper()
+	pl, err := c.PlanTransfer(0, 0, 1, 0, n, maxPeers, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() != nil {
+		t.Fatal(res.Done.Err())
+	}
+	return res
+}
+
+func TestClusterSpecValidation(t *testing.T) {
+	good := DefaultClusterSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ClusterSpec){
+		func(c *ClusterSpec) { c.Node = nil },
+		func(c *ClusterSpec) { c.Nodes = 1 },
+		func(c *ClusterSpec) { c.NIC.Bandwidth = 0 },
+		func(c *ClusterSpec) { c.Wire.Bandwidth = -1 },
+	}
+	for i, mut := range bad {
+		cs := DefaultClusterSpec()
+		mut(cs)
+		if err := cs.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	_, c := buildDefault(t)
+	paths, err := c.EnumeratePaths(0, 0, 1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narval: per-GPU NUMA → GPU 0 plus 3 peers, each with its own rail.
+	if len(paths) != 4 {
+		t.Fatalf("paths = %d, want 4", len(paths))
+	}
+	if !paths[0].Direct() {
+		t.Fatal("first path not direct")
+	}
+	if _, err := c.EnumeratePaths(0, 0, 0, 1, -1); err == nil {
+		t.Error("same-node transfer accepted")
+	}
+	if _, err := c.EnumeratePaths(0, 9, 1, 0, -1); err == nil {
+		t.Error("bad GPU accepted")
+	}
+}
+
+func TestSameRailPeersSkipped(t *testing.T) {
+	// NVSwitch preset: GPUs 0-3 share NUMA 0 (rail 0), GPUs 4-7 NUMA 1.
+	// From GPU 0, peers 1-3 ride the same rail and add no capacity, so
+	// every enumerated staged path must inject through a different rail.
+	s := sim.New()
+	cs := DefaultClusterSpec()
+	cs.Node = hw.NVSwitchNode()
+	c, err := BuildCluster(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := c.EnumeratePaths(0, 0, 1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths[1:] {
+		if c.railOf(p.Via) == c.railOf(0) {
+			t.Fatalf("same-rail peer %d kept", p.Via)
+		}
+	}
+}
+
+func TestDirectOnlyIsPCIeBound(t *testing.T) {
+	s, c := buildDefault(t)
+	n := 256.0 * hw.MiB
+	res := runTransfer(t, s, c, n, 0)
+	// Bottleneck: PCIe 22 GB/s (< NIC 24, wire 25).
+	bw := res.Bandwidth()
+	if bw < 21e9 || bw > 22.1e9 {
+		t.Fatalf("direct inter-node BW = %.2f GB/s, want ≈22", bw/1e9)
+	}
+}
+
+func TestMultiRailSpeedup(t *testing.T) {
+	s1, c1 := buildDefault(t)
+	direct := runTransfer(t, s1, c1, 256*hw.MiB, 0)
+	s2, c2 := buildDefault(t)
+	multi := runTransfer(t, s2, c2, 256*hw.MiB, -1)
+	sp := multi.Bandwidth() / direct.Bandwidth()
+	// Four rails at ~22 GB/s each: close to 4x minus pipeline overheads.
+	if sp < 3.0 || sp > 4.2 {
+		t.Fatalf("multi-rail speedup %.2fx, want ≈3-4x", sp)
+	}
+}
+
+func TestModelTracksInterNodeSimulation(t *testing.T) {
+	s, c := buildDefault(t)
+	pl, err := c.PlanTransfer(0, 0, 1, 0, 256*hw.MiB, -1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(pl.PredictedTime-res.Elapsed()) / res.Elapsed()
+	if relErr > 0.10 {
+		t.Fatalf("inter-node prediction error %.1f%% (pred %.4f ms, sim %.4f ms)",
+			relErr*100, pl.PredictedTime*1e3, res.Elapsed()*1e3)
+	}
+}
+
+func TestPlanSharesSumAndChunks(t *testing.T) {
+	_, c := buildDefault(t)
+	n := 128.0 * hw.MiB
+	pl, err := c.PlanTransfer(0, 0, 1, 0, n, -1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range pl.Entries {
+		if e.Bytes < 0 {
+			t.Fatal("negative share")
+		}
+		sum += e.Bytes
+		if e.Bytes > 0 && !e.Path.Direct() && e.Chunks < 1 {
+			t.Fatal("missing chunks on staged entry")
+		}
+	}
+	if sum != n {
+		t.Fatalf("shares sum %v != %v", sum, n)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	_, c := buildDefault(t)
+	if _, err := c.PlanTransfer(0, 0, 1, 0, -1, -1, core.DefaultOptions()); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := c.Execute(nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := c.Execute(&Plan{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestWireContentionBetweenTransfers(t *testing.T) {
+	// Two direct transfers from different GPUs sharing... GPU 0 and GPU 1
+	// have different rails on Narval, so they do not contend; two
+	// transfers from the same GPU rail do.
+	s, c := buildDefault(t)
+	plA, err := c.PlanTransfer(0, 0, 1, 0, 64*hw.MiB, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plB, err := c.PlanTransfer(0, 0, 1, 1, 64*hw.MiB, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := c.Execute(plA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := c.Execute(plB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both cross GPU 0's PCIe and rail 0: each gets ~half the bandwidth.
+	if bw := resA.Bandwidth(); bw > 12.5e9 {
+		t.Fatalf("contended transfer A at %.2f GB/s, expected ~11", bw/1e9)
+	}
+	if bw := resB.Bandwidth(); bw > 12.5e9 {
+		t.Fatalf("contended transfer B at %.2f GB/s, expected ~11", bw/1e9)
+	}
+}
+
+func TestCrossGPUDelivery(t *testing.T) {
+	// GPU 0 @ A -> GPU 1 @ B: the own-rail path delivers to remote GPU 0
+	// (rail 0's local GPU) and fans in over NVLink to GPU 1 — a two-stage
+	// "direct" path. The transfer must still complete at wire speed.
+	s, c := buildDefault(t)
+	pl, err := c.PlanTransfer(0, 0, 1, 1, 128*hw.MiB, 0, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Entries[0].Path.Direct() {
+		t.Fatal("cross-GPU own-rail path should not be single-stage direct")
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() != nil {
+		t.Fatal(res.Done.Err())
+	}
+	bw := res.Bandwidth()
+	// NVLink fan-in (95 GB/s) pipelines behind the 22 GB/s wire leg.
+	if bw < 20e9 || bw > 22.5e9 {
+		t.Fatalf("cross-GPU delivery BW %.2f GB/s, want ≈21-22", bw/1e9)
+	}
+}
+
+func TestCrossGPUMultiRail(t *testing.T) {
+	// Full rail set for GPU0@A -> GPU1@B: rail 1's receiver IS the
+	// destination (no fan-in), others fan in; aggregate close to 4 rails.
+	s, c := buildDefault(t)
+	pl, err := c.PlanTransfer(0, 0, 1, 1, 256*hw.MiB, -1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() != nil {
+		t.Fatal(res.Done.Err())
+	}
+	if sp := res.Bandwidth() / 22e9; sp < 3.0 {
+		t.Fatalf("cross-GPU multi-rail speedup %.2fx too low", sp)
+	}
+	relErr := math.Abs(pl.PredictedTime-res.Elapsed()) / res.Elapsed()
+	if relErr > 0.12 {
+		t.Fatalf("cross-GPU prediction error %.1f%%", relErr*100)
+	}
+}

@@ -1,0 +1,276 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Collective tag space: user tags live below tagCollBase.
+const (
+	tagCollBase = 1 << 20
+	tagBarrier  = tagCollBase + (1 << 8)
+	tagBcast    = tagCollBase + (2 << 8)
+	tagRS       = tagCollBase + (3 << 8)
+	tagAG       = tagCollBase + (4 << 8)
+	tagA2A      = tagCollBase + (5 << 8)
+	tagRing     = tagCollBase + (6 << 8)
+)
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// xorPattern lists the concurrent transfers of a recursive (rank ^ mask)
+// exchange round, excluding this rank's own send, for the pattern-aware
+// planner. Returns nil when pattern awareness is off.
+func (r *Rank) xorPattern(mask int) [][2]int {
+	if !r.world.opts.PatternAware {
+		return nil
+	}
+	out := make([][2]int, 0, r.world.size-1)
+	for i := 0; i < r.world.size; i++ {
+		if i == r.rank {
+			continue
+		}
+		out = append(out, [2]int{i, i ^ mask})
+	}
+	return out
+}
+
+// shiftPattern lists the concurrent transfers of a (rank + k) mod p
+// round (Bruck, ring), excluding this rank's own send.
+func (r *Rank) shiftPattern(k int) [][2]int {
+	if !r.world.opts.PatternAware {
+		return nil
+	}
+	size := r.world.size
+	out := make([][2]int, 0, size-1)
+	for i := 0; i < size; i++ {
+		if i == r.rank {
+			continue
+		}
+		out = append(out, [2]int{i, (i + k) % size})
+	}
+	return out
+}
+
+// Barrier synchronizes all ranks with the dissemination algorithm:
+// ⌈log₂ p⌉ rounds of zero-byte exchanges.
+func (r *Rank) Barrier(p *sim.Proc) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	round := 0
+	for k := 1; k < size; k <<= 1 {
+		to := (r.rank + k) % size
+		from := (r.rank - k + size) % size
+		sreq, err := r.Isend(to, 0, tagBarrier+round)
+		if err != nil {
+			return err
+		}
+		rreq, err := r.Irecv(from, 0, tagBarrier+round)
+		if err != nil {
+			return err
+		}
+		if err := r.Wait(p, sreq, rreq); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// Bcast broadcasts bytes from root with a binomial tree.
+func (r *Rank) Bcast(p *sim.Proc, root int, bytes float64) error {
+	size := r.world.size
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if size == 1 {
+		return nil
+	}
+	vrank := (r.rank - root + size) % size
+	abs := func(v int) int { return (v + root) % size }
+
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			if err := r.Recv(p, abs(vrank-mask), bytes, tagBcast+mask); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank&mask == 0 && vrank+mask < size {
+			if err := r.Send(p, abs(vrank+mask), bytes, tagBcast+mask); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// reduceScatter runs recursive halving: after ⌈log₂ p⌉ rounds every rank
+// holds a fully reduced 1/p slice of the buffer. bytes is the full
+// per-rank buffer size. Requires a power-of-two communicator.
+func (r *Rank) reduceScatter(p *sim.Proc, bytes float64) error {
+	size := r.world.size
+	round := 0
+	for mask := size / 2; mask >= 1; mask >>= 1 {
+		peer := r.rank ^ mask
+		exch := bytes * float64(mask) / float64(size)
+		if err := r.sendRecv(p, peer, exch, exch, tagRS+round, r.xorPattern(mask)); err != nil {
+			return err
+		}
+		r.compute(p, exch) // combine received partial sums
+		round++
+	}
+	return nil
+}
+
+// allgatherRD runs recursive doubling: each rank starts with a 1/p slice
+// and ends with the full buffer. Requires a power-of-two communicator.
+func (r *Rank) allgatherRD(p *sim.Proc, bytes float64) error {
+	size := r.world.size
+	round := 0
+	for mask := 1; mask < size; mask <<= 1 {
+		peer := r.rank ^ mask
+		exch := bytes * float64(mask) / float64(size)
+		if err := r.sendRecv(p, peer, exch, exch, tagAG+round, r.xorPattern(mask)); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// Allreduce reduces a bytes-sized buffer across all ranks using the
+// recursive-halving reduce-scatter followed by recursive-doubling
+// allgather — the K-nomial (K=2) scheme UCP selects for large messages
+// (§5.3). The communicator size must be a power of two.
+func (r *Rank) Allreduce(p *sim.Proc, bytes float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	if !isPow2(size) {
+		return fmt.Errorf("mpi: Allreduce requires power-of-two size, have %d", size)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("mpi: Allreduce of %v bytes", bytes)
+	}
+	if err := r.reduceScatter(p, bytes); err != nil {
+		return err
+	}
+	return r.allgatherRD(p, bytes)
+}
+
+// AllreduceRing is the bandwidth-optimal ring variant (ablation
+// comparator): 2(p−1) steps of n/p-sized chunks around the ring.
+func (r *Rank) AllreduceRing(p *sim.Proc, bytes float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	chunk := bytes / float64(size)
+	right := (r.rank + 1) % size
+	left := (r.rank - 1 + size) % size
+	for step := 0; step < 2*(size-1); step++ {
+		sreq, err := r.Isend(right, chunk, tagRing+step)
+		if err != nil {
+			return err
+		}
+		rreq, err := r.Irecv(left, chunk, tagRing+step)
+		if err != nil {
+			return err
+		}
+		if err := r.Wait(p, sreq, rreq); err != nil {
+			return err
+		}
+		if step < size-1 {
+			r.compute(p, chunk) // reduce phase only
+		}
+	}
+	return nil
+}
+
+// Allgather gathers bytesPerRank from every rank on every rank
+// (recursive doubling; power-of-two sizes).
+func (r *Rank) Allgather(p *sim.Proc, bytesPerRank float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	if !isPow2(size) {
+		return fmt.Errorf("mpi: Allgather requires power-of-two size, have %d", size)
+	}
+	return r.allgatherRD(p, bytesPerRank*float64(size))
+}
+
+// Alltoall exchanges bytesPerRank between every rank pair using Bruck's
+// algorithm: ⌈log₂ p⌉ rounds, each moving the blocks whose destination
+// index has the round bit set (§5.3 — the algorithm UCP uses).
+func (r *Rank) Alltoall(p *sim.Proc, bytesPerRank float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	if bytesPerRank <= 0 {
+		return fmt.Errorf("mpi: Alltoall of %v bytes per rank", bytesPerRank)
+	}
+	round := 0
+	for k := 1; k < size; k <<= 1 {
+		// Blocks j (relative destination offsets) with bit k set travel
+		// this round.
+		blocks := 0
+		for j := 1; j < size; j++ {
+			if j&k != 0 {
+				blocks++
+			}
+		}
+		sendBytes := bytesPerRank * float64(blocks)
+		to := (r.rank + k) % size
+		from := (r.rank - k + size) % size
+		sreq, err := r.IsendHinted(to, sendBytes, tagA2A+round, r.shiftPattern(k))
+		if err != nil {
+			return err
+		}
+		rreq, err := r.Irecv(from, sendBytes, tagA2A+round)
+		if err != nil {
+			return err
+		}
+		if err := r.Wait(p, sreq, rreq); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// AlltoallPairwise is the large-message comparator: p−1 rounds of direct
+// pairwise exchanges.
+func (r *Rank) AlltoallPairwise(p *sim.Proc, bytesPerRank float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	for i := 1; i < size; i++ {
+		var peer int
+		var hint [][2]int
+		if isPow2(size) {
+			peer = r.rank ^ i
+			hint = r.xorPattern(i)
+		} else {
+			peer = (r.rank + i) % size
+			hint = r.shiftPattern(i)
+		}
+		if err := r.sendRecv(p, peer, bytesPerRank, bytesPerRank, tagA2A+(1<<16)+i, hint); err != nil {
+			return err
+		}
+	}
+	return nil
+}

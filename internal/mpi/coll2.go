@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Additional collectives beyond the paper's two evaluation targets.
+// They follow the same structure — classical algorithms decomposed into
+// (optionally multi-path) P2P transfers — and round out the runtime to
+// the set an application actually needs.
+
+const (
+	tagReduce  = tagCollBase + (7 << 8)
+	tagGather  = tagCollBase + (8 << 8)
+	tagScatter = tagCollBase + (9 << 8)
+	tagAGRing  = tagCollBase + (10 << 8)
+	tagRSPub   = tagCollBase + (11 << 8)
+)
+
+// Reduce combines a bytes-sized buffer onto root using a binomial tree
+// (mirror of Bcast): leaves send first, inner nodes receive, combine, and
+// forward.
+func (r *Rank) Reduce(p *sim.Proc, root int, bytes float64) error {
+	size := r.world.size
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	if size == 1 {
+		return nil
+	}
+	vrank := (r.rank - root + size) % size
+	abs := func(v int) int { return (v + root) % size }
+
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			// Send partial result up the tree and stop.
+			return r.Send(p, abs(vrank-mask), bytes, tagReduce+mask)
+		}
+		if vrank+mask < size {
+			if err := r.Recv(p, abs(vrank+mask), bytes, tagReduce+mask); err != nil {
+				return err
+			}
+			r.compute(p, bytes) // combine the received partial result
+		}
+	}
+	return nil
+}
+
+// Gather collects bytesPerRank from every rank onto root. Non-root ranks
+// send directly; root receives p−1 messages (the flat algorithm MPI
+// implementations use for large messages).
+func (r *Rank) Gather(p *sim.Proc, root int, bytesPerRank float64) error {
+	size := r.world.size
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if size == 1 {
+		return nil
+	}
+	if r.rank != root {
+		return r.Send(p, root, bytesPerRank, tagGather+r.rank)
+	}
+	reqs := make([]*Request, 0, size-1)
+	for peer := 0; peer < size; peer++ {
+		if peer == root {
+			continue
+		}
+		req, err := r.Irecv(peer, bytesPerRank, tagGather+peer)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return r.Wait(p, reqs...)
+}
+
+// Scatter distributes bytesPerRank from root to every rank (flat).
+func (r *Rank) Scatter(p *sim.Proc, root int, bytesPerRank float64) error {
+	size := r.world.size
+	if root < 0 || root >= size {
+		return fmt.Errorf("mpi: scatter root %d out of range", root)
+	}
+	if size == 1 {
+		return nil
+	}
+	if r.rank != root {
+		return r.Recv(p, root, bytesPerRank, tagScatter+r.rank)
+	}
+	reqs := make([]*Request, 0, size-1)
+	for peer := 0; peer < size; peer++ {
+		if peer == root {
+			continue
+		}
+		req, err := r.Isend(peer, bytesPerRank, tagScatter+peer)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return r.Wait(p, reqs...)
+}
+
+// ReduceScatter reduces a bytes-sized buffer and leaves each rank with a
+// fully reduced 1/p slice (the public form of the Allreduce first phase).
+// Requires a power-of-two communicator.
+func (r *Rank) ReduceScatter(p *sim.Proc, bytes float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	if !isPow2(size) {
+		return fmt.Errorf("mpi: ReduceScatter requires power-of-two size, have %d", size)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("mpi: ReduceScatter of %v bytes", bytes)
+	}
+	return r.reduceScatter(p, bytes)
+}
+
+// AllgatherRing is the ring variant of Allgather: p−1 steps, each
+// shifting a bytesPerRank block to the right neighbour. Works for any
+// communicator size; bandwidth-optimal but latency-bound at log-free
+// p−1 steps.
+func (r *Rank) AllgatherRing(p *sim.Proc, bytesPerRank float64) error {
+	size := r.world.size
+	if size == 1 {
+		return nil
+	}
+	if bytesPerRank <= 0 {
+		return fmt.Errorf("mpi: AllgatherRing of %v bytes", bytesPerRank)
+	}
+	right := (r.rank + 1) % size
+	left := (r.rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sreq, err := r.isend(right, bytesPerRank, tagAGRing+step, r.shiftPattern(1))
+		if err != nil {
+			return err
+		}
+		rreq, err := r.Irecv(left, bytesPerRank, tagAGRing+step)
+		if err != nil {
+			return err
+		}
+		if err := r.Wait(p, sreq, rreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}

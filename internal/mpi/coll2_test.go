@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func runColl(t *testing.T, size int, body func(p *sim.Proc, r *Rank) error) float64 {
+	t.Helper()
+	w := newWorld(t, size, func(c *ucx.Config) { c.MultipathEnable = false })
+	var worst float64
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		start := p.Now()
+		if err := body(p, r); err != nil {
+			return err
+		}
+		if d := p.Now() - start; d > worst {
+			worst = d
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return worst
+}
+
+func TestReduceCompletes(t *testing.T) {
+	d := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Reduce(p, 0, 32*hw.MiB)
+	})
+	if d <= 0 {
+		t.Fatal("reduce did not run")
+	}
+	// Binomial tree: 2 rounds of 32 MiB over 48 GB/s plus overheads.
+	lower := 2 * 32 * hw.MiB / (48 * hw.GBps)
+	if d < lower {
+		t.Fatalf("reduce %.6fs below bandwidth bound %.6fs", d, lower)
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	if d := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Reduce(p, 2, 8*hw.MiB)
+	}); d <= 0 {
+		t.Fatal("reduce to root 2 did not run")
+	}
+}
+
+func TestReduceBadRoot(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	if err := w.Run(func(p *sim.Proc, r *Rank) error {
+		return r.Reduce(p, 9, hw.MiB)
+	}); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestGatherTiming(t *testing.T) {
+	// Root receives 3 × 32 MiB concurrently over three distinct inbound
+	// links: roughly one transfer time.
+	d := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Gather(p, 0, 32*hw.MiB)
+	})
+	single := 32 * hw.MiB / (48 * hw.GBps)
+	if d < single {
+		t.Fatalf("gather %.6fs below single-transfer time", d)
+	}
+	if d > 3*single {
+		t.Fatalf("gather %.6fs suggests serialization; links are distinct", d)
+	}
+}
+
+func TestScatterMirrorsGather(t *testing.T) {
+	g := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Gather(p, 0, 32*hw.MiB)
+	})
+	s := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Scatter(p, 0, 32*hw.MiB)
+	})
+	if math.Abs(g-s) > 0.2*g {
+		t.Fatalf("gather %.6fs and scatter %.6fs should be symmetric", g, s)
+	}
+}
+
+func TestReduceScatterPublic(t *testing.T) {
+	d := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.ReduceScatter(p, 64*hw.MiB)
+	})
+	full := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, 64*hw.MiB)
+	})
+	if d >= full {
+		t.Fatalf("reduce-scatter (%.6fs) should be cheaper than full allreduce (%.6fs)", d, full)
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	w := newWorld(t, 3, nil)
+	if err := w.Run(func(p *sim.Proc, r *Rank) error {
+		return r.ReduceScatter(p, hw.MiB)
+	}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	w2 := newWorld(t, 2, nil)
+	if err := w2.Run(func(p *sim.Proc, r *Rank) error {
+		return r.ReduceScatter(p, 0)
+	}); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}
+
+func TestAllgatherRingMatchesRecursiveDoubling(t *testing.T) {
+	ring := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.AllgatherRing(p, 16*hw.MiB)
+	})
+	rd := runColl(t, 4, func(p *sim.Proc, r *Rank) error {
+		return r.Allgather(p, 16*hw.MiB)
+	})
+	if ring <= 0 || rd <= 0 {
+		t.Fatal("allgather variants did not run")
+	}
+	// Both move the same total volume; on a full mesh they should be
+	// within 2x of each other.
+	if ring > 2*rd || rd > 2*ring {
+		t.Fatalf("ring %.6fs vs recursive doubling %.6fs diverge too much", ring, rd)
+	}
+}
+
+func TestAllgatherRingValidation(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	if err := w.Run(func(p *sim.Proc, r *Rank) error {
+		return r.AllgatherRing(p, -1)
+	}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestCollectivesSingleRankNoOp(t *testing.T) {
+	w := newWorld(t, 1, nil)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		if err := r.Reduce(p, 0, hw.MiB); err != nil {
+			return err
+		}
+		if err := r.Gather(p, 0, hw.MiB); err != nil {
+			return err
+		}
+		if err := r.Scatter(p, 0, hw.MiB); err != nil {
+			return err
+		}
+		if err := r.ReduceScatter(p, hw.MiB); err != nil {
+			return err
+		}
+		if err := r.AllgatherRing(p, hw.MiB); err != nil {
+			return err
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		return r.Bcast(p, 0, hw.MiB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,425 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func newWorld(t *testing.T, size int, mutate func(*ucx.Config)) *World {
+	t.Helper()
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ucx.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(ctx, size, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldSizeValidation(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), ucx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(ctx, 0, DefaultOptions()); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewWorld(ctx, 9, DefaultOptions()); err == nil {
+		t.Error("size beyond GPU count accepted")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := newWorld(t, 2, func(c *ucx.Config) { c.MultipathEnable = false })
+	var recvDone float64
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		switch r.ID() {
+		case 0:
+			return r.Send(p, 1, 64*hw.MiB, 7)
+		case 1:
+			if err := r.Recv(p, 0, 64*hw.MiB, 7); err != nil {
+				return err
+			}
+			recvDone = p.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rndv 3µs + ipc open 30µs + α 2µs + 64MiB/48GBps
+	want := 3e-6 + 30e-6 + 2e-6 + 64*hw.MiB/(48*hw.GBps)
+	if math.Abs(recvDone-want) > 1e-7 {
+		t.Fatalf("recv done at %v, want %v", recvDone, want)
+	}
+}
+
+func TestRecvBeforeSendMatches(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	done := false
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		switch r.ID() {
+		case 0:
+			p.Sleep(1e-3) // send posted long after the receive
+			return r.Send(p, 1, hw.MiB, 3)
+		case 1:
+			if err := r.Recv(p, 0, hw.MiB, 3); err != nil {
+				return err
+			}
+			done = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("receive never matched")
+	}
+}
+
+func TestTagSeparation(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	var order []int
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		switch r.ID() {
+		case 0:
+			// Post tag 2 first, then tag 1 (non-blocking, then wait).
+			s2, err := r.Isend(1, 8*hw.KiB, 2)
+			if err != nil {
+				return err
+			}
+			s1, err := r.Isend(1, 8*hw.KiB, 1)
+			if err != nil {
+				return err
+			}
+			return r.Wait(p, s2, s1)
+		case 1:
+			// Receive tag 1 first — must match the second send.
+			if err := r.Recv(p, 0, 8*hw.KiB, 1); err != nil {
+				return err
+			}
+			order = append(order, 1)
+			if err := r.Recv(p, 0, 8*hw.KiB, 2); err != nil {
+				return err
+			}
+			order = append(order, 2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTruncationError(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		switch r.ID() {
+		case 0:
+			return r.Send(p, 1, hw.MiB, 0)
+		case 1:
+			return r.Recv(p, 0, hw.KiB, 0) // too small
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation", err)
+	}
+}
+
+func TestSelfAndRangeErrors(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		if _, err := r.Isend(0, 1, 0); err == nil {
+			return errors.New("self-send accepted")
+		}
+		if _, err := r.Irecv(5, 1, 0); err == nil {
+			return errors.New("out-of-range recv accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := newWorld(t, 4, nil)
+	exits := make([]float64, 4)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		// Stagger entry.
+		p.Sleep(float64(r.ID()) * 1e-3)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		exits[r.ID()] = p.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rank may leave before the last (rank 3) entered at 3 ms.
+	for i, e := range exits {
+		if e < 3e-3 {
+			t.Fatalf("rank %d left the barrier at %v, before last entry", i, e)
+		}
+	}
+}
+
+func TestBcastReachesAllRanks(t *testing.T) {
+	w := newWorld(t, 4, nil)
+	done := make([]bool, 4)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		if err := r.Bcast(p, 1, 16*hw.MiB); err != nil {
+			return err
+		}
+		done[r.ID()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("rank %d did not finish bcast", i)
+		}
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		return r.Bcast(p, 7, hw.MiB)
+	})
+	if err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func collectiveTime(t *testing.T, size int, multipath bool, pathSet string,
+	body func(p *sim.Proc, r *Rank) error) float64 {
+	t.Helper()
+	w := newWorld(t, size, func(c *ucx.Config) {
+		c.MultipathEnable = multipath
+		c.PathSet = pathSet
+	})
+	var worst float64
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		start := p.Now()
+		if err := body(p, r); err != nil {
+			return err
+		}
+		if d := p.Now() - start; d > worst {
+			worst = d
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return worst
+}
+
+func TestAllreduceCompletes(t *testing.T) {
+	d := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, 64*hw.MiB)
+	})
+	if d <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Lower bound: 2·n·(p−1)/p bytes over a 48 GB/s link.
+	lower := 2 * 64 * hw.MiB * 3 / 4 / (48 * hw.GBps)
+	if d < lower {
+		t.Fatalf("allreduce %.6fs faster than the bandwidth bound %.6fs", d, lower)
+	}
+}
+
+func TestAllreduceMultipathFaster(t *testing.T) {
+	single := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, 64*hw.MiB)
+	})
+	multi := collectiveTime(t, 4, true, "3gpus", func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, 64*hw.MiB)
+	})
+	sp := single / multi
+	if sp <= 1.0 {
+		t.Fatalf("multipath allreduce not faster: %.3fx", sp)
+	}
+	if sp > 2.5 {
+		t.Fatalf("multipath allreduce speedup %.2fx implausibly high", sp)
+	}
+}
+
+func TestAlltoallMultipathFaster(t *testing.T) {
+	single := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.Alltoall(p, 32*hw.MiB)
+	})
+	multi := collectiveTime(t, 4, true, "2gpus", func(p *sim.Proc, r *Rank) error {
+		return r.Alltoall(p, 32*hw.MiB)
+	})
+	if sp := single / multi; sp <= 1.0 {
+		t.Fatalf("multipath alltoall not faster: %.3fx", sp)
+	}
+}
+
+func TestAllreduceRingCompletes(t *testing.T) {
+	d := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.AllreduceRing(p, 64*hw.MiB)
+	})
+	if d <= 0 {
+		t.Fatal("ring allreduce did not run")
+	}
+}
+
+func TestAllgatherCompletes(t *testing.T) {
+	d := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.Allgather(p, 16*hw.MiB)
+	})
+	if d <= 0 {
+		t.Fatal("allgather did not run")
+	}
+}
+
+func TestAlltoallPairwiseCompletes(t *testing.T) {
+	bruck := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.Alltoall(p, 32*hw.MiB)
+	})
+	pair := collectiveTime(t, 4, false, "direct", func(p *sim.Proc, r *Rank) error {
+		return r.AlltoallPairwise(p, 32*hw.MiB)
+	})
+	if bruck <= 0 || pair <= 0 {
+		t.Fatal("alltoall variants did not run")
+	}
+	// For large messages pairwise moves less data than Bruck and should
+	// not be slower on a full-mesh topology.
+	if pair > bruck*1.05 {
+		t.Fatalf("pairwise (%.6fs) slower than Bruck (%.6fs)", pair, bruck)
+	}
+}
+
+func TestAllreduceRejectsBadInputs(t *testing.T) {
+	w := newWorld(t, 3, nil)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, hw.MiB)
+	})
+	if err == nil {
+		t.Fatal("non-power-of-two allreduce accepted")
+	}
+	w2 := newWorld(t, 2, nil)
+	err = w2.Run(func(p *sim.Proc, r *Rank) error {
+		return r.Allreduce(p, -1)
+	})
+	if err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestRunPropagatesRankErrors(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	boom := errors.New("boom")
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		if r.ID() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestZeroByteControlMessage(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	var at float64
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		switch r.ID() {
+		case 0:
+			return r.Send(p, 1, 0, 9)
+		case 1:
+			if err := r.Recv(p, 0, 0, 9); err != nil {
+				return err
+			}
+			at = p.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-1e-6) > 1e-12 {
+		t.Fatalf("ctrl message at %v, want 1µs", at)
+	}
+}
+
+func TestConcurrentPairsContend(t *testing.T) {
+	// Ranks 0→1 and 2→3 do not share links; 0→1 and 2→1? Use two pairs on
+	// disjoint links: both complete in single-transfer time. Then force
+	// both onto the same link (0→1 twice) via two worlds is not possible;
+	// instead check 0→1 and 2→1 (different links into GPU1 on Beluga's
+	// full mesh) also complete independently.
+	w := newWorld(t, 4, func(c *ucx.Config) { c.MultipathEnable = false })
+	times := make([]float64, 4)
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		start := p.Now()
+		switch r.ID() {
+		case 0:
+			if err := r.Send(p, 1, 64*hw.MiB, 1); err != nil {
+				return err
+			}
+		case 1:
+			if err := r.Recv(p, 0, 64*hw.MiB, 1); err != nil {
+				return err
+			}
+		case 2:
+			if err := r.Send(p, 3, 64*hw.MiB, 2); err != nil {
+				return err
+			}
+		case 3:
+			if err := r.Recv(p, 2, 64*hw.MiB, 2); err != nil {
+				return err
+			}
+		}
+		times[r.ID()] = p.Now() - start
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint pairs: both transfers take single-transfer time.
+	want := 3e-6 + 30e-6 + 2e-6 + 64*hw.MiB/(48*hw.GBps)
+	for _, id := range []int{1, 3} {
+		if math.Abs(times[id]-want) > 1e-6 {
+			t.Fatalf("rank %d time %v, want %v (no contention)", id, times[id], want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+func patternWorld(t *testing.T, aware bool, pathSet string) *World {
+	t.Helper()
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ucx.DefaultConfig()
+	cfg.PathSet = pathSet
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.PatternAware = aware
+	w, err := NewWorld(ctx, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func timeCollective(t *testing.T, w *World, body func(p *sim.Proc, r *Rank) error) float64 {
+	t.Helper()
+	var worst float64
+	err := w.Run(func(p *sim.Proc, r *Rank) error {
+		if err := body(p, r); err != nil { // warmup
+			return err
+		}
+		start := p.Now()
+		if err := body(p, r); err != nil {
+			return err
+		}
+		if d := p.Now() - start; d > worst {
+			worst = d
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return worst
+}
+
+func TestXorPatternContents(t *testing.T) {
+	w := patternWorld(t, true, "3gpus")
+	r := w.Rank(0)
+	pat := r.xorPattern(1)
+	if len(pat) != 3 {
+		t.Fatalf("pattern size %d, want 3", len(pat))
+	}
+	for _, pr := range pat {
+		if pr[0] == 0 {
+			t.Fatalf("own transfer included: %v", pat)
+		}
+		if pr[1] != pr[0]^1 {
+			t.Fatalf("bad pair %v", pr)
+		}
+	}
+	// Awareness off → nil.
+	w2 := patternWorld(t, false, "3gpus")
+	if w2.Rank(0).xorPattern(1) != nil {
+		t.Fatal("pattern returned with awareness off")
+	}
+}
+
+func TestShiftPatternContents(t *testing.T) {
+	w := patternWorld(t, true, "3gpus")
+	pat := w.Rank(1).shiftPattern(2)
+	if len(pat) != 3 {
+		t.Fatalf("pattern size %d", len(pat))
+	}
+	for _, pr := range pat {
+		if pr[0] == 1 {
+			t.Fatal("own transfer included")
+		}
+		if pr[1] != (pr[0]+2)%4 {
+			t.Fatalf("bad pair %v", pr)
+		}
+	}
+}
+
+func TestPatternAwareAllreduceNotSlower(t *testing.T) {
+	naive := timeCollective(t, patternWorld(t, false, "3gpus"),
+		func(p *sim.Proc, r *Rank) error { return r.Allreduce(p, 64*hw.MiB) })
+	aware := timeCollective(t, patternWorld(t, true, "3gpus"),
+		func(p *sim.Proc, r *Rank) error { return r.Allreduce(p, 64*hw.MiB) })
+	if aware > naive*1.02 {
+		t.Fatalf("pattern-aware allreduce slower: %.4f vs %.4f ms", aware*1e3, naive*1e3)
+	}
+	t.Logf("allreduce 64MiB: naive %.4f ms, aware %.4f ms (%.2fx)",
+		naive*1e3, aware*1e3, naive/aware)
+}
+
+func TestPatternAwareAlltoallNotSlower(t *testing.T) {
+	naive := timeCollective(t, patternWorld(t, false, "3gpus"),
+		func(p *sim.Proc, r *Rank) error { return r.Alltoall(p, 32*hw.MiB) })
+	aware := timeCollective(t, patternWorld(t, true, "3gpus"),
+		func(p *sim.Proc, r *Rank) error { return r.Alltoall(p, 32*hw.MiB) })
+	if aware > naive*1.02 {
+		t.Fatalf("pattern-aware alltoall slower: %.4f vs %.4f ms", aware*1e3, naive*1e3)
+	}
+	t.Logf("alltoall 32MiB/rank: naive %.4f ms, aware %.4f ms (%.2fx)",
+		naive*1e3, aware*1e3, naive/aware)
+}
+
+func TestPatternAwareStillBeatsSinglePath(t *testing.T) {
+	// Single-path baseline: multipath disabled entirely.
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ucx.DefaultConfig()
+	cfg.MultipathEnable = false
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(ctx, 4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := timeCollective(t, w, func(p *sim.Proc, r *Rank) error { return r.Allreduce(p, 64*hw.MiB) })
+	aware := timeCollective(t, patternWorld(t, true, "3gpus"),
+		func(p *sim.Proc, r *Rank) error { return r.Allreduce(p, 64*hw.MiB) })
+	if aware >= base {
+		t.Fatalf("pattern-aware multipath (%.4f ms) not faster than single path (%.4f ms)",
+			aware*1e3, base*1e3)
+	}
+}

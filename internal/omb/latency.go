@@ -1,0 +1,149 @@
+package omb
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+const tagPing = 110
+
+// Latency runs the osu_latency ping-pong: rank Src sends n bytes, rank
+// Dst returns them; one-way latency is half the round trip, averaged over
+// the measured iterations.
+func Latency(cfg P2PConfig, sizes []float64) ([]Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, n := range sizes {
+		ranks := cfg.Dst + 1
+		if cfg.Src >= cfg.Dst {
+			ranks = cfg.Src + 1
+		}
+		w, err := newWorld(cfg.Spec, cfg.UCX, ranks)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed float64
+		rounds := cfg.Warmup + cfg.Iters
+		err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+			switch r.ID() {
+			case cfg.Src:
+				var start float64
+				for i := 0; i < rounds; i++ {
+					if i == cfg.Warmup {
+						start = p.Now()
+					}
+					if err := r.Send(p, cfg.Dst, n, tagPing); err != nil {
+						return err
+					}
+					if err := r.Recv(p, cfg.Dst, n, tagPing+1); err != nil {
+						return err
+					}
+				}
+				elapsed = p.Now() - start
+			case cfg.Dst:
+				for i := 0; i < rounds; i++ {
+					if err := r.Recv(p, cfg.Src, n, tagPing); err != nil {
+						return err
+					}
+					if err := r.Send(p, cfg.Src, n, tagPing+1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		lat := elapsed / float64(cfg.Iters) / 2
+		out = append(out, Sample{Bytes: n, Latency: lat, Bandwidth: n / lat})
+	}
+	return out, nil
+}
+
+// MultiPairBW runs the osu_mbw_mr-style multi-pair bandwidth test: the
+// given number of disjoint GPU pairs (0→1, 2→3, …) stream windows of
+// messages simultaneously; the result is the aggregate bandwidth over all
+// pairs. With multi-path enabled, staged paths of different pairs collide
+// on each other's links — the loaded-machine case the paper's §3 opening
+// discusses.
+func MultiPairBW(cfg P2PConfig, pairs int, sizes []float64) ([]Sample, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("omb: nil topology spec")
+	}
+	if pairs < 1 || 2*pairs > cfg.Spec.GPUs {
+		return nil, fmt.Errorf("omb: %d pairs need %d GPUs, topology has %d",
+			pairs, 2*pairs, cfg.Spec.GPUs)
+	}
+	if cfg.Window < 1 || cfg.Iters < 1 {
+		return nil, fmt.Errorf("omb: bad window/iters")
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, n := range sizes {
+		w, err := newWorld(cfg.Spec, cfg.UCX, 2*pairs)
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+			sender := r.ID()%2 == 0
+			peer := r.ID() + 1
+			if !sender {
+				peer = r.ID() - 1
+			}
+			rounds := cfg.Warmup + cfg.Iters
+			var start float64
+			for i := 0; i < rounds; i++ {
+				if i == cfg.Warmup {
+					start = p.Now()
+				}
+				if sender {
+					if err := bwRound(p, r, peer, cfg.Window, n); err != nil {
+						return err
+					}
+				} else {
+					reqs := make([]*mpi.Request, 0, cfg.Window)
+					for k := 0; k < cfg.Window; k++ {
+						req, err := r.Irecv(peer, n, tagData)
+						if err != nil {
+							return err
+						}
+						reqs = append(reqs, req)
+					}
+					if err := r.Wait(p, reqs...); err != nil {
+						return err
+					}
+					if err := r.Send(p, peer, 0, tagAck); err != nil {
+						return err
+					}
+				}
+			}
+			if sender {
+				if d := p.Now() - start; d > worst {
+					worst = d
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := float64(pairs) * float64(cfg.Iters*cfg.Window) * n
+		out = append(out, Sample{Bytes: n, Bandwidth: total / worst, Latency: worst / float64(cfg.Iters)})
+	}
+	return out, nil
+}
+
+// SmallSizes is the osu_latency sweep (1 KiB – 1 MiB).
+func SmallSizes() []float64 {
+	var sizes []float64
+	for n := 1 * hw.KiB; n <= 1*hw.MiB; n *= 4 {
+		sizes = append(sizes, float64(n))
+	}
+	return sizes
+}

@@ -1,0 +1,110 @@
+package omb
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestLatencySmallMessages(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	samples, err := Latency(cfg, SmallSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(SmallSizes()) {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Latency grows monotonically with size and starts in the microsecond
+	// range (eager protocol + link latency).
+	prev := 0.0
+	for _, s := range samples {
+		if s.Latency <= prev {
+			t.Fatalf("latency not increasing: %+v", samples)
+		}
+		prev = s.Latency
+	}
+	if first := samples[0].Latency; first < 1e-6 || first > 20e-6 {
+		t.Fatalf("1 KiB latency %.2f µs outside eager range", first*1e6)
+	}
+}
+
+func TestLatencyHalfRoundTrip(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.MultipathEnable = false
+	cfg.Warmup = 1
+	cfg.Iters = 1
+	n := 4.0 * hw.KiB
+	samples, err := Latency(cfg, []float64{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After warmup (IPC caches hot both ways): one way =
+	// eager 1µs + α 2µs + n/β.
+	want := 1e-6 + 2e-6 + n/(48*hw.GBps)
+	got := samples[0].Latency
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("latency = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestMultiPairBWDisjointPairsScale(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.MultipathEnable = false
+	one, err := BW(cfg, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := MultiPairBW(cfg, 2, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-path pairs use disjoint links: aggregate ≈ 2× single-pair.
+	ratio := two[0].Bandwidth / one[0].Bandwidth
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("2-pair scaling %.2f, want ≈2", ratio)
+	}
+}
+
+func TestMultiPairBWMultipathContends(t *testing.T) {
+	// With multi-path, the two pairs' staged paths share links, so the
+	// per-pair gain must be below the isolated multi-path gain.
+	single := DefaultP2PConfig(hw.Beluga())
+	single.UCX.PathSet = "3gpus"
+	iso, err := BW(single, []float64{128 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := DefaultP2PConfig(hw.Beluga())
+	multi.UCX.PathSet = "3gpus"
+	pairs, err := MultiPairBW(multi, 2, []float64{128 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPair := pairs[0].Bandwidth / 2
+	if perPair >= iso[0].Bandwidth {
+		t.Fatalf("per-pair %.1f GB/s not reduced vs isolated %.1f GB/s",
+			perPair/1e9, iso[0].Bandwidth/1e9)
+	}
+	// But aggregate must still beat single-path pairs.
+	base := DefaultP2PConfig(hw.Beluga())
+	base.UCX.MultipathEnable = false
+	basePairs, err := MultiPairBW(base, 2, []float64{128 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[0].Bandwidth <= basePairs[0].Bandwidth {
+		t.Fatalf("multipath pairs %.1f not above single-path pairs %.1f GB/s",
+			pairs[0].Bandwidth/1e9, basePairs[0].Bandwidth/1e9)
+	}
+}
+
+func TestMultiPairBWValidation(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	if _, err := MultiPairBW(cfg, 3, []float64{hw.MiB}); err == nil {
+		t.Error("3 pairs on 4 GPUs accepted")
+	}
+	if _, err := MultiPairBW(cfg, 0, []float64{hw.MiB}); err == nil {
+		t.Error("0 pairs accepted")
+	}
+}

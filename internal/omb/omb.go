@@ -1,0 +1,346 @@
+// Package omb reimplements the OSU Micro-Benchmark measurements the paper
+// evaluates with (§5): unidirectional bandwidth (osu_bw), bidirectional
+// bandwidth (osu_bibw) — both with configurable window sizes — and
+// collective latency tests for MPI_Allreduce and MPI_Alltoall. Each
+// measurement builds a fresh instance of the simulated machine, performs
+// warmup iterations (heating the IPC handle cache and the configuration
+// cache, as the real benchmark heats driver state), and then times the
+// measured iterations.
+package omb
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// DefaultSizes is the paper's message sweep: 2 MB to 512 MB, powers of two.
+func DefaultSizes() []float64 {
+	var sizes []float64
+	for n := 2 * hw.MiB; n <= 512*hw.MiB; n *= 2 {
+		sizes = append(sizes, float64(n))
+	}
+	return sizes
+}
+
+// Sample is one measured point.
+type Sample struct {
+	Bytes float64
+	// Bandwidth is aggregate bytes/second (BW tests).
+	Bandwidth float64
+	// Latency is seconds per operation (collective tests).
+	Latency float64
+}
+
+// P2PConfig configures the bandwidth tests.
+type P2PConfig struct {
+	Spec   *hw.Spec
+	UCX    ucx.Config
+	Window int
+	Warmup int
+	Iters  int
+	// Src and Dst are the communicating ranks (default 0 and 1).
+	Src, Dst int
+}
+
+// DefaultP2PConfig mirrors osu_bw defaults scaled down for simulation.
+func DefaultP2PConfig(spec *hw.Spec) P2PConfig {
+	return P2PConfig{
+		Spec:   spec,
+		UCX:    ucx.DefaultConfig(),
+		Window: 1,
+		Warmup: 1,
+		Iters:  3,
+		Src:    0,
+		Dst:    1,
+	}
+}
+
+const (
+	tagData = 100
+	tagAck  = 101
+	tagRev  = 102
+)
+
+func (cfg *P2PConfig) validate() error {
+	if cfg.Spec == nil {
+		return fmt.Errorf("omb: nil topology spec")
+	}
+	if cfg.Window < 1 {
+		return fmt.Errorf("omb: window %d", cfg.Window)
+	}
+	if cfg.Iters < 1 {
+		return fmt.Errorf("omb: iters %d", cfg.Iters)
+	}
+	if cfg.Src == cfg.Dst {
+		return fmt.Errorf("omb: src == dst rank %d", cfg.Src)
+	}
+	return nil
+}
+
+// newWorld builds a fresh simulated machine and communicator.
+func newWorld(spec *hw.Spec, ucxCfg ucx.Config, ranks int) (*mpi.World, error) {
+	return newWorldOpts(spec, ucxCfg, ranks, mpi.DefaultOptions(), 0)
+}
+
+func newWorldOpts(spec *hw.Spec, ucxCfg ucx.Config, ranks int, opts mpi.Options, copyEngines int) (*mpi.World, error) {
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	rt := cuda.NewRuntime(node)
+	rt.SetCopyEngines(copyEngines)
+	ctx, err := ucx.NewContext(rt, ucxCfg)
+	if err != nil {
+		return nil, err
+	}
+	return mpi.NewWorld(ctx, ranks, opts)
+}
+
+// BW runs the unidirectional bandwidth test for each size: the sender
+// issues `window` back-to-back sends, the receiver posts matching
+// receives, and a short acknowledgment closes each iteration.
+func BW(cfg P2PConfig, sizes []float64) ([]Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, n := range sizes {
+		ranks := cfg.Dst + 1
+		if cfg.Src >= cfg.Dst {
+			ranks = cfg.Src + 1
+		}
+		w, err := newWorld(cfg.Spec, cfg.UCX, ranks)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed float64
+		err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+			switch r.ID() {
+			case cfg.Src:
+				return bwSender(p, r, cfg, n, &elapsed)
+			case cfg.Dst:
+				return bwReceiver(p, r, cfg, n)
+			default:
+				return nil
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := float64(cfg.Iters*cfg.Window) * n
+		out = append(out, Sample{Bytes: n, Bandwidth: total / elapsed, Latency: elapsed / float64(cfg.Iters)})
+	}
+	return out, nil
+}
+
+func bwSender(p *sim.Proc, r *mpi.Rank, cfg P2PConfig, n float64, elapsed *float64) error {
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := bwRound(p, r, cfg.Dst, cfg.Window, n); err != nil {
+			return err
+		}
+	}
+	start := p.Now()
+	for i := 0; i < cfg.Iters; i++ {
+		if err := bwRound(p, r, cfg.Dst, cfg.Window, n); err != nil {
+			return err
+		}
+	}
+	*elapsed = p.Now() - start
+	return nil
+}
+
+func bwRound(p *sim.Proc, r *mpi.Rank, dst, window int, n float64) error {
+	reqs := make([]*mpi.Request, 0, window)
+	for k := 0; k < window; k++ {
+		req, err := r.Isend(dst, n, tagData)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	if err := r.Wait(p, reqs...); err != nil {
+		return err
+	}
+	return r.Recv(p, dst, 0, tagAck)
+}
+
+func bwReceiver(p *sim.Proc, r *mpi.Rank, cfg P2PConfig, n float64) error {
+	rounds := cfg.Warmup + cfg.Iters
+	for i := 0; i < rounds; i++ {
+		reqs := make([]*mpi.Request, 0, cfg.Window)
+		for k := 0; k < cfg.Window; k++ {
+			req, err := r.Irecv(cfg.Src, n, tagData)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := r.Wait(p, reqs...); err != nil {
+			return err
+		}
+		if err := r.Send(p, cfg.Src, 0, tagAck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BiBW runs the bidirectional bandwidth test: both ranks send a window of
+// messages to each other simultaneously; aggregate bandwidth counts both
+// directions.
+func BiBW(cfg P2PConfig, sizes []float64) ([]Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, n := range sizes {
+		ranks := cfg.Dst + 1
+		if cfg.Src >= cfg.Dst {
+			ranks = cfg.Src + 1
+		}
+		w, err := newWorld(cfg.Spec, cfg.UCX, ranks)
+		if err != nil {
+			return nil, err
+		}
+		elapsedByRank := make([]float64, 2)
+		err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+			var peer int
+			var slot int
+			switch r.ID() {
+			case cfg.Src:
+				peer, slot = cfg.Dst, 0
+			case cfg.Dst:
+				peer, slot = cfg.Src, 1
+			default:
+				return nil
+			}
+			rounds := cfg.Warmup + cfg.Iters
+			var start float64
+			for i := 0; i < rounds; i++ {
+				if i == cfg.Warmup {
+					start = p.Now()
+				}
+				reqs := make([]*mpi.Request, 0, 2*cfg.Window)
+				for k := 0; k < cfg.Window; k++ {
+					sreq, err := r.Isend(peer, n, tagData+r.ID())
+					if err != nil {
+						return err
+					}
+					rreq, err := r.Irecv(peer, n, tagData+peer)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, sreq, rreq)
+				}
+				if err := r.Wait(p, reqs...); err != nil {
+					return err
+				}
+			}
+			elapsedByRank[slot] = p.Now() - start
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := elapsedByRank[0]
+		if elapsedByRank[1] > elapsed {
+			elapsed = elapsedByRank[1]
+		}
+		total := 2 * float64(cfg.Iters*cfg.Window) * n
+		out = append(out, Sample{Bytes: n, Bandwidth: total / elapsed, Latency: elapsed / float64(cfg.Iters)})
+	}
+	return out, nil
+}
+
+// CollConfig configures collective latency tests.
+type CollConfig struct {
+	Spec   *hw.Spec
+	UCX    ucx.Config
+	Ranks  int
+	Warmup int
+	Iters  int
+	// PatternAware enables the pattern-aware planner extension for the
+	// collective's transfers.
+	PatternAware bool
+	// CopyEngines caps concurrent copies per GPU (0 = unlimited).
+	CopyEngines int
+}
+
+// DefaultCollConfig uses all four GPUs.
+func DefaultCollConfig(spec *hw.Spec) CollConfig {
+	return CollConfig{
+		Spec:   spec,
+		UCX:    ucx.DefaultConfig(),
+		Ranks:  spec.GPUs,
+		Warmup: 1,
+		Iters:  3,
+	}
+}
+
+// collectiveLatency times one collective body across sizes.
+func collectiveLatency(cfg CollConfig, sizes []float64,
+	body func(p *sim.Proc, r *mpi.Rank, bytes float64) error) ([]Sample, error) {
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("omb: collective needs ≥2 ranks, have %d", cfg.Ranks)
+	}
+	if cfg.Iters < 1 {
+		return nil, fmt.Errorf("omb: iters %d", cfg.Iters)
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, n := range sizes {
+		mpiOpts := mpi.DefaultOptions()
+		mpiOpts.PatternAware = cfg.PatternAware
+		w, err := newWorldOpts(cfg.Spec, cfg.UCX, cfg.Ranks, mpiOpts, cfg.CopyEngines)
+		if err != nil {
+			return nil, err
+		}
+		var worst float64
+		err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+			for i := 0; i < cfg.Warmup; i++ {
+				if err := body(p, r, n); err != nil {
+					return err
+				}
+			}
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			start := p.Now()
+			for i := 0; i < cfg.Iters; i++ {
+				if err := body(p, r, n); err != nil {
+					return err
+				}
+			}
+			if d := p.Now() - start; d > worst {
+				worst = d
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sample{Bytes: n, Latency: worst / float64(cfg.Iters)})
+	}
+	return out, nil
+}
+
+// AllreduceLatency measures MPI_Allreduce (K-nomial RS+AG) latency per
+// message size (bytes per rank).
+func AllreduceLatency(cfg CollConfig, sizes []float64) ([]Sample, error) {
+	return collectiveLatency(cfg, sizes, func(p *sim.Proc, r *mpi.Rank, n float64) error {
+		return r.Allreduce(p, n)
+	})
+}
+
+// AlltoallLatency measures MPI_Alltoall (Bruck) latency per message size
+// (bytes per rank pair).
+func AlltoallLatency(cfg CollConfig, sizes []float64) ([]Sample, error) {
+	return collectiveLatency(cfg, sizes, func(p *sim.Proc, r *mpi.Rank, n float64) error {
+		return r.Alltoall(p, n)
+	})
+}

@@ -1,0 +1,277 @@
+package omb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/ucx"
+)
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if len(sizes) != 9 {
+		t.Fatalf("got %d sizes, want 9 (2MB..512MB)", len(sizes))
+	}
+	if sizes[0] != 2*hw.MiB || sizes[len(sizes)-1] != 512*hw.MiB {
+		t.Fatalf("size range wrong: %v..%v", sizes[0], sizes[len(sizes)-1])
+	}
+}
+
+func TestBWDirectMatchesLinkRate(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.MultipathEnable = false
+	samples, err := BW(cfg, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct path: ~48 GB/s minus per-message overheads.
+	got := samples[0].Bandwidth
+	if got < 45e9 || got > 48e9 {
+		t.Fatalf("direct BW = %.2f GB/s, want ≈48", got/1e9)
+	}
+}
+
+func TestBWMultipathSpeedup(t *testing.T) {
+	single := DefaultP2PConfig(hw.Beluga())
+	single.UCX.MultipathEnable = false
+	multi := DefaultP2PConfig(hw.Beluga())
+	multi.UCX.PathSet = "3gpus_host"
+	n := []float64{256 * hw.MiB}
+	s1, err := BW(single, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BW(multi, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s2[0].Bandwidth / s1[0].Bandwidth
+	if sp < 2.4 || sp > 3.4 {
+		t.Fatalf("multipath BW speedup %.2fx outside the paper's band", sp)
+	}
+}
+
+func TestBWWindow16(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.PathSet = "3gpus"
+	cfg.Window = 16
+	cfg.Iters = 1
+	samples, err := BW(cfg, []float64{16 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := DefaultP2PConfig(hw.Beluga())
+	w1.UCX.PathSet = "3gpus"
+	w1.Iters = 1
+	base, err := BW(w1, []float64{16 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windowing amortizes per-message overheads: aggregate bandwidth must
+	// not be lower.
+	if samples[0].Bandwidth < base[0].Bandwidth*0.99 {
+		t.Fatalf("window 16 BW %.2f < window 1 BW %.2f GB/s",
+			samples[0].Bandwidth/1e9, base[0].Bandwidth/1e9)
+	}
+}
+
+func TestBiBWUsesBothDirections(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.MultipathEnable = false
+	uni, err := BW(cfg, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := BiBW(cfg, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-duplex NVLink: BIBW ≈ 2× BW.
+	ratio := bi[0].Bandwidth / uni[0].Bandwidth
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Fatalf("BIBW/BW ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestBiBWHostStagedContention(t *testing.T) {
+	// Observation 5: with host staging, bidirectional transfers contend on
+	// the host memory channel; the BIBW gain from adding the host path
+	// must be smaller than the BW gain.
+	hostCfg := DefaultP2PConfig(hw.Beluga())
+	hostCfg.UCX.PathSet = "3gpus_host"
+	noHostCfg := DefaultP2PConfig(hw.Beluga())
+	noHostCfg.UCX.PathSet = "3gpus"
+	n := []float64{256 * hw.MiB}
+
+	bwHost, err := BW(hostCfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwNoHost, err := BW(noHostCfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biHost, err := BiBW(hostCfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biNoHost, err := BiBW(noHostCfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainBW := bwHost[0].Bandwidth / bwNoHost[0].Bandwidth
+	gainBi := biHost[0].Bandwidth / biNoHost[0].Bandwidth
+	if gainBW <= 1.0 {
+		t.Fatalf("host staging should help unidirectional BW (gain %.3f)", gainBW)
+	}
+	if gainBi >= gainBW {
+		t.Fatalf("host-staged BIBW gain %.3f not degraded vs BW gain %.3f (Obs. 5)",
+			gainBi, gainBW)
+	}
+}
+
+func TestAllreduceLatencyDecreasingInPaths(t *testing.T) {
+	sizes := []float64{64 * hw.MiB}
+	single := DefaultCollConfig(hw.Beluga())
+	single.UCX.MultipathEnable = false
+	multi := DefaultCollConfig(hw.Beluga())
+	multi.UCX.PathSet = "3gpus"
+	s1, err := AllreduceLatency(single, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AllreduceLatency(multi, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s1[0].Latency / s2[0].Latency
+	if sp <= 1.0 {
+		t.Fatalf("multipath allreduce speedup %.3f ≤ 1", sp)
+	}
+	if sp > 2.0 {
+		t.Fatalf("allreduce speedup %.2f implausible (collectives self-contend)", sp)
+	}
+}
+
+func TestAlltoallLatencySpeedup(t *testing.T) {
+	sizes := []float64{32 * hw.MiB}
+	single := DefaultCollConfig(hw.Beluga())
+	single.UCX.MultipathEnable = false
+	multi := DefaultCollConfig(hw.Beluga())
+	multi.UCX.PathSet = "2gpus"
+	s1, err := AlltoallLatency(single, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AlltoallLatency(multi, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := s1[0].Latency / s2[0].Latency; sp <= 1.0 {
+		t.Fatalf("multipath alltoall speedup %.3f ≤ 1", sp)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.Window = 0
+	if _, err := BW(cfg, []float64{1e6}); err == nil {
+		t.Error("window 0 accepted")
+	}
+	cfg = DefaultP2PConfig(hw.Beluga())
+	cfg.Src, cfg.Dst = 1, 1
+	if _, err := BW(cfg, []float64{1e6}); err == nil {
+		t.Error("src==dst accepted")
+	}
+	cfg = DefaultP2PConfig(hw.Beluga())
+	cfg.Iters = 0
+	if _, err := BiBW(cfg, []float64{1e6}); err == nil {
+		t.Error("iters 0 accepted")
+	}
+	cc := DefaultCollConfig(hw.Beluga())
+	cc.Ranks = 1
+	if _, err := AllreduceLatency(cc, []float64{1e6}); err == nil {
+		t.Error("1-rank collective accepted")
+	}
+}
+
+func TestNarvalBWHigherThanBeluga(t *testing.T) {
+	// Narval's NVLink-V3 mesh is ~2x Beluga's V2: direct BW should scale.
+	b := DefaultP2PConfig(hw.Beluga())
+	b.UCX.MultipathEnable = false
+	nv := DefaultP2PConfig(hw.Narval())
+	nv.UCX.MultipathEnable = false
+	sb, err := BW(b, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := BW(nv, []float64{64 * hw.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn[0].Bandwidth <= sb[0].Bandwidth*1.5 {
+		t.Fatalf("narval %.2f vs beluga %.2f GB/s", sn[0].Bandwidth/1e9, sb[0].Bandwidth/1e9)
+	}
+}
+
+func TestBandwidthMonotonicallyReasonableAcrossSizes(t *testing.T) {
+	cfg := DefaultP2PConfig(hw.Beluga())
+	cfg.UCX.PathSet = "3gpus"
+	cfg.Iters = 1
+	samples, err := BW(cfg, DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth should grow with message size (startup amortization) and
+	// the largest message should exceed the smallest by a fair margin.
+	first, last := samples[0].Bandwidth, samples[len(samples)-1].Bandwidth
+	if last <= first {
+		t.Fatalf("bandwidth did not grow with size: %v -> %v", first, last)
+	}
+	for _, s := range samples {
+		if math.IsNaN(s.Bandwidth) || s.Bandwidth <= 0 {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+}
+
+var _ = ucx.DefaultConfig // silence import if unused in future edits
+
+func TestDeterministicReplay(t *testing.T) {
+	// The simulator is fully deterministic: identical configurations must
+	// produce bit-identical results.
+	run := func() []Sample {
+		cfg := DefaultP2PConfig(hw.Beluga())
+		cfg.UCX.PathSet = "3gpus_host"
+		cfg.Window = 4
+		samples, err := BW(cfg, []float64{8 * hw.MiB, 64 * hw.MiB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Bandwidth != b[i].Bandwidth || a[i].Latency != b[i].Latency {
+			t.Fatalf("non-deterministic result at %v: %v vs %v", a[i].Bytes, a[i], b[i])
+		}
+	}
+}
+
+func TestDeterministicCollectiveReplay(t *testing.T) {
+	run := func() []Sample {
+		cfg := DefaultCollConfig(hw.Narval())
+		cfg.UCX.PathSet = "2gpus"
+		cfg.PatternAware = true
+		samples, err := AlltoallLatency(cfg, []float64{32 * hw.MiB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	a, b := run(), run()
+	if a[0].Latency != b[0].Latency {
+		t.Fatalf("collective replay diverged: %v vs %v", a[0].Latency, b[0].Latency)
+	}
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Failure injection: the engine must convert substrate failures into
+// failed completion signals rather than hangs or panics.
+
+func TestStagingAllocationFailureFailsTransfer(t *testing.T) {
+	s, e := syntheticEngine(t, DefaultConfig())
+	via := e.Runtime().Device(2)
+	// Exhaust the staging GPU's memory.
+	if _, err := via.Malloc(via.FreeMemory()); err != nil {
+		t.Fatal(err)
+	}
+	pl := manualPlan(400, stagedPlanPath(0, 2, 1, 400, 4, 0))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done.Fired() {
+		t.Fatal("transfer never completed")
+	}
+	if !errors.Is(res.Done.Err(), cuda.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", res.Done.Err())
+	}
+}
+
+func TestMissingDirectLinkFailsTransfer(t *testing.T) {
+	s := sim.New()
+	spec := hw.Synthetic()
+	delete(spec.NVLink, hw.Pair{A: 0, B: 1})
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cuda.NewRuntime(node), DefaultConfig())
+	pl := manualPlan(100, directPlanPath(0, 1, 100))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() == nil {
+		t.Fatal("transfer over a missing link should fail")
+	}
+}
+
+func TestPartialFailureStillFailsAggregate(t *testing.T) {
+	// Multi-path plan where one path's staging allocation fails: the
+	// aggregate completion must fail even though the direct path works.
+	s, e := syntheticEngine(t, DefaultConfig())
+	via := e.Runtime().Device(2)
+	if _, err := via.Malloc(via.FreeMemory()); err != nil {
+		t.Fatal(err)
+	}
+	pl := manualPlan(200,
+		directPlanPath(0, 1, 100),
+		stagedPlanPath(0, 2, 1, 100, 2, 0),
+	)
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() == nil {
+		t.Fatal("aggregate should fail when one path fails")
+	}
+	// The direct path still completed.
+	if res.PathDone[0] < 0 {
+		t.Fatal("direct path should have finished")
+	}
+}
+
+func TestUnknownPathKindFails(t *testing.T) {
+	s, e := syntheticEngine(t, DefaultConfig())
+	bad := core.PathPlan{
+		Path:   hw.Path{Kind: hw.PathKind(99), Src: 0, Dst: 1},
+		Param:  core.PathParam{Legs: []core.LinkParam{{Beta: 1}}},
+		Bytes:  100,
+		Chunks: 1,
+	}
+	pl := manualPlan(100, bad)
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() == nil {
+		t.Fatal("unknown path kind should fail the transfer")
+	}
+}
+
+func TestResultAccessorsBeforeCompletion(t *testing.T) {
+	s, e := syntheticEngine(t, DefaultConfig())
+	pl := manualPlan(400, directPlanPath(0, 1, 400))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed() != 0 || res.Bandwidth() != 0 {
+		t.Fatal("accessors should be zero before completion")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed() <= 0 || res.Bandwidth() <= 0 {
+		t.Fatal("accessors should be positive after completion")
+	}
+}

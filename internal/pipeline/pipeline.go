@@ -1,0 +1,274 @@
+// Package pipeline implements the multi-path transfer engine the paper
+// builds on (Sojoodi et al., ExHET'24 [35]): a single GPU-to-GPU message is
+// split across several paths, and staged paths move their share as a
+// pipeline of chunks through a three-step process per chunk:
+//
+//  1. copy the chunk from the source GPU to the staging location,
+//  2. synchronize to ensure the chunk has arrived,
+//  3. copy the chunk from the staging location to the destination GPU.
+//
+// Each staged path uses two CUDA streams (one per leg) ordered by events,
+// so consecutive chunks overlap: while chunk c crosses the second leg,
+// chunk c+1 crosses the first. Staging memory is a small ring buffer; the
+// first leg stalls when all slots hold chunks not yet drained by the
+// second leg.
+//
+// Paths are initiated sequentially by the issuing CPU thread; each path's
+// initiation occupies the CPU for the first leg's launch latency, which is
+// why Algorithm 1 accumulates earlier paths' α into later paths' Δ.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// StagingSlots is the ring-buffer depth per staged path (chunks that
+	// may be in flight between the two legs). Default 2 (double buffering).
+	StagingSlots int
+	// SequentialInitiation serializes path launches on the issuing CPU
+	// (matches Algorithm 1 line 18). Disabling it is an ablation.
+	SequentialInitiation bool
+}
+
+// DefaultConfig returns the runtime configuration.
+func DefaultConfig() Config {
+	return Config{StagingSlots: 2, SequentialInitiation: true}
+}
+
+// Engine executes multi-path transfer plans on a simulated CUDA runtime.
+type Engine struct {
+	rt  *cuda.Runtime
+	cfg Config
+}
+
+// New creates an engine.
+func New(rt *cuda.Runtime, cfg Config) *Engine {
+	if cfg.StagingSlots <= 0 {
+		cfg.StagingSlots = 2
+	}
+	return &Engine{rt: rt, cfg: cfg}
+}
+
+// Runtime returns the engine's CUDA runtime.
+func (e *Engine) Runtime() *cuda.Runtime { return e.rt }
+
+// Result tracks one executed transfer.
+type Result struct {
+	Plan    *core.Plan
+	Started sim.Time
+	Done    *sim.Signal
+	// PathDone records each path's completion time (indexed like
+	// Plan.Paths; zero-share paths stay at -1).
+	PathDone []sim.Time
+}
+
+// Elapsed returns the end-to-end transfer time. Valid once Done fires.
+func (r *Result) Elapsed() float64 {
+	if !r.Done.Fired() {
+		return 0
+	}
+	return r.Done.FiredAt() - r.Started
+}
+
+// Bandwidth returns achieved bytes/second. Valid once Done fires.
+func (r *Result) Bandwidth() float64 {
+	el := r.Elapsed()
+	if el <= 0 {
+		return 0
+	}
+	return r.Plan.Bytes / el
+}
+
+// Execute runs the plan. The returned result's Done signal fires when the
+// last byte of the last path arrives at the destination.
+func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
+	if plan == nil || len(plan.Paths) == 0 {
+		return nil, fmt.Errorf("pipeline: empty plan")
+	}
+	s := e.rt.Sim()
+	res := &Result{
+		Plan:     plan,
+		Started:  s.Now(),
+		PathDone: make([]sim.Time, len(plan.Paths)),
+	}
+	for i := range res.PathDone {
+		res.PathDone[i] = -1
+	}
+
+	var finals []*sim.Signal
+	offset := 0.0
+	for i := range plan.Paths {
+		pp := &plan.Paths[i]
+		if pp.Bytes <= 0 {
+			continue
+		}
+		idx := i
+		final := s.NewSignal()
+		final.OnFire(func() { res.PathDone[idx] = s.Now() })
+		finals = append(finals, final)
+
+		start := func(pp *core.PathPlan, final *sim.Signal) func() {
+			return func() {
+				if err := e.startPath(pp, final); err != nil {
+					final.Fail(err)
+				}
+			}
+		}(pp, final)
+
+		if e.cfg.SequentialInitiation {
+			s.Schedule(offset, start)
+			offset += pp.Param.Legs[0].Alpha
+		} else {
+			s.Schedule(0, start)
+		}
+	}
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("pipeline: plan has no active paths")
+	}
+	res.Done = sim.AllOf(s, finals...)
+	return res, nil
+}
+
+// startPath launches the per-path schedule; final fires when the path's
+// last chunk reaches the destination.
+func (e *Engine) startPath(pp *core.PathPlan, final *sim.Signal) error {
+	switch pp.Path.Kind {
+	case hw.Direct:
+		return e.startDirect(pp, final)
+	case hw.GPUStaged:
+		return e.startGPUStaged(pp, final)
+	case hw.HostStaged:
+		return e.startHostStaged(pp, final)
+	default:
+		return fmt.Errorf("pipeline: unknown path kind %v", pp.Path.Kind)
+	}
+}
+
+func (e *Engine) startDirect(pp *core.PathPlan, final *sim.Signal) error {
+	src := e.rt.Device(pp.Path.Src)
+	dst := e.rt.Device(pp.Path.Dst)
+	st := src.NewStream("direct")
+	sig := st.MemcpyPeerAsync(dst, pp.Bytes)
+	sig.OnFire(func() {
+		if sig.Err() != nil {
+			final.Fail(sig.Err())
+			return
+		}
+		final.Fire()
+	})
+	return nil
+}
+
+// chunkSizes splits bytes into k near-equal pieces (last chunk absorbs the
+// remainder), mirroring how the engine slices a share.
+func chunkSizes(bytes float64, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	base := bytes / float64(k)
+	out := make([]float64, k)
+	var used float64
+	for i := 0; i < k-1; i++ {
+		out[i] = base
+		used += base
+	}
+	out[k-1] = bytes - used
+	return out
+}
+
+// stagedLegs wires the three-step chunk pipeline between two streams with
+// the ring-buffer constraint and fires final when the last chunk lands.
+func (e *Engine) stagedLegs(
+	leg1 func(st *cuda.Stream, bytes float64) *sim.Signal,
+	leg2 func(st *cuda.Stream, bytes float64) *sim.Signal,
+	s1, s2 *cuda.Stream,
+	pp *core.PathPlan,
+	final *sim.Signal,
+) {
+	sizes := chunkSizes(pp.Bytes, pp.Chunks)
+	eps := pp.Param.Eps
+	slots := e.cfg.StagingSlots
+	drained := make([]*cuda.Event, len(sizes))
+	var last *sim.Signal
+	for c, sz := range sizes {
+		// Ring buffer: reuse slot c mod slots — wait until the chunk that
+		// previously occupied it has been drained by the second leg.
+		if c >= slots {
+			s1.WaitEvent(drained[c-slots])
+		}
+		leg1(s1, sz)
+		ev := s1.RecordEvent()
+		s2.WaitEvent(ev)
+		if eps > 0 {
+			s2.Delay(eps) // step 2: staging synchronization cost ε
+		}
+		down := leg2(s2, sz)
+		drained[c] = s2.RecordEvent()
+		last = down
+	}
+	last.OnFire(func() {
+		if last.Err() != nil {
+			final.Fail(last.Err())
+			return
+		}
+		final.Fire()
+	})
+}
+
+func (e *Engine) startGPUStaged(pp *core.PathPlan, final *sim.Signal) error {
+	src := e.rt.Device(pp.Path.Src)
+	via := e.rt.Device(pp.Path.Via)
+	dst := e.rt.Device(pp.Path.Dst)
+
+	// Staging ring buffer on the intermediate GPU.
+	chunk := pp.Bytes / float64(pp.Chunks)
+	slots := e.cfg.StagingSlots
+	if pp.Chunks < slots {
+		slots = pp.Chunks
+	}
+	buf, err := via.Malloc(chunk * float64(slots))
+	if err != nil {
+		return fmt.Errorf("pipeline: staging alloc on GPU %d: %w", via.ID(), err)
+	}
+	s1 := src.NewStream("stage-up")
+	s2 := via.NewStream("stage-down")
+	e.stagedLegs(
+		func(st *cuda.Stream, b float64) *sim.Signal { return st.MemcpyPeerAsync(via, b) },
+		func(st *cuda.Stream, b float64) *sim.Signal { return st.MemcpyPeerAsync(dst, b) },
+		s1, s2, pp, final,
+	)
+	final.OnFire(func() { _ = buf.Free() })
+	return nil
+}
+
+func (e *Engine) startHostStaged(pp *core.PathPlan, final *sim.Signal) error {
+	src := e.rt.Device(pp.Path.Src)
+	dst := e.rt.Device(pp.Path.Dst)
+	numa := pp.Path.Via
+
+	chunk := pp.Bytes / float64(pp.Chunks)
+	slots := e.cfg.StagingSlots
+	if pp.Chunks < slots {
+		slots = pp.Chunks
+	}
+	buf, err := e.rt.Host(numa).MallocHost(chunk * float64(slots))
+	if err != nil {
+		return fmt.Errorf("pipeline: host staging alloc on NUMA %d: %w", numa, err)
+	}
+	s1 := src.NewStream("host-up")
+	s2 := dst.NewStream("host-down")
+	e.stagedLegs(
+		func(st *cuda.Stream, b float64) *sim.Signal { return st.MemcpyToHostAsync(numa, b) },
+		func(st *cuda.Stream, b float64) *sim.Signal { return st.MemcpyFromHostAsync(numa, b) },
+		s1, s2, pp, final,
+	)
+	final.OnFire(func() { _ = buf.Free() })
+	return nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCancelWhileRunning(t *testing.T) {
+	s := New()
+	var h EventHandle
+	ran := false
+	s.Schedule(1, func() { h.Cancel() })
+	h = s.Schedule(2, func() { ran = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event canceled mid-run still executed")
+	}
+}
+
+func TestStopFromEvent(t *testing.T) {
+	s := New()
+	var after bool
+	s.Schedule(1, func() { s.Stop() })
+	s.Schedule(2, func() { after = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after {
+		t.Fatal("event after Stop executed")
+	}
+	// Run again resumes the remaining queue.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !after {
+		t.Fatal("resumed run skipped the pending event")
+	}
+}
+
+func TestRunUntilWithBlockedProcessNotDeadlock(t *testing.T) {
+	// A blocked process with events past the limit is not a deadlock: the
+	// run simply stops at the limit.
+	s := New()
+	sig := s.NewSignal()
+	s.Spawn("w", func(p *Proc) { _ = p.Wait(sig) })
+	s.Schedule(10, sig.Fire)
+	if err := s.RunUntil(5); err != nil {
+		t.Fatalf("RunUntil returned %v", err)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReentrantRunRejected(t *testing.T) {
+	s := New()
+	var inner error
+	s.Schedule(1, func() { inner = s.Run() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inner == nil {
+		t.Fatal("re-entrant Run accepted")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New()
+	var childDone float64
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		done := s.Spawn("child", func(c *Proc) { c.Sleep(2) })
+		_ = p.Wait(done)
+		childDone = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childDone != 3 {
+		t.Fatalf("child finished at %v, want 3", childDone)
+	}
+}
+
+func TestYieldOrdersWithSameInstantEvents(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("p", func(p *Proc) {
+		order = append(order, "before")
+		p.Yield()
+		order = append(order, "after")
+	})
+	s.Schedule(0, func() { order = append(order, "event") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The process starts (spawn event), logs, yields; the plain event was
+	// scheduled after the spawn event, so it runs before the resume.
+	want := []string{"before", "event", "after"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestErrPersistsAcrossRuns(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	s.Spawn("stuck", func(p *Proc) { _ = p.Wait(sig) })
+	err := s.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(s.Err(), ErrDeadlock) {
+		t.Fatal("Err() lost the deadlock")
+	}
+}
+
+func TestPendingCountsOnlyLive(t *testing.T) {
+	s := New()
+	h1 := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	h1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock by executing events in (time, sequence)
+// order. On top of the raw event loop it offers a process abstraction
+// (Simulator.Spawn) in which simulation logic is written as ordinary
+// sequential Go code that blocks on virtual time (Proc.Sleep) or on
+// one-shot signals (Proc.Wait). Exactly one process runs at any instant and
+// the scheduler hands control back and forth with strict channel handshakes,
+// so simulations are fully deterministic and race-free even though each
+// process is backed by a goroutine.
+//
+// Time is modeled as float64 seconds. Event ties are broken by insertion
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time = float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration = float64
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created via Simulator.Schedule and Simulator.At.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+	index    int
+}
+
+// EventHandle allows a scheduled event to be canceled before it fires.
+type EventHandle struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Canceling an already-executed or
+// already-canceled event is a no-op.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+// A Simulator must not be shared between OS threads while running;
+// all interaction during a run happens from event callbacks and processes.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	// procs counts live (spawned, not yet finished) processes, used for
+	// deadlock detection when the event queue drains.
+	procs   int
+	blocked int // processes currently waiting on a Signal (not a timer)
+	err     error
+	stopped bool
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// treated as zero. It returns a handle that can cancel the event.
+func (s *Simulator) Schedule(delay Duration, fn func()) EventHandle {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current instant.
+func (s *Simulator) At(t Time, fn func()) EventHandle {
+	if t < s.now || math.IsNaN(t) {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventHandle{ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// fail records the first error and stops the run.
+func (s *Simulator) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.stopped = true
+}
+
+// ErrDeadlock is returned by Run when live processes remain blocked but no
+// events are pending, i.e. virtual time can no longer advance.
+var ErrDeadlock = errors.New("sim: deadlock: blocked processes with empty event queue")
+
+// Run executes events until the queue drains, Stop is called, or an error
+// occurs. It returns ErrDeadlock if processes remain blocked with no
+// pending events, or the first error recorded by a process.
+func (s *Simulator) Run() error {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with timestamps <= limit. The clock is left at
+// the time of the last executed event (or at limit if nothing remained).
+func (s *Simulator) RunUntil(limit Time) error {
+	if s.running {
+		return errors.New("sim: Run called re-entrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	for !s.stopped {
+		ev := s.popRunnable()
+		if ev == nil {
+			if s.procs > 0 && s.err == nil {
+				s.err = fmt.Errorf("%w (%d live processes)", ErrDeadlock, s.procs)
+			}
+			break
+		}
+		if ev.at > limit {
+			// Put it back for a later RunUntil call.
+			heap.Push(&s.queue, ev)
+			if s.now < limit {
+				s.now = limit
+			}
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.err
+}
+
+// popRunnable removes and returns the earliest non-canceled event,
+// or nil when none remain.
+func (s *Simulator) popRunnable() *event {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if !ev.canceled {
+			return ev
+		}
+	}
+	return nil
+}
+
+// Err returns the first error recorded during the run, if any.
+func (s *Simulator) Err() error { return s.err }

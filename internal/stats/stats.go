@@ -1,0 +1,134 @@
+// Package stats provides the small statistical helpers the experiment
+// drivers use: means, relative errors, and aggregate summaries over
+// measurement series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the input is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min and Max return extrema (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// RelErr returns |got-want|/|want| (NaN-safe; +Inf when want is 0 and
+// got isn't).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// PercentErr is RelErr expressed in percent.
+func PercentErr(got, want float64) float64 { return 100 * RelErr(got, want) }
+
+// Summary aggregates a sample set.
+type Summary struct {
+	N               int
+	Mean, Min, Max  float64
+	Median, GeoMean float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:       len(xs),
+		Mean:    Mean(xs),
+		Min:     Min(xs),
+		Max:     Max(xs),
+		Median:  Median(xs),
+		GeoMean: GeoMean(xs),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.Median, s.Min, s.Max)
+}
+
+// HumanBytes renders a byte count in binary units (e.g. "64MiB").
+func HumanBytes(n float64) string {
+	switch {
+	case n >= 1<<30 && math.Mod(n, 1<<30) == 0:
+		return fmt.Sprintf("%.0fGiB", n/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", n)
+	}
+}

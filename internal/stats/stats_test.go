@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean with negative should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Min(xs) != 1 || Max(xs) != 5 || Median(xs) != 3 {
+		t.Fatalf("min/max/median = %v/%v/%v", Min(xs), Max(xs), Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty extrema not 0")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Fatal("RelErr(x,0) should be +Inf")
+	}
+	if got := PercentErr(94, 100); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("PercentErr = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 8})
+	if s.N != 3 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[float64]string{
+		512:               "512B",
+		2 * 1024:          "2KiB",
+		64 * 1024 * 1024:  "64MiB",
+		1 << 30:           "1GiB",
+		512 * 1024 * 1024: "512MiB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGeoMeanLeqMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package trace reports post-run utilization of a simulated machine:
+// per-link carried bytes, busy time, and average utilization while busy.
+// It is the debugging companion to the fluid network — the quickest way
+// to see which links a multi-path schedule actually exercised and where
+// contention concentrated.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// LinkUsage summarizes one link's activity since simulation start.
+type LinkUsage struct {
+	Name     string
+	Capacity float64 // bytes/second
+	Bytes    float64 // total bytes carried
+	BusyTime float64 // seconds with at least one active flow
+	// Utilization is Bytes / (Capacity · BusyTime): the mean fraction of
+	// capacity used while the link was busy (0 if never busy).
+	Utilization float64
+}
+
+// SnapshotLinks collects usage for every link of the node, sorted by
+// carried bytes (descending).
+func SnapshotLinks(node *hw.Node) []LinkUsage {
+	links := node.Net.Links()
+	out := make([]LinkUsage, 0, len(links))
+	for _, l := range links {
+		u := LinkUsage{
+			Name:     l.Name(),
+			Capacity: l.Capacity(),
+			Bytes:    l.BytesCarried(),
+			BusyTime: l.BusyTime(),
+		}
+		if u.BusyTime > 0 && u.Capacity > 0 {
+			u.Utilization = u.Bytes / (u.Capacity * u.BusyTime)
+		}
+		out = append(out, u)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out
+}
+
+// TotalBytes sums carried bytes over all links (each staged hop counts
+// once per link crossed).
+func TotalBytes(usages []LinkUsage) float64 {
+	var t float64
+	for _, u := range usages {
+		t += u.Bytes
+	}
+	return t
+}
+
+// Render writes the usage table, skipping idle links.
+func Render(w io.Writer, usages []LinkUsage) error {
+	if _, err := fmt.Fprintf(w, "%-18s  %10s  %12s  %10s  %6s\n",
+		"link", "cap GB/s", "bytes", "busy ms", "util"); err != nil {
+		return err
+	}
+	for _, u := range usages {
+		if u.Bytes == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-18s  %10.1f  %12.0f  %10.4f  %5.1f%%\n",
+			u.Name, u.Capacity/1e9, u.Bytes, u.BusyTime*1e3, u.Utilization*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func runTransfer(t *testing.T, sel hw.PathSet, n float64) *hw.Node {
+	t.Helper()
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.NewModel(core.SpecSource{Node: node}, core.DefaultOptions())
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := model.PlanTransfer(paths, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := pipeline.New(cuda.NewRuntime(node), pipeline.DefaultConfig())
+	if _, err := eng.Execute(pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestSnapshotDirectOnly(t *testing.T) {
+	node := runTransfer(t, hw.DirectOnly, 64*hw.MiB)
+	usages := SnapshotLinks(node)
+	if usages[0].Name != "nvlink:0->1" {
+		t.Fatalf("busiest link = %s, want nvlink:0->1", usages[0].Name)
+	}
+	if usages[0].Bytes != 64*hw.MiB {
+		t.Fatalf("bytes = %v", usages[0].Bytes)
+	}
+	if usages[0].Utilization < 0.99 || usages[0].Utilization > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", usages[0].Utilization)
+	}
+	// Only one link active.
+	if usages[1].Bytes != 0 {
+		t.Fatalf("unexpected second active link %s", usages[1].Name)
+	}
+}
+
+func TestSnapshotMultiPathUsesStagedLinks(t *testing.T) {
+	node := runTransfer(t, hw.ThreeGPUs, 64*hw.MiB)
+	usages := SnapshotLinks(node)
+	active := map[string]bool{}
+	for _, u := range usages {
+		if u.Bytes > 0 {
+			active[u.Name] = true
+		}
+	}
+	for _, want := range []string{"nvlink:0->1", "nvlink:0->2", "nvlink:2->1", "nvlink:0->3", "nvlink:3->1"} {
+		if !active[want] {
+			t.Errorf("link %s not used by 3-path transfer", want)
+		}
+	}
+	// Total bytes: direct share once + each staged share twice.
+	total := TotalBytes(usages)
+	if total <= 64*hw.MiB {
+		t.Fatalf("total carried %v should exceed message size (staged hops)", total)
+	}
+}
+
+func TestRender(t *testing.T) {
+	node := runTransfer(t, hw.TwoGPUs, 32*hw.MiB)
+	var buf bytes.Buffer
+	if err := Render(&buf, SnapshotLinks(node)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "nvlink:0->1") || !strings.Contains(out, "util") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	// Idle links are hidden.
+	if strings.Contains(out, "nvlink:3->2") {
+		t.Fatalf("idle link rendered:\n%s", out)
+	}
+}

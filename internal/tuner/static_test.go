@@ -1,0 +1,116 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+)
+
+func quickStatic(t *testing.T, sizes []float64) *StaticPlanner {
+	t.Helper()
+	opts := DefaultSearchOptions()
+	opts.Step = 0.25
+	opts.Refine = false
+	sp, err := NewStaticPlanner(hw.Beluga(), hw.TwoGPUs, sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestStaticPlannerBuilds(t *testing.T) {
+	sp := quickStatic(t, []float64{8 * hw.MiB, 64 * hw.MiB})
+	for _, n := range []float64{8 * hw.MiB, 64 * hw.MiB} {
+		res, ok := sp.Entry(n)
+		if !ok || res.Bandwidth <= 0 {
+			t.Fatalf("missing entry for %v", n)
+		}
+	}
+}
+
+func TestStaticPlannerNearestSize(t *testing.T) {
+	sp := quickStatic(t, []float64{8 * hw.MiB, 64 * hw.MiB})
+	// 16 MiB is log-closer to 8 MiB than to 64 MiB.
+	if got := sp.nearestSize(16 * hw.MiB); got != 8*hw.MiB {
+		t.Fatalf("nearest(16MiB) = %v, want 8MiB", got)
+	}
+	if got := sp.nearestSize(48 * hw.MiB); got != 64*hw.MiB {
+		t.Fatalf("nearest(48MiB) = %v, want 64MiB", got)
+	}
+	if got := sp.nearestSize(1 << 30); got != 64*hw.MiB {
+		t.Fatalf("nearest(1GiB) = %v, want 64MiB", got)
+	}
+}
+
+func TestStaticPlannerPlanTransfer(t *testing.T) {
+	sp := quickStatic(t, []float64{64 * hw.MiB})
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.TwoGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sp.PlanTransfer(paths, 64*hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, pp := range pl.Paths {
+		sum += pp.Bytes
+	}
+	if sum != 64*hw.MiB {
+		t.Fatalf("replayed shares sum %v", sum)
+	}
+	// The replayed plan must perform like the search result.
+	elapsed, err := MeasurePlan(hw.Beluga(), pl, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := sp.Entry(64 * hw.MiB)
+	if got := 64 * hw.MiB / elapsed; got < res.Bandwidth*0.95 {
+		t.Fatalf("replayed plan %.2f GB/s well below searched %.2f GB/s",
+			got/1e9, res.Bandwidth/1e9)
+	}
+}
+
+func TestStaticPlannerSymmetricPairs(t *testing.T) {
+	// Tuned on (0,1); replaying for (2,3) must work (symmetric preset).
+	sp := quickStatic(t, []float64{32 * hw.MiB})
+	paths, err := hw.Beluga().EnumeratePaths(2, 3, hw.TwoGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sp.PlanTransfer(paths, 32*hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Paths[0].Path.Src != 2 || pl.Paths[0].Path.Dst != 3 {
+		t.Fatalf("plan endpoints wrong: %+v", pl.Paths[0].Path)
+	}
+}
+
+func TestStaticPlannerErrors(t *testing.T) {
+	if _, err := NewStaticPlanner(hw.Beluga(), hw.TwoGPUs, nil, DefaultSearchOptions()); err == nil {
+		t.Error("no tuning sizes accepted")
+	}
+	sp := quickStatic(t, []float64{32 * hw.MiB})
+	if _, err := sp.PlanTransfer(nil, 1e6); err == nil {
+		t.Error("empty paths accepted")
+	}
+	if _, err := sp.PlanTransfer(nil, -1); err == nil {
+		t.Error("bad size accepted")
+	}
+	// Wrong path count (tuned for 2 paths, given 3).
+	paths, err := hw.Beluga().EnumeratePaths(0, 1, hw.ThreeGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.PlanTransfer(paths, 1e6); err == nil {
+		t.Error("mismatched path count accepted")
+	}
+}
+
+func TestMeasurePlanWindowValidation(t *testing.T) {
+	if _, err := MeasurePlanWindow(hw.Beluga(), nil, 0, pipeline.DefaultConfig()); err == nil {
+		t.Error("window 0 accepted")
+	}
+}

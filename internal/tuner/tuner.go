@@ -1,0 +1,268 @@
+// Package tuner provides the two configuration strategies the paper
+// compares against its model:
+//
+//   - ExhaustiveSearch reproduces the *static* baseline ([35]): it grids
+//     over share distributions (and chunk rules), measures every candidate
+//     on an idle machine, and returns the empirically best configuration.
+//     This is the "observed optimal" that prediction error is reported
+//     against.
+//   - MeasurePlan / MeasurePlanWindow execute one fixed configuration and
+//     report achieved bandwidth, used both by the search and by the
+//     experiment drivers for the *dynamic* (model-driven) series.
+package tuner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// SearchOptions bound the exhaustive search.
+type SearchOptions struct {
+	// Step is the θ granularity (e.g. 0.10 for 10% steps).
+	Step float64
+	// Refine adds a second pass at Step/4 around the best point.
+	Refine bool
+	// ChunkRules lists candidate chunk policies to try per distribution.
+	// Empty means {exact-law chunks}.
+	ChunkRules []ChunkPolicy
+	// EngineConfig for measurement runs.
+	EngineConfig pipeline.Config
+}
+
+// ChunkPolicy names a chunk-count policy used during the search.
+type ChunkPolicy struct {
+	Name  string
+	Fixed int // 0 = use the exact √ law per share
+}
+
+// DefaultSearchOptions matches the offline tuning effort of [35].
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{
+		Step:         0.10,
+		Refine:       true,
+		ChunkRules:   []ChunkPolicy{{Name: "exact"}},
+		EngineConfig: pipeline.DefaultConfig(),
+	}
+}
+
+// Result is the outcome of a search or measurement.
+type Result struct {
+	Thetas      []float64
+	Chunks      []int
+	Bandwidth   float64 // bytes/second achieved
+	Elapsed     float64
+	Evaluations int
+}
+
+// buildPlan constructs a concrete plan from fractional shares.
+func buildPlan(node *hw.Node, paths []hw.Path, n float64, thetas []float64, policy ChunkPolicy) (*core.Plan, error) {
+	plans := make([]core.PathPlan, len(paths))
+	var assigned float64
+	for i, p := range paths {
+		param, err := core.ParamsFromSpec(node, p)
+		if err != nil {
+			return nil, err
+		}
+		share := thetas[i] * n
+		if i == 0 {
+			// Assign the remainder to the direct path at the end.
+			share = 0
+		}
+		plans[i] = core.PathPlan{Path: p, Param: param, Theta: thetas[i], Bytes: share}
+		assigned += share
+	}
+	plans[0].Bytes = n - assigned
+	if plans[0].Bytes < 0 {
+		return nil, fmt.Errorf("tuner: shares exceed message size")
+	}
+	for i := range plans {
+		if plans[i].Bytes <= 0 {
+			plans[i].Chunks = 0
+			continue
+		}
+		if !plans[i].Param.Staged() {
+			plans[i].Chunks = 1
+			continue
+		}
+		if policy.Fixed > 0 {
+			plans[i].Chunks = policy.Fixed
+		} else {
+			k := int(plans[i].Param.ExactChunks(plans[i].Bytes) + 0.5)
+			if k < 1 {
+				k = 1
+			}
+			if k > 64 {
+				k = 64
+			}
+			plans[i].Chunks = k
+		}
+	}
+	return &core.Plan{Src: paths[0].Src, Dst: paths[0].Dst, Bytes: n, Paths: plans}, nil
+}
+
+// MeasurePlan executes one plan on an idle instance of the machine and
+// returns the elapsed time.
+func MeasurePlan(spec *hw.Spec, plan *core.Plan, engCfg pipeline.Config) (float64, error) {
+	return measureWindow(spec, plan, 1, engCfg)
+}
+
+// MeasurePlanWindow executes `window` concurrent instances of the plan
+// (OSU-style windowed issue) and returns the aggregate elapsed time from
+// first issue to last completion.
+func MeasurePlanWindow(spec *hw.Spec, plan *core.Plan, window int, engCfg pipeline.Config) (float64, error) {
+	return measureWindow(spec, plan, window, engCfg)
+}
+
+func measureWindow(spec *hw.Spec, plan *core.Plan, window int, engCfg pipeline.Config) (float64, error) {
+	if window < 1 {
+		return 0, fmt.Errorf("tuner: window %d", window)
+	}
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return 0, err
+	}
+	eng := pipeline.New(cuda.NewRuntime(node), engCfg)
+	results := make([]*pipeline.Result, window)
+	for i := 0; i < window; i++ {
+		res, err := eng.Execute(plan)
+		if err != nil {
+			return 0, err
+		}
+		results[i] = res
+	}
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	var last float64
+	for _, res := range results {
+		if res.Done.Err() != nil {
+			return 0, res.Done.Err()
+		}
+		if end := res.Done.FiredAt(); end > last {
+			last = end
+		}
+	}
+	return last, nil
+}
+
+// compositions enumerates share vectors over p paths with the given step,
+// where the direct path (index 0) receives the remainder.
+func compositions(p int, step float64, yield func([]float64)) {
+	thetas := make([]float64, p)
+	var rec func(idx int, remaining float64)
+	rec = func(idx int, remaining float64) {
+		if idx == p {
+			if remaining >= -1e-9 {
+				thetas[0] = remaining
+				cp := append([]float64(nil), thetas...)
+				yield(cp)
+			}
+			return
+		}
+		for f := 0.0; f <= remaining+1e-9; f += step {
+			thetas[idx] = f
+			rec(idx+1, remaining-f)
+		}
+	}
+	rec(1, 1.0)
+}
+
+// ExhaustiveSearch finds the empirically best static configuration for a
+// transfer by measuring every grid point. It returns the best result and
+// the number of simulator evaluations performed.
+func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, opts SearchOptions) (*Result, error) {
+	if opts.Step <= 0 || opts.Step > 1 {
+		return nil, fmt.Errorf("tuner: invalid step %v", opts.Step)
+	}
+	if len(opts.ChunkRules) == 0 {
+		opts.ChunkRules = []ChunkPolicy{{Name: "exact"}}
+	}
+	paths, err := spec.EnumeratePaths(src, dst, sel)
+	if err != nil {
+		return nil, err
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, err
+	}
+
+	best := &Result{}
+	evaluate := func(thetas []float64) error {
+		for _, policy := range opts.ChunkRules {
+			plan, err := buildPlan(node, paths, n, thetas, policy)
+			if err != nil {
+				return err
+			}
+			elapsed, err := MeasurePlan(spec, plan, opts.EngineConfig)
+			if err != nil {
+				return err
+			}
+			best.Evaluations++
+			bw := n / elapsed
+			if bw > best.Bandwidth {
+				best.Bandwidth = bw
+				best.Elapsed = elapsed
+				best.Thetas = append([]float64(nil), thetas...)
+				best.Chunks = make([]int, len(plan.Paths))
+				for i := range plan.Paths {
+					best.Chunks[i] = plan.Paths[i].Chunks
+				}
+			}
+		}
+		return nil
+	}
+
+	var evalErr error
+	compositions(len(paths), opts.Step, func(thetas []float64) {
+		if evalErr != nil {
+			return
+		}
+		evalErr = evaluate(thetas)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	if opts.Refine && len(best.Thetas) > 0 {
+		fine := opts.Step / 4
+		base := append([]float64(nil), best.Thetas...)
+		// Local refinement: perturb every staged share around the best
+		// point on a fine grid.
+		var rec func(idx int, cur []float64)
+		rec = func(idx int, cur []float64) {
+			if evalErr != nil {
+				return
+			}
+			if idx == len(base) {
+				var sum float64
+				for _, th := range cur[1:] {
+					if th < 0 {
+						return
+					}
+					sum += th
+				}
+				if sum > 1+1e-9 {
+					return
+				}
+				cur[0] = 1 - sum
+				evalErr = evaluate(cur)
+				return
+			}
+			for d := -2; d <= 2; d++ {
+				cur[idx] = base[idx] + float64(d)*fine
+				rec(idx+1, cur)
+			}
+		}
+		rec(1, append([]float64(nil), base...))
+		if evalErr != nil {
+			return nil, evalErr
+		}
+	}
+	return best, nil
+}

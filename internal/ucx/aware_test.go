@@ -1,0 +1,214 @@
+package ucx
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestBidirAwareShrinksHostShare(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PathSet = "3gpus_host"
+	cfg.BidirAware = true
+	s, ctx := func() (*sim.Simulator, *Context) {
+		s := sim.New()
+		node, err := hw.Build(s, hw.Beluga())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := NewContext(cuda.NewRuntime(node), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, ctx
+	}()
+	ep, err := ctx.NewWorker(0).Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ep.Put(256 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare the host-path share against a naive context.
+	naive := DefaultConfig()
+	naive.PathSet = "3gpus_host"
+	s2 := sim.New()
+	node2, err := hw.Build(s2, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, err := NewContext(cuda.NewRuntime(node2), naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := ctx2.NewWorker(0).Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2, err := ep2.Put(256 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Plan.Paths[3].Bytes >= req2.Plan.Paths[3].Bytes {
+		t.Fatalf("bidir-aware host share %.0f not below naive %.0f",
+			req.Plan.Paths[3].Bytes, req2.Plan.Paths[3].Bytes)
+	}
+}
+
+func TestPutHintedUsesPatternModel(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PathSet = "3gpus"
+	ctx, err := NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := ctx.NewWorker(0).Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hint that (2,3) is concurrently sending. Its candidate paths load
+	// our staged legs (2→1 via its GPU-1 staging, 0→3 via its GPU-0
+	// staging) but leave our direct link 0→1 untouched, so the hinted
+	// plan should shift share onto the direct path.
+	hinted, err := ep.PutHinted(128*hw.MiB, [][2]int{{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ep.Put(128 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !hinted.Multipath || !plain.Multipath {
+		t.Fatal("transfers not multipath")
+	}
+	if hinted.Plan.Paths[0].Bytes <= plain.Plan.Paths[0].Bytes {
+		t.Fatalf("hinted direct share %.0f not above plain %.0f",
+			hinted.Plan.Paths[0].Bytes, plain.Plan.Paths[0].Bytes)
+	}
+}
+
+func TestPatternHintGateSmallMessages(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PathSet = "3gpus"
+	ctx, err := NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := ctx.NewWorker(0).Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below PatternAwareMinBytes the hint must be ignored.
+	small, err := ep.PutHinted(4*hw.MiB, [][2]int{{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ep.Put(4 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Plan.Paths {
+		if small.Plan.Paths[i].Bytes != plain.Plan.Paths[i].Bytes {
+			t.Fatalf("small hinted plan differs from plain plan at path %d", i)
+		}
+	}
+}
+
+func TestLoadAwareSeesInflightTransfers(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PathSet = "3gpus"
+	cfg.LoadAware = true
+	ctx, err := NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep23, err := ctx.NewWorker(2).Connect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep01, err := ctx.NewWorker(0).Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer 2->3 starts with an empty machine.
+	first, err := ep23.Put(256 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second transfer 0->1 must observe it: its staged legs are loaded
+	// while its direct link is free, so it leans on the direct path more
+	// than the (symmetric, unloaded) first plan did.
+	second, err := ep01.Put(256 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil || second.Plan == nil {
+		t.Fatal("plans missing")
+	}
+	if second.Plan.Paths[0].Theta <= first.Plan.Paths[0].Theta {
+		t.Fatalf("load-aware second transfer should lean on its direct path: %.3f vs %.3f",
+			second.Plan.Paths[0].Theta, first.Plan.Paths[0].Theta)
+	}
+	// After completion the inflight set drains.
+	if len(ctx.inflight) != 0 {
+		t.Fatalf("inflight not drained: %v", ctx.inflight)
+	}
+}
+
+func TestInflightPairsDeterministicOrder(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(cuda.NewRuntime(node), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.inflight[[2]int{2, 3}] = 1
+	ctx.inflight[[2]int{0, 2}] = 1
+	ctx.inflight[[2]int{1, 0}] = 2
+	got := ctx.inflightPairs(0, 1)
+	want := [][2]int{{0, 2}, {1, 0}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", got, want)
+		}
+	}
+}

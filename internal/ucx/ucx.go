@@ -1,0 +1,522 @@
+// Package ucx simulates the slice of the UCX communication framework the
+// paper integrates with: a context holding transport state, per-process
+// workers, endpoints between GPU pairs, an eager/rendezvous protocol
+// switch, and the cuda_ipc transport with its IPC-handle translation
+// cache.
+//
+// The paper's design (§4, Fig. 2a) hooks into the cuda_ipc module: when a
+// transfer reaches it, the performance model computes the optimal
+// multi-path configuration (Step 3-4) and forwards it to the pipeline
+// engine (Step 5). This package reproduces that call path:
+//
+//	Endpoint.Put → (eager | rendezvous) → cuda_ipc → model.PlanTransfer →
+//	pipeline.Engine.Execute
+//
+// Multi-path behaviour is controlled through environment-style variables
+// (ParseConfig), mirroring how the real integration is toggled.
+package ucx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Config is the environment-derived configuration.
+type Config struct {
+	// MultipathEnable turns the model-driven multi-path engine on.
+	MultipathEnable bool
+	// PathSet names the candidate path selection: "direct", "2gpus",
+	// "3gpus", "3gpus_host", "all".
+	PathSet string
+	// RndvThreshold is the eager/rendezvous switch point in bytes.
+	RndvThreshold float64
+	// RndvOverhead is the control-message (RTS/ATS) round-trip cost.
+	RndvOverhead float64
+	// EagerOverhead is the per-message cost of the eager protocol.
+	EagerOverhead float64
+	// IpcOpenCost is the one-time cudaIpcOpenMemHandle cost per GPU pair,
+	// amortized by the translation cache.
+	IpcOpenCost float64
+	// Model options forwarded to the planner.
+	ModelOptions core.Options
+	// Engine configuration.
+	EngineConfig pipeline.Config
+	// Planner overrides the model-driven planner when non-nil (used for
+	// the statically-tuned baseline, which replays offline search results
+	// instead of evaluating the model).
+	Planner Planner
+	// BidirAware enables the contention-aware model extension: planning
+	// assumes the mirror transfer runs concurrently and derates shared
+	// links (fixes the host-staged BIBW over-prediction of Observation 5).
+	BidirAware bool
+	// PatternAwareMinBytes gates pattern-aware planning: hints are only
+	// honored for transfers at least this large, where the steady-state
+	// contention assumption holds (small transfers are startup-dominated
+	// and plan better naively).
+	PatternAwareMinBytes float64
+	// LoadAware makes the transport self-observing: every multi-path Put
+	// is planned around the transfers currently in flight, with no
+	// explicit hints. Subsumes BidirAware whenever the reverse transfer
+	// is already running, and adapts collectives without pattern
+	// knowledge. Gated by PatternAwareMinBytes like explicit hints.
+	LoadAware bool
+}
+
+// Planner produces a multi-path configuration for a transfer. core.Model
+// is the dynamic implementation; tuner.StaticPlanner replays exhaustive
+// search results.
+type Planner interface {
+	PlanTransfer(paths []hw.Path, n float64) (*core.Plan, error)
+}
+
+// DefaultConfig mirrors the runtime defaults of the integrated stack.
+func DefaultConfig() Config {
+	return Config{
+		MultipathEnable:      true,
+		PathSet:              "all",
+		RndvThreshold:        64 * hw.KiB,
+		RndvOverhead:         3.0e-6,
+		EagerOverhead:        1.0e-6,
+		IpcOpenCost:          30.0e-6,
+		ModelOptions:         core.DefaultOptions(),
+		EngineConfig:         pipeline.DefaultConfig(),
+		PatternAwareMinBytes: 24 * hw.MiB,
+	}
+}
+
+// ParseConfig overlays environment-style variables onto the defaults.
+// Recognized keys (values as noted):
+//
+//	UCX_MP_ENABLE        y|n
+//	UCX_MP_PATHS         direct|2gpus|3gpus|3gpus_host|all
+//	UCX_RNDV_THRESH      bytes (integer)
+//	UCX_MP_MAX_CHUNKS    integer
+//	UCX_MP_PIPELINING    y|n
+//	UCX_MP_BIDIR_AWARE   y|n
+//	UCX_MP_ADAPTIVE_PHI  y|n
+//	UCX_MP_LOAD_AWARE    y|n
+func ParseConfig(env map[string]string) (Config, error) {
+	cfg := DefaultConfig()
+	for k, v := range env {
+		switch k {
+		case "UCX_MP_ENABLE":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.MultipathEnable = b
+		case "UCX_MP_PATHS":
+			if _, err := PathSetByName(v); err != nil {
+				return cfg, err
+			}
+			cfg.PathSet = v
+		case "UCX_RNDV_THRESH":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.RndvThreshold = f
+		case "UCX_MP_MAX_CHUNKS":
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 1 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.ModelOptions.MaxChunks = i
+		case "UCX_MP_PIPELINING":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.ModelOptions.Pipelined = b
+		case "UCX_MP_BIDIR_AWARE":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.BidirAware = b
+		case "UCX_MP_ADAPTIVE_PHI":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.ModelOptions.AdaptivePhi = b
+		case "UCX_MP_LOAD_AWARE":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.LoadAware = b
+		default:
+			return cfg, fmt.Errorf("ucx: unknown variable %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+func parseBool(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "y", "yes", "1", "true", "on":
+		return true, nil
+	case "n", "no", "0", "false", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad boolean %q", v)
+}
+
+// PathSetByName maps configuration names to path selections.
+func PathSetByName(name string) (hw.PathSet, error) {
+	switch name {
+	case "direct":
+		return hw.DirectOnly, nil
+	case "2gpus":
+		return hw.TwoGPUs, nil
+	case "3gpus":
+		return hw.ThreeGPUs, nil
+	case "3gpus_host":
+		return hw.ThreeGPUsWithHost, nil
+	case "all", "":
+		return hw.AllPaths, nil
+	}
+	return hw.PathSet{}, fmt.Errorf("ucx: unknown path set %q", name)
+}
+
+// Context owns transport-global state: the planner, the pipeline engine,
+// and the IPC translation cache shared by all endpoints.
+type Context struct {
+	cfg     Config
+	rt      *cuda.Runtime
+	engine  *pipeline.Engine
+	model   *core.Model
+	planner Planner
+	sel     hw.PathSet
+
+	ipcOpened map[[2]int]bool
+	ipcOpens  int
+	puts      int
+
+	// bidirModels caches per-pair contention-aware planners (BidirAware).
+	bidirModels map[[2]int]*core.Model
+	// patternModels caches planners per communication-pattern hint.
+	patternModels map[string]*core.Model
+	// inflight counts active rendezvous transfers per (src, dst) pair,
+	// feeding LoadAware planning.
+	inflight map[[2]int]int
+}
+
+// NewContext builds a context over a CUDA runtime.
+func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
+	sel, err := PathSetByName(cfg.PathSet)
+	if err != nil {
+		return nil, err
+	}
+	model := core.NewModel(core.SpecSource{Node: rt.Node()}, cfg.ModelOptions)
+	var planner Planner = model
+	if cfg.Planner != nil {
+		planner = cfg.Planner
+	}
+	return &Context{
+		cfg:           cfg,
+		rt:            rt,
+		engine:        pipeline.New(rt, cfg.EngineConfig),
+		model:         model,
+		planner:       planner,
+		sel:           sel,
+		ipcOpened:     make(map[[2]int]bool),
+		bidirModels:   make(map[[2]int]*core.Model),
+		patternModels: make(map[string]*core.Model),
+		inflight:      make(map[[2]int]int),
+	}, nil
+}
+
+// Model exposes the planner (experiments query predictions through it).
+func (c *Context) Model() *core.Model { return c.model }
+
+// Runtime returns the CUDA runtime.
+func (c *Context) Runtime() *cuda.Runtime { return c.rt }
+
+// Config returns the active configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// IpcOpens reports how many IPC handle opens were performed (cache misses).
+func (c *Context) IpcOpens() int { return c.ipcOpens }
+
+// Puts reports the number of Put operations issued.
+func (c *Context) Puts() int { return c.puts }
+
+// Worker is the per-process progress context (one per MPI rank).
+type Worker struct {
+	ctx *Context
+	dev int
+}
+
+// NewWorker creates a worker bound to a GPU.
+func (c *Context) NewWorker(dev int) *Worker {
+	return &Worker{ctx: c, dev: dev}
+}
+
+// Device returns the worker's GPU index.
+func (w *Worker) Device() int { return w.dev }
+
+// Endpoint connects a worker to a peer GPU.
+type Endpoint struct {
+	ctx  *Context
+	src  int
+	dst  int
+	plan *core.Plan // last plan, for diagnostics
+}
+
+// Connect creates an endpoint from this worker's GPU to the peer's.
+func (w *Worker) Connect(peerDev int) (*Endpoint, error) {
+	if peerDev == w.dev {
+		return nil, fmt.Errorf("ucx: cannot connect endpoint to self (GPU %d)", w.dev)
+	}
+	if peerDev < 0 || peerDev >= w.ctx.rt.DeviceCount() {
+		return nil, fmt.Errorf("ucx: peer GPU %d out of range", peerDev)
+	}
+	return &Endpoint{ctx: w.ctx, src: w.dev, dst: peerDev}, nil
+}
+
+// Request is an in-flight one-sided operation.
+type Request struct {
+	Done  *sim.Signal
+	Bytes float64
+	start sim.Time
+	// Multipath reports whether the transfer used the multi-path engine.
+	Multipath bool
+	// Plan is the configuration used (nil for eager/single-path).
+	Plan *core.Plan
+}
+
+// Elapsed returns the operation duration once Done has fired.
+func (r *Request) Elapsed() float64 {
+	if !r.Done.Fired() {
+		return 0
+	}
+	return r.Done.FiredAt() - r.start
+}
+
+// LastPlan returns the most recent plan computed on this endpoint.
+func (ep *Endpoint) LastPlan() *core.Plan { return ep.plan }
+
+// Put issues a one-sided GPU-to-GPU write of the given size. Small
+// messages use the eager protocol on the direct link; large messages go
+// through rendezvous and, when enabled, the model-driven multi-path
+// engine.
+func (ep *Endpoint) Put(bytes float64) (*Request, error) {
+	return ep.put(bytes, nil)
+}
+
+// PutHinted is Put with a communication-pattern hint: the (src, dst)
+// pairs of transfers known to run concurrently (e.g. the other exchanges
+// of a collective round). The planner derates links those transfers
+// occupy, implementing the §3 suggestion that known patterns let unused
+// paths be exploited more effectively.
+func (ep *Endpoint) PutHinted(bytes float64, concurrent [][2]int) (*Request, error) {
+	return ep.put(bytes, concurrent)
+}
+
+func (ep *Endpoint) put(bytes float64, concurrent [][2]int) (*Request, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("ucx: Put of %v bytes", bytes)
+	}
+	c := ep.ctx
+	c.puts++
+	s := c.rt.Sim()
+	req := &Request{Done: s.NewSignal(), Bytes: bytes, start: s.Now()}
+
+	// cuda_ipc handle translation: first transfer to a peer opens the
+	// remote memory handle; later transfers hit the cache.
+	setup := 0.0
+	key := [2]int{ep.src, ep.dst}
+	if !c.ipcOpened[key] {
+		c.ipcOpened[key] = true
+		c.ipcOpens++
+		setup += c.cfg.IpcOpenCost
+	}
+
+	if bytes < c.cfg.RndvThreshold || !c.cfg.MultipathEnable {
+		return ep.singlePath(req, bytes, setup)
+	}
+	return ep.multiPath(req, bytes, setup, concurrent)
+}
+
+// singlePath issues the transfer on the direct link only (the default
+// cuda_ipc behaviour).
+func (ep *Endpoint) singlePath(req *Request, bytes, setup float64) (*Request, error) {
+	c := ep.ctx
+	s := c.rt.Sim()
+	overhead := setup
+	if bytes < c.cfg.RndvThreshold {
+		overhead += c.cfg.EagerOverhead
+	} else {
+		overhead += c.cfg.RndvOverhead
+	}
+	s.Schedule(overhead, func() {
+		st := c.rt.Device(ep.src).NewStream("put")
+		sig := st.MemcpyPeerAsync(c.rt.Device(ep.dst), bytes)
+		sig.OnFire(func() {
+			if sig.Err() != nil {
+				req.Done.Fail(sig.Err())
+				return
+			}
+			req.Done.Fire()
+		})
+	})
+	return req, nil
+}
+
+// multiPath plans and executes the transfer across the configured paths.
+func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][2]int) (*Request, error) {
+	c := ep.ctx
+	s := c.rt.Sim()
+	paths, err := c.rt.Node().Spec.EnumeratePaths(ep.src, ep.dst, c.sel)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.LoadAware && len(concurrent) == 0 {
+		concurrent = c.inflightPairs(ep.src, ep.dst)
+	}
+	planner := c.planner
+	if c.cfg.Planner == nil {
+		switch {
+		case len(concurrent) > 0 && bytes >= c.cfg.PatternAwareMinBytes:
+			planner, err = c.patternModel(ep.src, ep.dst, concurrent)
+		case c.cfg.BidirAware:
+			planner, err = c.bidirModel(ep.src, ep.dst, paths)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	pl, err := planner.PlanTransfer(paths, bytes)
+	if err != nil {
+		return nil, err
+	}
+	ep.plan = pl
+	req.Plan = pl
+	req.Multipath = true
+	pair := [2]int{ep.src, ep.dst}
+	c.inflight[pair]++
+	release := func() {
+		if c.inflight[pair] > 0 {
+			c.inflight[pair]--
+		}
+		if c.inflight[pair] == 0 {
+			delete(c.inflight, pair)
+		}
+	}
+	s.Schedule(setup+c.cfg.RndvOverhead, func() {
+		res, err := c.engine.Execute(pl)
+		if err != nil {
+			release()
+			req.Done.Fail(err)
+			return
+		}
+		res.Done.OnFire(func() {
+			release()
+			if res.Done.Err() != nil {
+				req.Done.Fail(res.Done.Err())
+				return
+			}
+			req.Done.Fire()
+		})
+	})
+	return req, nil
+}
+
+// inflightPairs snapshots the currently active transfer pairs other than
+// the one being planned, in deterministic order.
+func (c *Context) inflightPairs(src, dst int) [][2]int {
+	if len(c.inflight) == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(c.inflight))
+	gpus := c.rt.DeviceCount()
+	for a := 0; a < gpus; a++ {
+		for b := 0; b < gpus; b++ {
+			pair := [2]int{a, b}
+			if pair == ([2]int{src, dst}) {
+				continue
+			}
+			if c.inflight[pair] > 0 {
+				out = append(out, pair)
+			}
+		}
+	}
+	return out
+}
+
+// patternModel returns (building and caching on demand) a planner that
+// derates links used by a known set of concurrent transfers. Each
+// concurrent pair contributes the legs of its own candidate path set —
+// multi-path peers spread over staged paths too, so their staged legs are
+// part of the load.
+func (c *Context) patternModel(src, dst int, concurrent [][2]int) (*core.Model, error) {
+	key := fmt.Sprintf("%d:%d|%v", src, dst, concurrent)
+	if m, ok := c.patternModels[key]; ok {
+		return m, nil
+	}
+	spec := c.rt.Node().Spec
+	// Estimate each concurrent transfer's commitment from its own naive
+	// plan at a reference size: the links it uses, weighted by its θ
+	// shares at its predicted rate.
+	const refN = 64 * hw.MiB
+	var loads []core.LoadedPath
+	for _, pair := range concurrent {
+		if pair[0] == src && pair[1] == dst {
+			continue // never count the transfer being planned
+		}
+		paths, err := spec.EnumeratePaths(pair[0], pair[1], c.sel)
+		if err != nil {
+			return nil, fmt.Errorf("ucx: pattern hint pair %v: %w", pair, err)
+		}
+		pl, err := c.model.PlanTransfer(paths, refN)
+		if err != nil {
+			return nil, err
+		}
+		for _, pp := range pl.ActivePaths() {
+			loads = append(loads, core.LoadedPath{
+				Path:   pp.Path,
+				Weight: pp.Theta,
+				Rate:   pl.PredictedBandwidth,
+			})
+		}
+	}
+	source, err := core.NewWeightedContendedSource(c.rt.Node(), loads)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewModel(source, c.cfg.ModelOptions)
+	c.patternModels[key] = m
+	return m, nil
+}
+
+// bidirModel returns (building on demand) the contention-aware planner
+// for a GPU pair: it assumes the mirror transfer is concurrently active.
+func (c *Context) bidirModel(src, dst int, paths []hw.Path) (*core.Model, error) {
+	key := [2]int{src, dst}
+	if m, ok := c.bidirModels[key]; ok {
+		return m, nil
+	}
+	source, err := core.BidirectionalSource(c.rt.Node(), paths)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewModel(source, c.cfg.ModelOptions)
+	c.bidirModels[key] = m
+	return m, nil
+}
+
+// Get issues a one-sided read: data moves dst→src. It is implemented as a
+// Put from the remote side, as UCX's cuda_ipc does.
+func (ep *Endpoint) Get(bytes float64) (*Request, error) {
+	rev := &Endpoint{ctx: ep.ctx, src: ep.dst, dst: ep.src}
+	return rev.Put(bytes)
+}

@@ -1,0 +1,321 @@
+package ucx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func newCtx(t *testing.T, cfg Config) (*sim.Simulator, *Context) {
+	t.Helper()
+	s := sim.New()
+	node, err := hw.Build(s, hw.Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ctx
+}
+
+func endpoint(t *testing.T, ctx *Context, src, dst int) *Endpoint {
+	t.Helper()
+	ep, err := ctx.NewWorker(src).Connect(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.MultipathEnable || cfg.PathSet != "all" {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{
+		"UCX_MP_ENABLE":     "n",
+		"UCX_MP_PATHS":      "3gpus",
+		"UCX_RNDV_THRESH":   "131072",
+		"UCX_MP_MAX_CHUNKS": "16",
+		"UCX_MP_PIPELINING": "no",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MultipathEnable {
+		t.Error("MP enable not parsed")
+	}
+	if cfg.PathSet != "3gpus" {
+		t.Error("path set not parsed")
+	}
+	if cfg.RndvThreshold != 131072 {
+		t.Error("threshold not parsed")
+	}
+	if cfg.ModelOptions.MaxChunks != 16 {
+		t.Error("max chunks not parsed")
+	}
+	if cfg.ModelOptions.Pipelined {
+		t.Error("pipelining not parsed")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []map[string]string{
+		{"UCX_MP_ENABLE": "maybe"},
+		{"UCX_MP_PATHS": "9gpus"},
+		{"UCX_RNDV_THRESH": "-1"},
+		{"UCX_RNDV_THRESH": "abc"},
+		{"UCX_MP_MAX_CHUNKS": "0"},
+		{"UCX_TOTALLY_UNKNOWN": "1"},
+	}
+	for _, env := range bad {
+		if _, err := ParseConfig(env); err == nil {
+			t.Errorf("env %v accepted", env)
+		}
+	}
+}
+
+func TestPathSetByName(t *testing.T) {
+	for name, want := range map[string]hw.PathSet{
+		"direct":     hw.DirectOnly,
+		"2gpus":      hw.TwoGPUs,
+		"3gpus":      hw.ThreeGPUs,
+		"3gpus_host": hw.ThreeGPUsWithHost,
+		"all":        hw.AllPaths,
+	} {
+		got, err := PathSetByName(name)
+		if err != nil || got != want {
+			t.Errorf("PathSetByName(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if _, err := PathSetByName("bogus"); err == nil {
+		t.Error("bogus path set accepted")
+	}
+}
+
+func TestEagerSmallMessage(t *testing.T) {
+	s, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	req, err := ep.Put(4 * hw.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Multipath {
+		t.Error("small message should not use multipath")
+	}
+	// ipc open (30µs) + eager (1µs) + α (2µs) + 4KiB/48GBps ≈ 33.085µs
+	want := 30e-6 + 1e-6 + 2e-6 + 4*hw.KiB/(48*hw.GBps)
+	if math.Abs(req.Elapsed()-want) > 1e-9 {
+		t.Fatalf("eager elapsed = %v, want %v", req.Elapsed(), want)
+	}
+}
+
+func TestIpcHandleCacheAmortizes(t *testing.T) {
+	s, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	req1, err := ep.Put(4 * hw.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := req1.Elapsed()
+	req2, err := ep.Put(4 * hw.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	second := req2.Elapsed()
+	if second >= first {
+		t.Fatalf("cached transfer not faster: %v vs %v", second, first)
+	}
+	if math.Abs(first-second-ctx.Config().IpcOpenCost) > 1e-9 {
+		t.Fatalf("difference %v != IpcOpenCost", first-second)
+	}
+	if ctx.IpcOpens() != 1 {
+		t.Fatalf("ipc opens = %d, want 1", ctx.IpcOpens())
+	}
+	// A different destination pays the open again.
+	ep2 := endpoint(t, ctx, 0, 2)
+	if _, err := ep2.Put(4 * hw.KiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.IpcOpens() != 2 {
+		t.Fatalf("ipc opens = %d, want 2", ctx.IpcOpens())
+	}
+}
+
+func TestLargeMessageUsesMultipath(t *testing.T) {
+	s, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	req, err := ep.Put(64 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !req.Multipath {
+		t.Fatal("large message did not use multipath")
+	}
+	if req.Plan == nil || len(req.Plan.ActivePaths()) < 2 {
+		t.Fatal("plan missing or single-path")
+	}
+	if ep.LastPlan() != req.Plan {
+		t.Fatal("endpoint did not record the plan")
+	}
+}
+
+func TestMultipathDisabledFallsBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MultipathEnable = false
+	s, ctx := newCtx(t, cfg)
+	ep := endpoint(t, ctx, 0, 1)
+	req, err := ep.Put(64 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Multipath {
+		t.Fatal("multipath used despite being disabled")
+	}
+	// Time ≈ rndv + ipc open + α + n/β.
+	want := 3e-6 + 30e-6 + 2e-6 + 64*hw.MiB/(48*hw.GBps)
+	if math.Abs(req.Elapsed()-want) > 1e-7 {
+		t.Fatalf("single-path elapsed = %v, want %v", req.Elapsed(), want)
+	}
+}
+
+func TestMultipathBeatsSinglePath(t *testing.T) {
+	elapsed := func(enable bool) float64 {
+		cfg := DefaultConfig()
+		cfg.MultipathEnable = enable
+		s, ctx := newCtx(t, cfg)
+		ep := endpoint(t, ctx, 0, 1)
+		req, err := ep.Put(256 * hw.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return req.Elapsed()
+	}
+	single := elapsed(false)
+	multi := elapsed(true)
+	sp := single / multi
+	if sp < 2.0 {
+		t.Fatalf("multipath speedup %.2fx, want ≥ 2x on Beluga", sp)
+	}
+}
+
+func TestPathSetRestrictsPlan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PathSet = "2gpus"
+	s, ctx := newCtx(t, cfg)
+	ep := endpoint(t, ctx, 0, 1)
+	req, err := ep.Put(64 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(req.Plan.Paths); got != 2 {
+		t.Fatalf("plan has %d paths, want 2", got)
+	}
+}
+
+func TestGetIsReversedPut(t *testing.T) {
+	s, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	req, err := ep.Get(64 * hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Plan.Src != 1 || req.Plan.Dst != 0 {
+		t.Fatalf("get plan direction = %d->%d, want 1->0", req.Plan.Src, req.Plan.Dst)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	_, ctx := newCtx(t, DefaultConfig())
+	w := ctx.NewWorker(0)
+	if _, err := w.Connect(0); err == nil {
+		t.Error("self-connect accepted")
+	}
+	if _, err := w.Connect(99); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+}
+
+func TestPutRejectsBadSize(t *testing.T) {
+	_, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	if _, err := ep.Put(0); err == nil {
+		t.Error("zero-byte put accepted")
+	}
+	if _, err := ep.Put(-4); err == nil {
+		t.Error("negative put accepted")
+	}
+}
+
+func TestPutCountsTracked(t *testing.T) {
+	s, ctx := newCtx(t, DefaultConfig())
+	ep := endpoint(t, ctx, 0, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := ep.Put(8 * hw.KiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Puts() != 3 {
+		t.Fatalf("puts = %d, want 3", ctx.Puts())
+	}
+}
+
+func TestParseConfigExtensionKnobs(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{
+		"UCX_MP_BIDIR_AWARE":  "y",
+		"UCX_MP_ADAPTIVE_PHI": "yes",
+		"UCX_MP_LOAD_AWARE":   "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.BidirAware || !cfg.ModelOptions.AdaptivePhi || !cfg.LoadAware {
+		t.Fatalf("extension knobs not parsed: %+v", cfg)
+	}
+	for _, k := range []string{"UCX_MP_BIDIR_AWARE", "UCX_MP_ADAPTIVE_PHI", "UCX_MP_LOAD_AWARE"} {
+		if _, err := ParseConfig(map[string]string{k: "maybe"}); err == nil {
+			t.Errorf("%s=maybe accepted", k)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package workload drives application-level scenarios on the simulated
+// machine. The flagship workload is data-parallel deep-learning training:
+// per-step forward/backward compute, gradients bucketed and all-reduced as
+// the backward pass produces them (the overlap scheme DDP frameworks use),
+// and an optimizer step. It measures how much communication the
+// multi-path engine hides — the end-to-end quantity the paper's intro
+// motivates.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// TrainingConfig describes a data-parallel training run.
+type TrainingConfig struct {
+	Spec  *hw.Spec
+	UCX   ucx.Config
+	Ranks int
+	// Buckets are gradient bucket sizes in bytes, in the order the
+	// backward pass finishes them.
+	Buckets []float64
+	// StepCompute is the forward+backward compute time per step, spread
+	// evenly across buckets for overlap purposes.
+	StepCompute float64
+	// OptimizerTime is the per-step optimizer cost after gradients are in.
+	OptimizerTime float64
+	// Steps is the number of measured steps (after one warmup step).
+	Steps int
+	// Overlap all-reduces buckets concurrently with the remaining
+	// backward compute (DDP-style). When false, communication starts only
+	// after the full backward pass.
+	Overlap bool
+	// PatternAware forwards the collective pattern hint to the planner.
+	PatternAware bool
+}
+
+// Validate checks the configuration.
+func (cfg *TrainingConfig) Validate() error {
+	if cfg.Spec == nil {
+		return fmt.Errorf("workload: nil topology")
+	}
+	if cfg.Ranks < 2 {
+		return fmt.Errorf("workload: need ≥ 2 ranks, have %d", cfg.Ranks)
+	}
+	if len(cfg.Buckets) == 0 {
+		return fmt.Errorf("workload: no gradient buckets")
+	}
+	for i, b := range cfg.Buckets {
+		if b <= 0 {
+			return fmt.Errorf("workload: bucket %d has size %v", i, b)
+		}
+	}
+	if cfg.StepCompute < 0 || cfg.OptimizerTime < 0 {
+		return fmt.Errorf("workload: negative compute times")
+	}
+	if cfg.Steps < 1 {
+		return fmt.Errorf("workload: steps %d", cfg.Steps)
+	}
+	return nil
+}
+
+// TrainingResult summarizes a run.
+type TrainingResult struct {
+	// StepTime is the mean measured step duration (slowest rank).
+	StepTime float64
+	// ComputeTime is the per-step compute (input, for reference).
+	ComputeTime float64
+	// ExposedComm is StepTime − ComputeTime: communication the schedule
+	// failed to hide.
+	ExposedComm float64
+	// Efficiency is ComputeTime / StepTime.
+	Efficiency float64
+	// GradientBytes is the total gradient volume per step.
+	GradientBytes float64
+}
+
+// RunTraining executes the workload and returns per-step statistics.
+func RunTraining(cfg TrainingConfig) (*TrainingResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	node, err := hw.Build(s, cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg.UCX)
+	if err != nil {
+		return nil, err
+	}
+	opts := mpi.DefaultOptions()
+	opts.PatternAware = cfg.PatternAware
+	w, err := mpi.NewWorld(ctx, cfg.Ranks, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var total float64
+	var grad float64
+	for _, b := range cfg.Buckets {
+		grad += b
+	}
+	perBucketCompute := cfg.StepCompute / float64(len(cfg.Buckets))
+
+	err = w.Run(func(p *sim.Proc, r *mpi.Rank) error {
+		step := func() error {
+			if cfg.Overlap {
+				return overlappedStep(p, r, cfg, perBucketCompute)
+			}
+			return sequentialStep(p, r, cfg, perBucketCompute)
+		}
+		// Warmup step heats IPC and config caches.
+		if err := step(); err != nil {
+			return err
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for i := 0; i < cfg.Steps; i++ {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		if d := (p.Now() - start) / float64(cfg.Steps); d > total {
+			total = d
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TrainingResult{
+		StepTime:      total,
+		ComputeTime:   cfg.StepCompute + cfg.OptimizerTime,
+		GradientBytes: grad,
+	}
+	res.ExposedComm = res.StepTime - res.ComputeTime
+	if res.ExposedComm < 0 {
+		res.ExposedComm = 0
+	}
+	if res.StepTime > 0 {
+		res.Efficiency = res.ComputeTime / res.StepTime
+	}
+	return res, nil
+}
+
+// sequentialStep: full backward compute, then all buckets reduced.
+func sequentialStep(p *sim.Proc, r *mpi.Rank, cfg TrainingConfig, perBucket float64) error {
+	p.Sleep(cfg.StepCompute)
+	for _, b := range cfg.Buckets {
+		if err := r.Allreduce(p, b); err != nil {
+			return err
+		}
+	}
+	p.Sleep(cfg.OptimizerTime)
+	return nil
+}
+
+// overlappedStep: a communication process drains ready buckets while the
+// main process continues the backward pass — the DDP overlap scheme.
+func overlappedStep(p *sim.Proc, r *mpi.Rank, cfg TrainingConfig, perBucket float64) error {
+	s := p.Sim()
+	ready := make([]*sim.Signal, len(cfg.Buckets))
+	for i := range ready {
+		ready[i] = s.NewSignal()
+	}
+	var commErr error
+	commDone := s.Spawn("comm", func(cp *sim.Proc) {
+		for i, b := range cfg.Buckets {
+			if err := cp.Wait(ready[i]); err != nil {
+				commErr = err
+				return
+			}
+			if err := r.Allreduce(cp, b); err != nil {
+				commErr = err
+				return
+			}
+		}
+	})
+	for i := range cfg.Buckets {
+		p.Sleep(perBucket)
+		ready[i].Fire()
+	}
+	if err := p.Wait(commDone); err != nil {
+		return err
+	}
+	if commErr != nil {
+		return commErr
+	}
+	p.Sleep(cfg.OptimizerTime)
+	return nil
+}
+
+// ResNet50Buckets approximates a 25M-parameter fp32 model bucketed the
+// way DDP does (25 MB buckets, last one smaller).
+func ResNet50Buckets() []float64 {
+	return []float64{25 * 1e6, 25 * 1e6, 25 * 1e6, 22 * 1e6, 3 * 1e6}
+}

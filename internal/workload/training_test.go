@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/ucx"
+)
+
+func baseConfig() TrainingConfig {
+	return TrainingConfig{
+		Spec:          hw.Beluga(),
+		UCX:           ucx.DefaultConfig(),
+		Ranks:         4,
+		Buckets:       ResNet50Buckets(),
+		StepCompute:   3e-3, // 3 ms fwd+bwd
+		OptimizerTime: 0.2e-3,
+		Steps:         2,
+		Overlap:       true,
+	}
+}
+
+func run(t *testing.T, mutate func(*TrainingConfig)) *TrainingResult {
+	t.Helper()
+	cfg := baseConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := RunTraining(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTrainingRuns(t *testing.T) {
+	res := run(t, nil)
+	if res.StepTime <= 0 || res.Efficiency <= 0 || res.Efficiency > 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.GradientBytes != 100e6 {
+		t.Fatalf("gradient bytes = %v", res.GradientBytes)
+	}
+	// Step must be at least the compute time.
+	if res.StepTime < res.ComputeTime {
+		t.Fatalf("step %.4f < compute %.4f", res.StepTime, res.ComputeTime)
+	}
+}
+
+func TestOverlapHidesCommunication(t *testing.T) {
+	seq := run(t, func(c *TrainingConfig) { c.Overlap = false })
+	ovl := run(t, func(c *TrainingConfig) { c.Overlap = true })
+	if ovl.StepTime >= seq.StepTime {
+		t.Fatalf("overlap (%.4f ms) not faster than sequential (%.4f ms)",
+			ovl.StepTime*1e3, seq.StepTime*1e3)
+	}
+	if ovl.ExposedComm >= seq.ExposedComm {
+		t.Fatalf("overlap exposed comm %.4f ≥ sequential %.4f",
+			ovl.ExposedComm, seq.ExposedComm)
+	}
+}
+
+func TestMultipathImprovesEfficiency(t *testing.T) {
+	single := run(t, func(c *TrainingConfig) { c.UCX.MultipathEnable = false })
+	multi := run(t, func(c *TrainingConfig) { c.UCX.PathSet = "3gpus" })
+	if multi.Efficiency <= single.Efficiency {
+		t.Fatalf("multipath efficiency %.3f not above single-path %.3f",
+			multi.Efficiency, single.Efficiency)
+	}
+}
+
+func TestComputeBoundStepFullyHidesComm(t *testing.T) {
+	// With abundant compute, overlap should hide (almost) all comm.
+	res := run(t, func(c *TrainingConfig) {
+		c.StepCompute = 50e-3
+		c.UCX.PathSet = "3gpus"
+	})
+	if res.Efficiency < 0.95 {
+		t.Fatalf("compute-bound efficiency %.3f, want ≥ 0.95", res.Efficiency)
+	}
+}
+
+func TestTrainingValidation(t *testing.T) {
+	bad := []func(*TrainingConfig){
+		func(c *TrainingConfig) { c.Spec = nil },
+		func(c *TrainingConfig) { c.Ranks = 1 },
+		func(c *TrainingConfig) { c.Buckets = nil },
+		func(c *TrainingConfig) { c.Buckets = []float64{-1} },
+		func(c *TrainingConfig) { c.StepCompute = -1 },
+		func(c *TrainingConfig) { c.Steps = 0 },
+	}
+	for i, mut := range bad {
+		cfg := baseConfig()
+		mut(&cfg)
+		if _, err := RunTraining(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPatternAwareTrainingNotSlower(t *testing.T) {
+	naive := run(t, func(c *TrainingConfig) {
+		c.UCX.PathSet = "3gpus"
+		c.Buckets = []float64{128e6, 128e6}
+	})
+	aware := run(t, func(c *TrainingConfig) {
+		c.UCX.PathSet = "3gpus"
+		c.Buckets = []float64{128e6, 128e6}
+		c.PatternAware = true
+	})
+	if aware.StepTime > naive.StepTime*1.02 {
+		t.Fatalf("pattern-aware training slower: %.4f vs %.4f ms",
+			aware.StepTime*1e3, naive.StepTime*1e3)
+	}
+}

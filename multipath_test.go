@@ -1,0 +1,160 @@
+package multipath
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSystemAndTransfer(t *testing.T) {
+	sys, err := NewSystem(Beluga(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Transfer(0, 1, 64*MiB, ThreeGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth < 100e9 {
+		t.Fatalf("multi-path bandwidth %.2f GB/s too low", res.Bandwidth/1e9)
+	}
+	relErr := math.Abs(res.Plan.PredictedTime-res.Elapsed) / res.Elapsed
+	if relErr > 0.10 {
+		t.Fatalf("prediction off by %.1f%%", relErr*100)
+	}
+}
+
+func TestEndpointPut(t *testing.T) {
+	sys, err := NewSystem(Beluga(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := sys.Endpoint(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ep.Put(32 * MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if req.Elapsed() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if !req.Multipath {
+		t.Fatal("large put should be multi-path")
+	}
+}
+
+func TestPlanOnly(t *testing.T) {
+	sys, err := NewSystem(Narval(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(0, 1, 128*MiB, ThreeGPUsWithHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Paths) != 4 {
+		t.Fatalf("plan paths = %d, want 4", len(plan.Paths))
+	}
+	if plan.PredictedBandwidth <= 95*GBps {
+		t.Fatalf("multi-path prediction %.1f GB/s not above direct", plan.PredictedBandwidth/1e9)
+	}
+}
+
+func TestWorldCollective(t *testing.T) {
+	sys, err := NewSystem(Beluga(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc, r *Rank) error {
+		return r.Allreduce(p, 16*MiB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, name := range []string{"beluga", "narval", "nvswitch", "synthetic"} {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestParseConfigFacade(t *testing.T) {
+	cfg, err := ParseConfig(map[string]string{"UCX_MP_PATHS": "2gpus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PathSet != "2gpus" {
+		t.Fatal("config not parsed")
+	}
+}
+
+func TestFacadeClusterReExports(t *testing.T) {
+	c, err := BuildCluster(DefaultClusterSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c.PlanTransfer(0, 0, 1, 0, 64*MiB, -1, DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth() <= 22e9 {
+		t.Fatalf("cluster multi-rail BW %.2f GB/s not above single rail", res.Bandwidth()/1e9)
+	}
+}
+
+func TestFacadeSpecFromJSON(t *testing.T) {
+	js := `{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],
+		"nvlink":[{"a":0,"b":1,"bandwidth_gbps":50,"latency_us":2}],
+		"pcie":[{"bandwidth_gbps":12,"latency_us":5}],
+		"mem":[{"bandwidth_gbps":40,"latency_us":0.5}]}`
+	sp, err := SpecFromJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Transfer(0, 1, 16*MiB, AllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatal("no bandwidth on custom topology")
+	}
+}
+
+func TestFacadeCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	pr, err := Calibrate(Beluga())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Params) == 0 {
+		t.Fatal("empty profile")
+	}
+}
