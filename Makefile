@@ -1,0 +1,29 @@
+# Convenience targets for the multi-path transfer reproduction.
+
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the gate every change should pass: vet + build + tests + the
+# race detector (the parallel experiment runner's worker pools make -race
+# load-bearing, not optional).
+verify:
+	sh scripts/verify.sh
+
+# bench runs the perf-trajectory benchmarks recorded in BENCH_fluid.json.
+bench:
+	$(GO) test -bench 'BenchmarkFluidChurn|BenchmarkFlowChurn|BenchmarkFluidReallocateOnly' -benchmem -run xxx ./internal/fluid/
+	$(GO) test -bench 'BenchmarkScheduleRun|BenchmarkCancelRescheduleChurn' -benchmem -run xxx ./internal/sim/
+	$(GO) test -bench 'BenchmarkParallelSweep' -run xxx .

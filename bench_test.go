@@ -15,6 +15,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hw"
 	"repro/internal/omb"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/tuner"
@@ -415,4 +416,33 @@ func BenchmarkEndToEndTransfer(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelSweep measures the experiment grid with the sequential
+// and pooled runners on an identical multi-panel workload. The sub-bench
+// ratio is the wall-clock payoff of `mpbench -parallel`; on a single-CPU
+// machine the two converge (the pool adds only scheduling noise), while on
+// N CPUs the parallel variant approaches N× on this embarrassingly
+// parallel grid.
+func BenchmarkParallelSweep(b *testing.B) {
+	opts := quickOpts()
+	opts.PathSets = []string{"2gpus", "3gpus"}
+	opts.Windows = []int{1, 4}
+	opts.Sizes = []float64{8 * hw.MiB, 64 * hw.MiB}
+	run := func(b *testing.B, workers int) {
+		opts := opts
+		opts.Workers = workers
+		opts.Search.Workers = workers
+		for i := 0; i < b.N; i++ {
+			fig, err := exp.Fig5(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fig.Panels) != 4 {
+				b.Fatalf("expected 4 panels, got %d", len(fig.Panels))
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, par.DefaultWorkers()) })
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mpbench -exp all                          # everything, full grid
+//	mpbench -exp all -parallel                # same tables, all CPUs
 //	mpbench -exp fig5 -clusters beluga        # one figure, one cluster
 //	mpbench -exp headline -quick              # reduced grid smoke run
 //	mpbench -exp fig6 -csv out.csv            # also dump CSV
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/hw"
+	"repro/internal/par"
 )
 
 func main() {
@@ -29,6 +31,10 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced grid for a fast smoke run")
 		csvPath  = flag.String("csv", "", "also write figure data as CSV to this file")
 		iters    = flag.Int("iters", 3, "measured iterations per point")
+		parallel = flag.Bool("parallel", false,
+			"fan independent grid points (panels, search points) across one worker per CPU; output is byte-identical to a sequential run")
+		workers = flag.Int("workers", 0,
+			"explicit worker count for -parallel (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,14 @@ func main() {
 		if _, ok := hw.Presets[c]; !ok {
 			fatal("unknown cluster %q (have: beluga, narval, nvswitch, synthetic)", c)
 		}
+	}
+	if *parallel || *workers > 1 {
+		w := *workers
+		if w <= 0 {
+			w = par.DefaultWorkers()
+		}
+		opts.Workers = w
+		opts.Search.Workers = w
 	}
 
 	var figures []*exp.Figure

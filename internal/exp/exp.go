@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hw"
@@ -82,6 +83,11 @@ type Options struct {
 	Warmup, Iters int
 	// Search configures the offline static tuning.
 	Search tuner.SearchOptions
+	// Workers bounds how many grid points (panels) are simulated
+	// concurrently. Each panel runs on its own private simulators, so the
+	// produced figures are identical to a sequential run; only wall-clock
+	// changes. 0 or 1 means sequential.
+	Workers int
 }
 
 // DefaultOptions reproduces the paper's full grid.
@@ -170,34 +176,48 @@ type staticPlannerKey struct {
 	pathSet string
 }
 
+// plannerEntry is a single-flight slot: the first panel needing a tuning
+// builds it; concurrent panels needing the same tuning wait on the Once
+// instead of duplicating the (expensive) exhaustive search.
+type plannerEntry struct {
+	once sync.Once
+	sp   *tuner.StaticPlanner
+	err  error
+}
+
 // plannerCache shares offline static tunings across panels of one
-// experiment run.
+// experiment run. It is safe for concurrent use by parallel panel workers.
 type plannerCache struct {
-	opts     Options
-	planners map[staticPlannerKey]*tuner.StaticPlanner
+	opts    Options
+	mu      sync.Mutex
+	entries map[staticPlannerKey]*plannerEntry
 }
 
 func newPlannerCache(opts Options) *plannerCache {
-	return &plannerCache{opts: opts, planners: make(map[staticPlannerKey]*tuner.StaticPlanner)}
+	return &plannerCache{opts: opts, entries: make(map[staticPlannerKey]*plannerEntry)}
 }
 
 func (pc *plannerCache) get(cluster, pathSet string) (*tuner.StaticPlanner, error) {
 	key := staticPlannerKey{cluster, pathSet}
-	if sp, ok := pc.planners[key]; ok {
-		return sp, nil
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	if !ok {
+		e = &plannerEntry{}
+		pc.entries[key] = e
 	}
-	spec, err := specFor(cluster)
-	if err != nil {
-		return nil, err
-	}
-	sel, err := ucx.PathSetByName(pathSet)
-	if err != nil {
-		return nil, err
-	}
-	sp, err := tuner.NewStaticPlanner(spec, sel, pc.opts.Sizes, pc.opts.Search)
-	if err != nil {
-		return nil, err
-	}
-	pc.planners[key] = sp
-	return sp, nil
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		spec, err := specFor(cluster)
+		if err != nil {
+			e.err = err
+			return
+		}
+		sel, err := ucx.PathSetByName(pathSet)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sp, e.err = tuner.NewStaticPlanner(spec, sel, pc.opts.Sizes, pc.opts.Search)
+	})
+	return e.sp, e.err
 }

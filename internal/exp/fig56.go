@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/omb"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/ucx"
@@ -41,16 +42,37 @@ func figBandwidth(bidirectional bool, opts Options) (*Figure, error) {
 	fig := &Figure{ID: name, Caption: caption + ": direct vs static vs dynamic vs predicted"}
 	planners := newPlannerCache(opts)
 
+	// Every (cluster, path set, window) grid point is an independent panel
+	// simulated on private simulators; fan them over the worker pool and
+	// keep the panel order fixed by indexing results by grid position.
+	type gridPoint struct {
+		cluster string
+		psName  string
+		window  int
+	}
+	var grid []gridPoint
 	for _, cluster := range opts.Clusters {
 		for _, psName := range opts.PathSets {
 			for _, window := range opts.Windows {
-				panel, err := bandwidthPanel(bidirectional, cluster, psName, window, opts, planners)
-				if err != nil {
-					return nil, err
-				}
-				fig.Panels = append(fig.Panels, *panel)
+				grid = append(grid, gridPoint{cluster, psName, window})
 			}
 		}
+	}
+	panels := make([]*Panel, len(grid))
+	err := par.ForEach(len(grid), opts.Workers, func(i int) error {
+		g := grid[i]
+		panel, err := bandwidthPanel(bidirectional, g.cluster, g.psName, g.window, opts, planners)
+		if err != nil {
+			return err
+		}
+		panels[i] = panel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, panel := range panels {
+		fig.Panels = append(fig.Panels, *panel)
 	}
 	return fig, nil
 }

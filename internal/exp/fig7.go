@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/omb"
+	"repro/internal/par"
 )
 
 // Collective series names (speedup over the default single-path stack).
@@ -23,19 +24,37 @@ func Fig7(opts Options) (*Figure, error) {
 		Caption: "Latency speedup of MPI_Alltoall and MPI_Allreduce vs the default single-path stack",
 	}
 	planners := newPlannerCache(opts)
+	type gridPoint struct {
+		coll    string
+		cluster string
+		psName  string
+	}
+	var grid []gridPoint
 	for _, coll := range []string{"alltoall", "allreduce"} {
 		for _, cluster := range opts.Clusters {
 			for _, psName := range opts.PathSets {
 				if psName == "3gpus_host" {
 					continue // paper presents collectives without host staging
 				}
-				panel, err := collectivePanel(coll, cluster, psName, opts, planners)
-				if err != nil {
-					return nil, err
-				}
-				fig.Panels = append(fig.Panels, *panel)
+				grid = append(grid, gridPoint{coll, cluster, psName})
 			}
 		}
+	}
+	panels := make([]*Panel, len(grid))
+	err := par.ForEach(len(grid), opts.Workers, func(i int) error {
+		g := grid[i]
+		panel, err := collectivePanel(g.coll, g.cluster, g.psName, opts, planners)
+		if err != nil {
+			return err
+		}
+		panels[i] = panel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, panel := range panels {
+		fig.Panels = append(fig.Panels, *panel)
 	}
 	return fig, nil
 }

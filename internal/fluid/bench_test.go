@@ -1,0 +1,63 @@
+package fluid
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkFluidChurn measures the re-rating hot path under heavy
+// contention: a standing population of overlapping flows on a shared
+// bottleneck link plus per-flow private links, so every start and finish
+// re-rates a large active set. Allocations per op are the headline metric:
+// the progressive-filling scratch, active-set bookkeeping, and event churn
+// must all be allocation-free (the per-op remainder is the unavoidable
+// per-flow Flow/Signal setup).
+func BenchmarkFluidChurn(b *testing.B) {
+	const standing = 48 // concurrent flows sharing the bottleneck
+	s := sim.New()
+	n := NewNetwork(s)
+	shared := n.AddLink("shared", 1000)
+	privates := make([]*Link, 16)
+	for i := range privates {
+		privates[i] = n.AddLink("p", 400)
+	}
+	done := 0
+	var launch func(i int)
+	launch = func(i int) {
+		if done >= b.N {
+			return
+		}
+		done++
+		f := n.StartFlow(100+float64(i%7), shared, privates[i%len(privates)])
+		f.Done().OnFire(func() { launch(i + 1) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < standing; i++ {
+		launch(i * 31)
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFluidReallocateOnly isolates one reallocation over a standing
+// flow set (no starts or finishes): the pure progressive-filling cost.
+func BenchmarkFluidReallocateOnly(b *testing.B) {
+	s := sim.New()
+	n := NewNetwork(s)
+	shared := n.AddLink("shared", 1e12)
+	privates := make([]*Link, 8)
+	for i := range privates {
+		privates[i] = n.AddLink("p", 1e12)
+	}
+	for i := 0; i < 64; i++ {
+		n.StartFlow(1e15, shared, privates[i%len(privates)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.reallocate()
+	}
+}

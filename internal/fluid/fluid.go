@@ -13,12 +13,19 @@
 // simulators: it captures bandwidth contention (the phenomenon the paper's
 // evaluation highlights for host-staged bidirectional transfers) without
 // per-packet simulation.
+//
+// The re-rating path is the simulator's hottest loop, so it is written to
+// be allocation-free in steady state: active-flow sets are slices with
+// order-preserving (network) and swap (link) removal, progressive filling
+// works on scratch fields embedded in Link and Flow rather than per-call
+// maps, flows freeze in monotonic start-sequence order (deterministic
+// without sorting), and a flow's completion event is only canceled and
+// rescheduled when its rate actually changed.
 package fluid
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -30,12 +37,16 @@ type Link struct {
 	name     string
 	capacity float64 // bytes per second
 	net      *Network
-	active   map[*Flow]struct{}
+	active   []*Flow // flows currently crossing the link
 
 	// accounting
 	bytesCarried float64
-	busy         float64  // integrated seconds with >=1 active flow
-	lastChange   sim.Time // last time active-set or rates changed
+	busy         float64 // integrated seconds with >=1 active flow
+
+	// progressive-filling scratch, valid only inside maxMinRates.
+	residual  float64 // capacity not yet claimed by frozen flows
+	unfrozen  int     // active flows not yet frozen
+	markRound int     // round at which the link was last a bottleneck
 }
 
 // Name returns the link's diagnostic name.
@@ -63,13 +74,22 @@ func (l *Link) BusyTime() float64 {
 // Flow is an in-progress transfer over a route.
 type Flow struct {
 	route      []*Link
+	routeIdx   []int // position of this flow in each route link's active slice
+	idxBuf     [4]int
 	remaining  float64
 	rate       float64
 	done       *sim.Signal
 	completion sim.EventHandle
+	finishFn   func() // reused by every (re)scheduled completion event
 	finished   bool
 	started    sim.Time
+	seq        uint64 // monotonic start order; deterministic tie-breaker
+	flowIdx    int    // position in net.flows
 	net        *Network
+
+	// progressive-filling scratch, valid only inside a reallocate call.
+	frozen  bool
+	newRate float64
 }
 
 // Done returns the signal that fires when the flow completes.
@@ -87,17 +107,26 @@ func (f *Flow) Remaining() float64 {
 // Started returns the virtual time the flow began.
 func (f *Flow) Started() sim.Time { return f.started }
 
+// Seq returns the flow's monotonic start sequence number. Flows started
+// earlier have smaller sequence numbers; flows started at the same virtual
+// instant are still totally ordered by it.
+func (f *Flow) Seq() uint64 { return f.seq }
+
 // Network owns links and active flows and performs rate allocation.
 type Network struct {
 	sim       *sim.Simulator
 	links     []*Link
-	flows     map[*Flow]struct{}
+	flows     []*Flow // active flows in start (seq) order
+	flowSeq   uint64
 	settledAt sim.Time
+
+	// reusable scratch for maxMinRates.
+	activeLinks []*Link
 }
 
 // NewNetwork creates an empty flow network on the given simulator.
 func NewNetwork(s *sim.Simulator) *Network {
-	return &Network{sim: s, flows: make(map[*Flow]struct{}), settledAt: s.Now()}
+	return &Network{sim: s, settledAt: s.Now()}
 }
 
 // Sim returns the simulator the network runs on.
@@ -109,7 +138,7 @@ func (n *Network) AddLink(name string, capacity float64) *Link {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		panic(fmt.Sprintf("fluid: link %q capacity must be positive and finite, got %v", name, capacity))
 	}
-	l := &Link{name: name, capacity: capacity, net: n, active: make(map[*Flow]struct{})}
+	l := &Link{name: name, capacity: capacity, net: n}
 	n.links = append(n.links, l)
 	return l
 }
@@ -122,7 +151,8 @@ func (n *Network) ActiveFlowCount() int { return len(n.flows) }
 
 // StartFlow begins transferring bytes over route. The returned flow's Done
 // signal fires when the last byte arrives. A route must contain at least
-// one link; zero-byte flows complete at the current instant.
+// one link and must not repeat a link; zero-byte flows complete at the
+// current instant.
 func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
 	if len(route) == 0 {
 		panic("fluid: StartFlow requires a non-empty route")
@@ -130,9 +160,14 @@ func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("fluid: StartFlow bytes must be non-negative, got %v", bytes))
 	}
-	for _, l := range route {
+	for i, l := range route {
 		if l.net != n {
 			panic("fluid: route link belongs to a different network")
+		}
+		for _, prev := range route[:i] {
+			if prev == l {
+				panic(fmt.Sprintf("fluid: route repeats link %q", l.name))
+			}
 		}
 	}
 	f := &Flow{
@@ -148,9 +183,19 @@ func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
 		return f
 	}
 	n.settle()
-	n.flows[f] = struct{}{}
+	f.finishFn = func() { n.finish(f) }
+	f.seq = n.flowSeq
+	n.flowSeq++
+	f.flowIdx = len(n.flows)
+	n.flows = append(n.flows, f)
+	if len(route) <= len(f.idxBuf) {
+		f.routeIdx = f.idxBuf[:0]
+	} else {
+		f.routeIdx = make([]int, 0, len(route))
+	}
 	for _, l := range route {
-		l.active[f] = struct{}{}
+		f.routeIdx = append(f.routeIdx, len(l.active))
+		l.active = append(l.active, f)
 	}
 	n.reallocate()
 	return f
@@ -164,138 +209,170 @@ func (n *Network) settle() {
 	if dt <= 0 {
 		return
 	}
-	for f := range n.flows {
+	for _, f := range n.flows {
 		f.remaining -= f.rate * dt
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
 	}
 	for _, l := range n.links {
+		if len(l.active) == 0 {
+			continue
+		}
 		var sum float64
-		for f := range l.active {
+		for _, f := range l.active {
 			sum += f.rate
 		}
 		l.bytesCarried += sum * dt
-		if len(l.active) > 0 {
-			l.busy += dt
-		}
+		l.busy += dt
 	}
 	n.settledAt = now
 }
 
 // reallocate computes max-min fair rates for all active flows and
-// reschedules their completion events.
+// reschedules the completion events of flows whose rate changed. Flows
+// whose rate is unchanged keep their pending event: it already points at
+// the correct absolute completion time, so churning it would only waste
+// heap work.
 func (n *Network) reallocate() {
 	if len(n.flows) == 0 {
 		return
 	}
-	rates := n.maxMinRates()
-	for f := range n.flows {
-		f.rate = rates[f]
+	n.maxMinRates()
+	for _, f := range n.flows {
+		if f.newRate == f.rate {
+			continue
+		}
 		f.completion.Cancel()
+		f.rate = f.newRate
 		if f.rate <= 0 {
 			// No capacity at all (cannot happen with positive link
 			// capacities, but guard against division by zero).
 			continue
 		}
-		eta := f.remaining / f.rate
-		ff := f
-		f.completion = n.sim.Schedule(eta, func() { n.finish(ff) })
+		f.completion = n.sim.Schedule(f.remaining/f.rate, f.finishFn)
 	}
 }
 
-// maxMinRates runs progressive filling over the current flow set.
-func (n *Network) maxMinRates() map[*Flow]float64 {
-	rates := make(map[*Flow]float64, len(n.flows))
-	frozen := make(map[*Flow]bool, len(n.flows))
-	residual := make(map[*Link]float64)
-
-	// Deterministic iteration: collect links with active flows, sorted by
-	// creation order (the links slice already is).
-	activeLinks := make([]*Link, 0, len(n.links))
+// maxMinRates runs progressive filling over the current flow set, leaving
+// each flow's allocation in its newRate scratch field. It allocates nothing:
+// link residual capacity and unfrozen counts live on the links, bottleneck
+// membership is a round stamp, and flows freeze in start-sequence order
+// (n.flows is kept sorted by seq), which fixes the floating-point
+// accumulation order deterministically — including for flows started at the
+// same virtual instant, where the old started-time sort fell back to map
+// iteration order.
+func (n *Network) maxMinRates() {
+	n.activeLinks = n.activeLinks[:0]
 	for _, l := range n.links {
 		if len(l.active) > 0 {
-			activeLinks = append(activeLinks, l)
-			residual[l] = l.capacity
+			l.residual = l.capacity
+			l.unfrozen = len(l.active)
+			l.markRound = 0
+			n.activeLinks = append(n.activeLinks, l)
 		}
 	}
-
-	unfrozenCount := func(l *Link) int {
-		c := 0
-		for f := range l.active {
-			if !frozen[f] {
-				c++
-			}
-		}
-		return c
+	for _, f := range n.flows {
+		f.frozen = false
 	}
-
 	remaining := len(n.flows)
-	for remaining > 0 {
+	for round := 1; remaining > 0; round++ {
 		// Find the bottleneck share: min over links of residual/unfrozen.
 		share := math.Inf(1)
-		for _, l := range activeLinks {
-			c := unfrozenCount(l)
-			if c == 0 {
+		for _, l := range n.activeLinks {
+			if l.unfrozen == 0 {
 				continue
 			}
-			s := residual[l] / float64(c)
-			if s < share {
+			if s := l.residual / float64(l.unfrozen); s < share {
 				share = s
 			}
 		}
 		if math.IsInf(share, 1) {
 			break // no constraining link left; shouldn't happen
 		}
-		// Freeze all unfrozen flows on links that hit the bottleneck share
-		// (within a small relative tolerance to absorb float error).
+		// Mark links that hit the bottleneck share (within a small relative
+		// tolerance to absorb float error).
 		tol := share * 1e-9
-		var toFreeze []*Flow
-		for _, l := range activeLinks {
-			c := unfrozenCount(l)
-			if c == 0 {
+		marked := 0
+		for _, l := range n.activeLinks {
+			if l.unfrozen == 0 {
 				continue
 			}
-			if residual[l]/float64(c) <= share+tol {
-				for f := range l.active {
-					if !frozen[f] {
-						toFreeze = append(toFreeze, f)
-					}
-				}
+			if l.residual/float64(l.unfrozen) <= share+tol {
+				l.markRound = round
+				marked++
 			}
 		}
-		if len(toFreeze) == 0 {
-			break // numerical corner; freeze everything at share
+		if marked == 0 {
+			break // numerical corner; leave the rest unfrozen
 		}
-		// Dedup while keeping determinism (sort by start time then pointer
-		// is not available; sort by started then by insertion into route).
-		sort.Slice(toFreeze, func(i, j int) bool {
-			return toFreeze[i].started < toFreeze[j].started
-		})
-		seen := make(map[*Flow]bool, len(toFreeze))
-		for _, f := range toFreeze {
-			if seen[f] || frozen[f] {
+		// Freeze unfrozen flows crossing a marked link, in seq order.
+		progressed := false
+		for _, f := range n.flows {
+			if f.frozen {
 				continue
 			}
-			seen[f] = true
-			frozen[f] = true
-			rates[f] = share
-			remaining--
+			hit := false
 			for _, l := range f.route {
-				residual[l] -= share
-				if residual[l] < 0 {
-					residual[l] = 0
+				if l.markRound == round {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			f.frozen = true
+			f.newRate = share
+			remaining--
+			progressed = true
+			for _, l := range f.route {
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.unfrozen--
+			}
+		}
+		if !progressed {
+			break // defensive: marked links had no unfrozen flows
+		}
+	}
+	// Any flow not frozen (degenerate corner) gets no allocation.
+	for _, f := range n.flows {
+		if !f.frozen {
+			f.newRate = 0
+		}
+	}
+}
+
+// removeFlow detaches a finished flow from the network and its links.
+// Removal from n.flows preserves order (it stays sorted by seq, which
+// maxMinRates relies on); removal from a link's active slice swaps with the
+// last element and patches the moved flow's routeIdx entry.
+func (n *Network) removeFlow(f *Flow) {
+	copy(n.flows[f.flowIdx:], n.flows[f.flowIdx+1:])
+	n.flows[len(n.flows)-1] = nil
+	n.flows = n.flows[:len(n.flows)-1]
+	for i := f.flowIdx; i < len(n.flows); i++ {
+		n.flows[i].flowIdx = i
+	}
+	for ri, l := range f.route {
+		idx := f.routeIdx[ri]
+		last := len(l.active) - 1
+		moved := l.active[last]
+		l.active[idx] = moved
+		l.active[last] = nil
+		l.active = l.active[:last]
+		if moved != f {
+			for mi, ml := range moved.route {
+				if ml == l {
+					moved.routeIdx[mi] = idx
+					break
 				}
 			}
 		}
 	}
-	// Any flow not frozen (degenerate corner) gets the last share.
-	for f := range n.flows {
-		if !frozen[f] {
-			rates[f] = 0
-		}
-	}
-	return rates
 }
 
 // finish completes a flow: verifies its bytes drained, removes it from the
@@ -308,20 +385,20 @@ func (n *Network) finish(f *Flow) {
 	// Tolerate tiny residues from float arithmetic.
 	if f.remaining > 1e-6*math.Max(1, f.rate) {
 		// Rates changed since this event was scheduled; the event should
-		// have been canceled. Defensive: reschedule.
+		// have been canceled. Defensive: cancel whatever handle is still
+		// armed (overwriting it without canceling would leak a live event
+		// that finishes the flow early) and reschedule at the current rate.
+		f.completion.Cancel()
 		if f.rate > 0 {
-			ff := f
-			f.completion = n.sim.Schedule(f.remaining/f.rate, func() { n.finish(ff) })
+			f.completion = n.sim.Schedule(f.remaining/f.rate, f.finishFn)
 		}
 		return
 	}
 	f.finished = true
 	f.remaining = 0
 	f.rate = 0
-	delete(n.flows, f)
-	for _, l := range f.route {
-		delete(l.active, f)
-	}
+	f.completion.Cancel() // no-op for the event that fired; drops a stale one
+	n.removeFlow(f)
 	f.done.Fire()
 	n.reallocate()
 }

@@ -295,7 +295,7 @@ func TestQuickNoOversubscription(t *testing.T) {
 		check := func() {
 			for _, l := range links {
 				var sum float64
-				for fl := range l.active {
+				for _, fl := range l.active {
 					sum += fl.rate
 				}
 				if sum > l.capacity*(1+1e-9) {

@@ -12,6 +12,12 @@
 // Time is modeled as float64 seconds. Event ties are broken by insertion
 // order, so two events scheduled for the same instant run in the order they
 // were scheduled.
+//
+// Event structs are pooled: an executed or compacted-away event is recycled
+// for the next Schedule/At call, so steady-state scheduling does not
+// allocate. Canceled events stay in the heap until popped, but when they
+// outnumber live events the queue is compacted in place, bounding heap
+// growth under heavy cancel/reschedule churn (the fluid re-rating pattern).
 package sim
 
 import (
@@ -27,29 +33,52 @@ type Time = float64
 // Duration is a span of virtual time, in seconds.
 type Duration = float64
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created via Simulator.Schedule and Simulator.At.
+// event is a scheduled callback. Events are created via Simulator.Schedule
+// and Simulator.At and recycled through the simulator's free list after
+// they run or are compacted away; gen disambiguates a recycled struct from
+// the event an old handle referred to.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	sim *Simulator
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
 	index    int
+	gen      uint64
 }
 
 // EventHandle allows a scheduled event to be canceled before it fires.
+// The zero EventHandle is valid and canceling it is a no-op.
 type EventHandle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the event from running. Canceling an already-executed or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op (the underlying struct may since have
+// been recycled for an unrelated event; the generation check makes stale
+// handles inert).
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
-		h.ev.canceled = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil // release the closure now; the shell stays queued
+	s := ev.sim
+	s.canceled++
+	// Compact when cancellations dominate the heap. The threshold keeps
+	// compaction amortized O(1) per cancel while bounding memory at ~2x
+	// the live event count.
+	if s.canceled > len(s.queue)/2 && len(s.queue) >= compactMinQueue {
+		s.compact()
 	}
 }
+
+// compactMinQueue is the minimum heap size before cancel-triggered
+// compaction kicks in; below it the wasted slots are too small to matter.
+const compactMinQueue = 64
 
 type eventQueue []*event
 
@@ -97,6 +126,9 @@ type Simulator struct {
 	blocked int // processes currently waiting on a Signal (not a timer)
 	err     error
 	stopped bool
+
+	canceled int      // canceled events still sitting in the heap
+	free     []*event // recycled event structs
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -108,14 +140,51 @@ func New() *Simulator {
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of scheduled, not-yet-executed events.
+// It is O(1): the simulator tracks cancellations with a live counter.
 func (s *Simulator) Pending() int {
-	n := 0
+	return len(s.queue) - s.canceled
+}
+
+// newEvent takes an event struct from the free list or allocates one.
+func (s *Simulator) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{sim: s}
+}
+
+// recycle retires an event struct (already removed from the heap) to the
+// free list, invalidating any outstanding handles to it.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	s.free = append(s.free, ev)
+}
+
+// compact removes canceled events from the heap in place, recycling their
+// structs, and restores the heap invariant.
+func (s *Simulator) compact() {
+	live := s.queue[:0]
 	for _, ev := range s.queue {
-		if !ev.canceled {
-			n++
+		if ev.canceled {
+			s.recycle(ev)
+		} else {
+			live = append(live, ev)
 		}
 	}
-	return n
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	s.canceled = 0
+	for i, ev := range s.queue {
+		ev.index = i
+	}
+	heap.Init(&s.queue)
 }
 
 // Schedule runs fn after delay units of virtual time. A negative delay is
@@ -133,10 +202,13 @@ func (s *Simulator) At(t Time, fn func()) EventHandle {
 	if t < s.now || math.IsNaN(t) {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.newEvent()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return EventHandle{ev: ev}
+	return EventHandle{ev: ev, gen: ev.gen}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -188,7 +260,12 @@ func (s *Simulator) RunUntil(limit Time) error {
 			break
 		}
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: the callback may schedule new events,
+		// which can then reuse this struct. The handle to this event is
+		// already invalidated by the generation bump.
+		s.recycle(ev)
+		fn()
 	}
 	return s.err
 }
@@ -201,6 +278,8 @@ func (s *Simulator) popRunnable() *event {
 		if !ev.canceled {
 			return ev
 		}
+		s.canceled--
+		s.recycle(ev)
 	}
 	return nil
 }

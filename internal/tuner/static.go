@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -24,7 +25,11 @@ type StaticPlanner struct {
 
 // NewStaticPlanner runs the exhaustive search at every tuning size on the
 // reference pair (0,1) — valid because the preset topologies are symmetric
-// across GPU pairs — and returns the replaying planner.
+// across GPU pairs — and returns the replaying planner. With opts.Workers
+// > 1 the per-size searches fan out over a worker pool (each search is an
+// independent chain of private simulators); the inner search grid then
+// runs sequentially inside each worker so total concurrency stays bounded
+// by Workers rather than Workers².
 func NewStaticPlanner(spec *hw.Spec, sel hw.PathSet, sizes []float64, opts SearchOptions) (*StaticPlanner, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("tuner: no tuning sizes")
@@ -38,12 +43,24 @@ func NewStaticPlanner(spec *hw.Spec, sel hw.PathSet, sizes []float64, opts Searc
 		node: node,
 		byN:  make(map[float64]*Result, len(sizes)),
 	}
-	for _, n := range sizes {
-		res, err := ExhaustiveSearch(spec, 0, 1, sel, n, opts)
+	inner := opts
+	if opts.Workers > 1 && len(sizes) > 1 {
+		inner.Workers = 1
+	}
+	results := make([]*Result, len(sizes))
+	err = par.ForEach(len(sizes), opts.Workers, func(i int) error {
+		res, err := ExhaustiveSearch(spec, 0, 1, sel, sizes[i], inner)
 		if err != nil {
-			return nil, fmt.Errorf("tuner: static search at n=%.0f: %w", n, err)
+			return fmt.Errorf("tuner: static search at n=%.0f: %w", sizes[i], err)
 		}
-		sp.byN[n] = res
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		sp.byN[n] = results[i]
 		sp.sizes = append(sp.sizes, n)
 	}
 	sort.Float64s(sp.sizes)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -32,6 +33,11 @@ type SearchOptions struct {
 	ChunkRules []ChunkPolicy
 	// EngineConfig for measurement runs.
 	EngineConfig pipeline.Config
+	// Workers bounds the number of grid points measured concurrently
+	// (each measurement runs on its own private simulator). 0 or 1 runs
+	// sequentially. The search result is identical either way: candidates
+	// are reduced in enumeration order.
+	Workers int
 }
 
 // ChunkPolicy names a chunk-count policy used during the search.
@@ -173,9 +179,64 @@ func compositions(p int, step float64, yield func([]float64)) {
 	rec(1, 1.0)
 }
 
+// candidate is one (share vector, chunk policy) grid point of the search.
+type candidate struct {
+	thetas []float64
+	policy ChunkPolicy
+}
+
+// candResult is the measured outcome of one candidate.
+type candResult struct {
+	bandwidth float64
+	elapsed   float64
+	chunks    []int
+}
+
+// evaluateCandidates measures every candidate — fanning them over a bounded
+// worker pool when opts.Workers > 1; each measurement builds its own
+// simulator, so candidates share nothing — and folds the results into best
+// in enumeration order, which makes the winner (first strict improvement)
+// independent of the degree of parallelism.
+func evaluateCandidates(spec *hw.Spec, node *hw.Node, paths []hw.Path, n float64,
+	cands []candidate, opts SearchOptions, best *Result) error {
+	results := make([]candResult, len(cands))
+	err := par.ForEach(len(cands), opts.Workers, func(i int) error {
+		c := cands[i]
+		plan, err := buildPlan(node, paths, n, c.thetas, c.policy)
+		if err != nil {
+			return err
+		}
+		elapsed, err := MeasurePlan(spec, plan, opts.EngineConfig)
+		if err != nil {
+			return err
+		}
+		chunks := make([]int, len(plan.Paths))
+		for j := range plan.Paths {
+			chunks[j] = plan.Paths[j].Chunks
+		}
+		results[i] = candResult{bandwidth: n / elapsed, elapsed: elapsed, chunks: chunks}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		best.Evaluations++
+		if r.bandwidth > best.Bandwidth {
+			best.Bandwidth = r.bandwidth
+			best.Elapsed = r.elapsed
+			best.Thetas = append([]float64(nil), cands[i].thetas...)
+			best.Chunks = r.chunks
+		}
+	}
+	return nil
+}
+
 // ExhaustiveSearch finds the empirically best static configuration for a
 // transfer by measuring every grid point. It returns the best result and
-// the number of simulator evaluations performed.
+// the number of simulator evaluations performed. With opts.Workers > 1 the
+// grid points are measured concurrently; the result is identical to a
+// sequential search.
 func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, opts SearchOptions) (*Result, error) {
 	if opts.Step <= 0 || opts.Step > 1 {
 		return nil, fmt.Errorf("tuner: invalid step %v", opts.Step)
@@ -192,41 +253,24 @@ func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, op
 		return nil, err
 	}
 
-	best := &Result{}
-	evaluate := func(thetas []float64) error {
-		for _, policy := range opts.ChunkRules {
-			plan, err := buildPlan(node, paths, n, thetas, policy)
-			if err != nil {
-				return err
-			}
-			elapsed, err := MeasurePlan(spec, plan, opts.EngineConfig)
-			if err != nil {
-				return err
-			}
-			best.Evaluations++
-			bw := n / elapsed
-			if bw > best.Bandwidth {
-				best.Bandwidth = bw
-				best.Elapsed = elapsed
-				best.Thetas = append([]float64(nil), thetas...)
-				best.Chunks = make([]int, len(plan.Paths))
-				for i := range plan.Paths {
-					best.Chunks[i] = plan.Paths[i].Chunks
-				}
+	collect := func(thetas [][]float64) []candidate {
+		cands := make([]candidate, 0, len(thetas)*len(opts.ChunkRules))
+		for _, th := range thetas {
+			for _, policy := range opts.ChunkRules {
+				cands = append(cands, candidate{thetas: th, policy: policy})
 			}
 		}
-		return nil
+		return cands
 	}
 
-	var evalErr error
+	var coarse [][]float64
 	compositions(len(paths), opts.Step, func(thetas []float64) {
-		if evalErr != nil {
-			return
-		}
-		evalErr = evaluate(thetas)
+		coarse = append(coarse, thetas)
 	})
-	if evalErr != nil {
-		return nil, evalErr
+
+	best := &Result{}
+	if err := evaluateCandidates(spec, node, paths, n, collect(coarse), opts, best); err != nil {
+		return nil, err
 	}
 
 	if opts.Refine && len(best.Thetas) > 0 {
@@ -234,11 +278,9 @@ func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, op
 		base := append([]float64(nil), best.Thetas...)
 		// Local refinement: perturb every staged share around the best
 		// point on a fine grid.
+		var refined [][]float64
 		var rec func(idx int, cur []float64)
 		rec = func(idx int, cur []float64) {
-			if evalErr != nil {
-				return
-			}
 			if idx == len(base) {
 				var sum float64
 				for _, th := range cur[1:] {
@@ -251,7 +293,7 @@ func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, op
 					return
 				}
 				cur[0] = 1 - sum
-				evalErr = evaluate(cur)
+				refined = append(refined, append([]float64(nil), cur...))
 				return
 			}
 			for d := -2; d <= 2; d++ {
@@ -260,8 +302,8 @@ func ExhaustiveSearch(spec *hw.Spec, src, dst int, sel hw.PathSet, n float64, op
 			}
 		}
 		rec(1, append([]float64(nil), base...))
-		if evalErr != nil {
-			return nil, evalErr
+		if err := evaluateCandidates(spec, node, paths, n, collect(refined), opts, best); err != nil {
+			return nil, err
 		}
 	}
 	return best, nil

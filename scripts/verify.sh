@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# verify.sh — the repo's tier-1 gate plus race checking for the parallel
+# experiment runner. Run from the repository root (or via `make verify`).
+set -eu
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
