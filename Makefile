@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench bench-planner verify
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,10 @@ bench:
 	$(GO) test -bench 'BenchmarkFluidChurn|BenchmarkFlowChurn|BenchmarkFluidReallocateOnly' -benchmem -run xxx ./internal/fluid/
 	$(GO) test -bench 'BenchmarkScheduleRun|BenchmarkCancelRescheduleChurn' -benchmem -run xxx ./internal/sim/
 	$(GO) test -bench 'BenchmarkParallelSweep' -run xxx .
+
+# bench-planner measures the planning hot path (sharded plan cache) and
+# regenerates BENCH_planner.json: microbenchmarks of the hit path vs the
+# seed string-key design, then the concurrent throughput sweep.
+bench-planner:
+	$(GO) test -bench 'BenchmarkPlanCacheHit' -benchmem -run xxx .
+	$(GO) run ./cmd/mpbench -exp plancache -planner-json BENCH_planner.json

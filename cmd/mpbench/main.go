@@ -12,10 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/hw"
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs2|all")
+		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs2|plancache|all")
 		clusters = flag.String("clusters", "beluga,narval", "comma-separated cluster presets")
 		pathSets = flag.String("paths", "2gpus,3gpus,3gpus_host", "comma-separated path sets")
 		windows  = flag.String("windows", "1,16", "comma-separated OSU window sizes")
@@ -35,6 +38,8 @@ func main() {
 			"fan independent grid points (panels, search points) across one worker per CPU; output is byte-identical to a sequential run")
 		workers = flag.Int("workers", 0,
 			"explicit worker count for -parallel (0 = one per CPU)")
+		plannerJSON = flag.String("planner-json", "BENCH_planner.json",
+			"output path for -exp plancache throughput results (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -98,6 +103,21 @@ func main() {
 		run("ext-internode", exp.ExtInterNode)
 	case "obs2":
 		run("obs2-window", exp.ObsWindowScaling)
+	case "plancache":
+		fig, points, err := exp.PlanCacheBench(opts)
+		if err != nil {
+			fatal("plancache: %v", err)
+		}
+		if err := exp.RenderText(os.Stdout, fig); err != nil {
+			fatal("render plancache: %v", err)
+		}
+		figures = append(figures, fig)
+		if *plannerJSON != "" {
+			if err := writePlannerJSON(*plannerJSON, points); err != nil {
+				fatal("write %s: %v", *plannerJSON, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote planner throughput to %s\n", *plannerJSON)
+		}
 	case "headline":
 		h, f5, f6, f7, err := exp.RunHeadline(opts)
 		if err != nil {
@@ -133,6 +153,47 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote CSV to %s\n", *csvPath)
 	}
+}
+
+// writePlannerJSON records the planning-throughput sweep (ops/sec and hit
+// ratio per goroutine count) together with the host fingerprint, in the
+// same spirit as BENCH_fluid.json.
+func writePlannerJSON(path string, points []exp.PlanCachePoint) error {
+	type seedRef struct {
+		Bench       string  `json:"bench"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int     `json:"allocs_per_op"`
+	}
+	doc := struct {
+		Description string               `json:"description"`
+		Host        string               `json:"host"`
+		Date        string               `json:"date"`
+		Seed        seedRef              `json:"seed_reference"`
+		OpsPerGor   int                  `json:"ops_per_goroutine"`
+		Points      []exp.PlanCachePoint `json:"points"`
+	}{
+		Description: "Concurrent planning throughput of the sharded plan cache " +
+			"(mpbench -exp plancache): ops/sec and hit ratio per goroutine count. " +
+			"'warm' is the steady-state all-hit path, 'churn' forces a fresh key " +
+			"every 64 ops, 'quantized' runs churn with size-class sharing on. " +
+			"Compare warm ns_per_op against seed_reference (the pre-rework " +
+			"string-key cache hit, recorded once); BenchmarkPlanCacheHit and " +
+			"BenchmarkPlanCacheHitLegacyStringKey re-measure both on any host.",
+		Host: fmt.Sprintf("GOMAXPROCS=%d, %s %s/%s", runtime.GOMAXPROCS(0), runtime.Version(), runtime.GOOS, runtime.GOARCH),
+		Date: time.Now().Format("2006-01-02"),
+		Seed: seedRef{
+			Bench:       "BenchmarkAblationConfigCacheWarm @ seed (fmt string key, unsharded map)",
+			NsPerOp:     1909,
+			AllocsPerOp: 6,
+		},
+		OpsPerGor: exp.PlanCacheOpsPerGoroutine,
+		Points:    points,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+)
+
+// The configuration cache of Algorithm 1 (lines 4-6) is the planner's fast
+// path: at steady state every transfer is a cache hit, so the lookup must
+// be allocation-free and safe under concurrent traffic. The cache is
+// sharded by key hash; each shard is an RWMutex-guarded map with a CLOCK
+// ring bounding the number of retained plans. Concurrent misses for the
+// same key are merged (built-in singleflight): the first caller computes,
+// later callers block on the entry's done channel and share the result.
+
+const (
+	// cacheShardCount spreads lock contention; must be a power of two.
+	cacheShardCount = 16
+	// DefaultCacheCapacity bounds retained plans when Options.CacheCapacity
+	// is zero. Plans are small (a few hundred bytes); 4096 covers every
+	// (path set, size class) pair any workload in the paper touches.
+	DefaultCacheCapacity = 4096
+)
+
+// CacheStats counts configuration-cache behaviour (Algorithm 1 lines 4-6).
+// Counters are cumulative across InvalidateCache; ResetStats zeroes them.
+type CacheStats struct {
+	// Hits are lookups served from a completed cached plan.
+	Hits int64
+	// Misses are lookups that computed a new plan.
+	Misses int64
+	// Evictions counts plans dropped by the CLOCK bound.
+	Evictions int64
+	// InflightMerges counts lookups that joined an in-flight computation
+	// of the same key instead of recomputing it (singleflight).
+	InflightMerges int64
+}
+
+// cacheEntry is one cached plan. Before the computation finishes, waiters
+// block on done; after close(done) the plan/err fields are immutable.
+type cacheEntry struct {
+	key      uint64
+	plan     *Plan
+	err      error
+	done     chan struct{}
+	computed bool        // guarded by the shard lock
+	ref      atomic.Bool // CLOCK reference bit; set on hit under RLock
+}
+
+// cacheShard is one lock domain of the plan cache.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[uint64]*cacheEntry
+	// ring holds completed entries only (in-flight entries join it when
+	// their computation publishes), so CLOCK never has to skip an entry
+	// that cannot be evicted.
+	ring []*cacheEntry
+	hand int
+	cap  int
+}
+
+// planCache is the concurrency-safe bounded plan cache.
+type planCache struct {
+	shards [cacheShardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	merges    atomic.Int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &planCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// get returns the cached plan for key, computing it with compute on a miss.
+// Concurrent misses for the same key run compute once. Failed computations
+// are not cached.
+func (c *planCache) get(key uint64, compute func() (*Plan, error)) (*Plan, error) {
+	s := &c.shards[key&(cacheShardCount-1)]
+
+	s.mu.RLock()
+	if e, ok := s.entries[key]; ok {
+		if e.computed {
+			pl, err := e.plan, e.err
+			e.ref.Store(true)
+			s.mu.RUnlock()
+			c.hits.Add(1)
+			return pl, err
+		}
+		s.mu.RUnlock()
+		c.merges.Add(1)
+		<-e.done // close happens-after e.plan/e.err are published
+		return e.plan, e.err
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		// Lost the upgrade race: someone else inserted between our RUnlock
+		// and Lock.
+		if e.computed {
+			pl, err := e.plan, e.err
+			e.ref.Store(true)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return pl, err
+		}
+		s.mu.Unlock()
+		c.merges.Add(1)
+		<-e.done
+		return e.plan, e.err
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	pl, err := compute()
+
+	s.mu.Lock()
+	e.plan, e.err = pl, err
+	e.computed = true
+	// The map slot may have been replaced by InvalidateCache while we were
+	// computing; only publish into the ring if we still own it.
+	if s.entries[key] == e {
+		if err != nil {
+			delete(s.entries, key)
+		} else {
+			c.evictions.Add(s.install(e))
+		}
+	}
+	s.mu.Unlock()
+	close(e.done)
+	return pl, err
+}
+
+// install adds a completed entry to the CLOCK ring, evicting a victim when
+// the shard is at capacity. Called with the shard write lock held; returns
+// the number of evicted entries (0 or 1).
+func (s *cacheShard) install(e *cacheEntry) int64 {
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, e)
+		return 0
+	}
+	// CLOCK sweep: terminate within two passes — the first pass clears
+	// every reference bit, the second finds an unreferenced victim.
+	for {
+		v := s.ring[s.hand]
+		if v.ref.Swap(false) {
+			s.hand = (s.hand + 1) % len(s.ring)
+			continue
+		}
+		delete(s.entries, v.key)
+		s.ring[s.hand] = e
+		s.hand = (s.hand + 1) % len(s.ring)
+		return 1
+	}
+}
+
+// invalidate drops every cached plan. In-flight computations complete and
+// deliver their result to waiters but are not re-cached (their map slot is
+// gone), so plans computed before the invalidation never reappear after it.
+func (c *planCache) invalidate() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.entries)
+		for j := range s.ring {
+			s.ring[j] = nil
+		}
+		s.ring = s.ring[:0]
+		s.hand = 0
+		s.mu.Unlock()
+	}
+}
+
+// len counts retained (completed or in-flight) entries.
+func (c *planCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+func (c *planCache) stats() CacheStats {
+	return CacheStats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		InflightMerges: c.merges.Load(),
+	}
+}
+
+func (c *planCache) resetStats() CacheStats {
+	return CacheStats{
+		Hits:           c.hits.Swap(0),
+		Misses:         c.misses.Swap(0),
+		Evictions:      c.evictions.Swap(0),
+		InflightMerges: c.merges.Swap(0),
+	}
+}
+
+// --- key hashing -----------------------------------------------------------
+
+const fnvPrime = 0x100000001b3
+
+// planKey hashes a candidate path set and message size to the compact
+// cache key. Path order matters (Algorithm 1 initiates paths in order), so
+// no canonicalization is applied. The size is hashed from its float bits —
+// callers quantize first when size-class sharing is on.
+func planKey(paths []hw.Path, n float64) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	h = (h ^ uint64(len(paths))) * fnvPrime
+	for _, p := range paths {
+		// Pack one path per word: kind and the three (small) endpoint ids.
+		w := uint64(uint8(p.Kind))<<48 |
+			uint64(uint16(p.Src))<<32 |
+			uint64(uint16(p.Dst))<<16 |
+			uint64(uint16(p.Via))
+		h = (h ^ w) * fnvPrime
+	}
+	h = (h ^ math.Float64bits(n)) * fnvPrime
+	// splitmix64 finalizer: FNV alone mixes low bits poorly, and both the
+	// shard index and the map use them.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// quantizeSizeBits is the number of size-class subdivisions per power of
+// two when Options.QuantizeSizes is on: 2^5 = 32 classes per octave, so a
+// class representative under-states the true size by at most 1/32 ≈ 3.1%.
+const quantizeSizeBits = 5
+
+// quantizeSize floors a size to its class representative by keeping the
+// top quantizeSizeBits bits of the float mantissa (UCX rendezvous-style
+// bucketing: exponential octaves with linear sub-buckets).
+func quantizeSize(n float64) float64 {
+	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return n
+	}
+	// Keeping the top (sign | exponent | 5 mantissa) bits truncates the
+	// mantissa without touching the exponent.
+	const mantissaBits = 52
+	mask := ^(uint64(1)<<(mantissaBits-quantizeSizeBits) - 1)
+	return math.Float64frombits(math.Float64bits(n) & mask)
+}

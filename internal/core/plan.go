@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"strings"
+	"sync"
 
 	"repro/internal/hw"
 )
@@ -50,6 +50,16 @@ type Options struct {
 	AdaptivePhi bool
 	// Granularity aligns per-path byte shares (register/packet alignment).
 	Granularity float64
+	// CacheCapacity bounds the number of retained plans (CLOCK eviction);
+	// 0 means DefaultCacheCapacity. The effective floor is one entry per
+	// cache shard.
+	CacheCapacity int
+	// QuantizeSizes shares plans across nearby message sizes
+	// (UCX-rendezvous-style size classes, 32 per power of two): the share
+	// split is solved once per (path set, size class) and rescaled to the
+	// exact byte count per transfer. Off by default — exact per-size
+	// planning is what the paper's claims tests pin down.
+	QuantizeSizes bool
 }
 
 // DefaultOptions returns the configuration used by the runtime integration.
@@ -94,7 +104,8 @@ type PathPlan struct {
 }
 
 // Plan is the output of Algorithm 1 for one transfer: per-path shares and
-// chunk counts plus the model's end-to-end prediction.
+// chunk counts plus the model's end-to-end prediction. Cached plans are
+// shared across goroutines and must be treated as immutable.
 type Plan struct {
 	Src, Dst int
 	Bytes    float64
@@ -116,19 +127,15 @@ func (pl *Plan) ActivePaths() []PathPlan {
 	return out
 }
 
-// CacheStats counts configuration-cache behaviour (Algorithm 1 lines 4-6).
-type CacheStats struct {
-	Hits   int
-	Misses int
-}
-
 // Model is the runtime planner: it owns options, a parameter source, and
-// the configuration cache.
+// the configuration cache. It is safe for concurrent use: lookups are
+// lock-striped and allocation-free on the hit path, and concurrent misses
+// for the same key compute the plan once.
 type Model struct {
-	src   ParamSource
-	opts  Options
-	cache map[string]*Plan
-	stats CacheStats
+	src     ParamSource
+	opts    Options
+	cache   *planCache
+	scratch sync.Pool
 }
 
 // NewModel creates a planner.
@@ -139,31 +146,60 @@ func NewModel(src ParamSource, opts Options) *Model {
 	if opts.Granularity <= 0 {
 		opts.Granularity = 1
 	}
-	return &Model{src: src, opts: opts, cache: make(map[string]*Plan)}
+	m := &Model{src: src, opts: opts, cache: newPlanCache(opts.CacheCapacity)}
+	m.scratch.New = func() any { return new(planScratch) }
+	return m
 }
 
 // Options returns the planner's configuration.
 func (m *Model) Options() Options { return m.opts }
 
-// Stats returns cache statistics.
-func (m *Model) Stats() CacheStats { return m.stats }
+// Stats returns a snapshot of the cumulative cache statistics.
+func (m *Model) Stats() CacheStats { return m.cache.stats() }
 
-// InvalidateCache clears cached configurations (topology change).
-func (m *Model) InvalidateCache() { m.cache = make(map[string]*Plan) }
+// ResetStats zeroes the cache statistics and returns the counts up to that
+// point (each counter is swapped atomically).
+func (m *Model) ResetStats() CacheStats { return m.cache.resetStats() }
 
-func cacheKey(paths []hw.Path, n float64) string {
-	var b strings.Builder
-	for _, p := range paths {
-		fmt.Fprintf(&b, "%d:%d:%d:%d;", int(p.Kind), p.Src, p.Dst, p.Via)
+// CachedPlans reports how many plans the cache currently retains.
+func (m *Model) CachedPlans() int { return m.cache.len() }
+
+// InvalidateCache clears cached configurations (topology change). Safe
+// against concurrent lookups: in-flight computations finish and deliver
+// their result to waiters but are not re-cached. Statistics are cumulative
+// across invalidations; use ResetStats to zero them.
+func (m *Model) InvalidateCache() { m.cache.invalidate() }
+
+// planScratch holds the per-computation working set of Model.plan so a
+// cache miss performs no allocations beyond the returned Plan itself.
+type planScratch struct {
+	params []PathParam
+	thetas []float64
+	next   []float64
+	affine []AffinePath
+	order  []int
+}
+
+func (sc *planScratch) resize(p int) {
+	if cap(sc.params) < p {
+		sc.params = make([]PathParam, p)
+		sc.thetas = make([]float64, p)
+		sc.next = make([]float64, p)
+		sc.affine = make([]AffinePath, p)
+		sc.order = make([]int, p)
 	}
-	fmt.Fprintf(&b, "n=%.0f", n)
-	return b.String()
+	sc.params = sc.params[:p]
+	sc.thetas = sc.thetas[:p]
+	sc.next = sc.next[:p]
+	sc.affine = sc.affine[:p]
+	sc.order = sc.order[:p]
 }
 
 // PlanTransfer runs Algorithm 1: given the candidate paths (direct first,
 // in initiation order) and the message size in bytes, it computes the
 // optimal share and chunk count per path. Results are cached per
-// (path set, size).
+// (path set, size) — or per (path set, size class) with QuantizeSizes on —
+// and the cached fast path is allocation-free.
 func (m *Model) PlanTransfer(paths []hw.Path, n float64) (*Plan, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no candidate paths")
@@ -171,25 +207,29 @@ func (m *Model) PlanTransfer(paths []hw.Path, n float64) (*Plan, error) {
 	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
 		return nil, fmt.Errorf("core: invalid message size %v", n)
 	}
-	key := cacheKey(paths, n)
-	if pl, ok := m.cache[key]; ok {
-		m.stats.Hits++
-		return pl, nil
+	if m.opts.QuantizeSizes {
+		if nq := quantizeSize(n); nq != n {
+			base, err := m.cache.get(planKey(paths, nq), func() (*Plan, error) {
+				return m.plan(paths, nq)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return m.rescale(base, n), nil
+		}
 	}
-	m.stats.Misses++
-
-	pl, err := m.plan(paths, n)
-	if err != nil {
-		return nil, err
-	}
-	m.cache[key] = pl
-	return pl, nil
+	return m.cache.get(planKey(paths, n), func() (*Plan, error) {
+		return m.plan(paths, n)
+	})
 }
 
 func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 	p := len(paths)
 	plans := make([]PathPlan, p)
-	params := make([]PathParam, p)
+	sc := m.scratch.Get().(*planScratch)
+	defer m.scratch.Put(sc)
+	sc.resize(p)
+	params := sc.params
 	for i, path := range paths {
 		param, err := m.src.PathParams(path)
 		if err != nil {
@@ -203,11 +243,11 @@ func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 
 	// Share → φ → share fixed point. With AdaptivePhi off this runs a
 	// single pass using the reference-size φ.
-	thetas := make([]float64, p)
+	thetas, next := sc.thetas, sc.next
 	for i := range thetas {
 		thetas[i] = 1 / float64(p)
 	}
-	affine := make([]AffinePath, p)
+	affine := sc.affine
 	iterations := 1
 	if m.opts.AdaptivePhi {
 		iterations = 4
@@ -241,14 +281,14 @@ func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 			plans[i].Param.Phi = phi
 			affine[i] = AffinePath{Omega: omega, Delta: delta}
 		}
-		next, _ := SolveWaterFill(affine, n)
+		solveWaterFillInto(affine, n, next, sc.order)
 		converged := true
 		for i := range next {
 			if diff := next[i] - thetas[i]; diff > 0.01 || diff < -0.01 {
 				converged = false
 			}
 		}
-		thetas = next
+		thetas, next = next, thetas
 		if converged {
 			break
 		}
@@ -278,7 +318,7 @@ func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 	for i := range plans {
 		plans[i].Chunks = m.chunksFor(&plans[i])
 		if plans[i].Bytes > 0 {
-			plans[i].Predicted = affine[i].Time(plans[i].Bytes)
+			plans[i].Predicted = AffinePath{Omega: plans[i].Omega, Delta: plans[i].Delta}.Time(plans[i].Bytes)
 			if plans[i].Predicted > worst {
 				worst = plans[i].Predicted
 			}
@@ -296,6 +336,69 @@ func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 		pl.PredictedBandwidth = n / worst
 	}
 	return pl, nil
+}
+
+// rescale projects a plan solved at a size-class representative onto the
+// exact transfer size: the cached share fractions are kept, byte shares
+// are re-aligned at n, and chunk counts and predictions are recomputed at
+// the actual bytes. This is the QuantizeSizes fast path — O(p), no solver.
+func (m *Model) rescale(base *Plan, n float64) *Plan {
+	plans := make([]PathPlan, len(base.Paths))
+	copy(plans, base.Paths)
+	gran := m.opts.Granularity
+	var assigned float64
+	for i := range plans {
+		share := plans[i].Theta * n
+		share = math.Floor(share/gran) * gran
+		if share < 0 {
+			share = 0
+		}
+		plans[i].Bytes = share
+		assigned += share
+	}
+	// The cached thetas can sum to slightly more than 1 (the base plan's
+	// direct theta absorbed its own alignment leftover), so the leftover
+	// here can be negative; the direct path absorbs it in either
+	// direction, falling back to the largest staged share if it would go
+	// negative.
+	if leftover := n - assigned; leftover != 0 {
+		plans[0].Bytes += leftover
+		if plans[0].Bytes < 0 {
+			deficit := -plans[0].Bytes
+			plans[0].Bytes = 0
+			maxI := 0
+			for i := 1; i < len(plans); i++ {
+				if plans[i].Bytes > plans[maxI].Bytes {
+					maxI = i
+				}
+			}
+			plans[maxI].Bytes -= deficit
+		}
+		plans[0].Theta = plans[0].Bytes / n
+	}
+	worst := 0.0
+	for i := range plans {
+		plans[i].Chunks = m.chunksFor(&plans[i])
+		if plans[i].Bytes > 0 {
+			plans[i].Predicted = AffinePath{Omega: plans[i].Omega, Delta: plans[i].Delta}.Time(plans[i].Bytes)
+			if plans[i].Predicted > worst {
+				worst = plans[i].Predicted
+			}
+		} else {
+			plans[i].Predicted = 0
+		}
+	}
+	pl := &Plan{
+		Src:           base.Src,
+		Dst:           base.Dst,
+		Bytes:         n,
+		Paths:         plans,
+		PredictedTime: worst,
+	}
+	if worst > 0 {
+		pl.PredictedBandwidth = n / worst
+	}
+	return pl
 }
 
 // chunksFor applies the configured chunk rule with the runtime clamps.

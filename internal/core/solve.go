@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // AffinePath is a path reduced to its affine time law T(θ) = θ·n·Ω + Δ.
@@ -30,16 +29,22 @@ func SolveClosedForm(paths []AffinePath, n float64) []float64 {
 	if p == 0 || n <= 0 {
 		return nil
 	}
+	thetas := make([]float64, p)
+	SolveClosedFormInto(paths, n, thetas)
+	return thetas
+}
+
+// SolveClosedFormInto is SolveClosedForm writing into a caller-provided
+// slice (len(thetas) must equal len(paths)); it performs no allocations.
+func SolveClosedFormInto(paths []AffinePath, n float64, thetas []float64) {
 	var invSum, deltaSum float64
 	for _, a := range paths {
 		invSum += 1 / a.Omega
 		deltaSum += a.Delta / a.Omega
 	}
-	thetas := make([]float64, p)
 	for i, a := range paths {
 		thetas[i] = (1 - a.Delta/n*invSum + deltaSum/n) / (a.Omega * invSum)
 	}
-	return thetas
 }
 
 // SolveWaterFill computes the exact optimum of problem (5) under the
@@ -53,13 +58,42 @@ func SolveWaterFill(paths []AffinePath, n float64) ([]float64, float64) {
 	if p == 0 || n <= 0 {
 		return nil, 0
 	}
-	order := make([]int, p)
+	thetas := make([]float64, p)
+	var orderBuf [8]int
+	var order []int
+	if p <= len(orderBuf) {
+		order = orderBuf[:p]
+	} else {
+		order = make([]int, p)
+	}
+	T := solveWaterFillInto(paths, n, thetas, order)
+	return thetas, T
+}
+
+// solveWaterFillInto is the allocation-free core of SolveWaterFill: it
+// writes the fractions into thetas and uses order (both len(paths) long)
+// as scratch, returning the optimal time. Admission order is by
+// increasing Δ with ties kept in input order — a stable insertion sort,
+// which for the paper's path counts (p ≤ 8) also beats sort.SliceStable
+// by a wide margin.
+func solveWaterFillInto(paths []AffinePath, n float64, thetas []float64, order []int) float64 {
+	p := len(paths)
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return paths[order[a]].Delta < paths[order[b]].Delta
-	})
+	// Stable insertion sort by Δ: identical permutation to the previous
+	// sort.SliceStable (stable sorts under one comparator agree), with no
+	// closure or interface allocation.
+	for i := 1; i < p; i++ {
+		key := order[i]
+		d := paths[key].Delta
+		j := i - 1
+		for j >= 0 && paths[order[j]].Delta > d {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = key
+	}
 	var invSum, ratioSum float64 // Σ 1/(nΩ), Σ Δ/(nΩ)
 	bestT := math.Inf(1)
 	bestM := 0
@@ -85,7 +119,9 @@ func SolveWaterFill(paths []AffinePath, n float64) ([]float64, float64) {
 		bestT = (1 + ratioSum) / invSum
 		bestM = p
 	}
-	thetas := make([]float64, p)
+	for i := range thetas {
+		thetas[i] = 0
+	}
 	for m := 0; m < bestM; m++ {
 		i := order[m]
 		th := (bestT - paths[i].Delta) / (n * paths[i].Omega)
@@ -94,7 +130,7 @@ func SolveWaterFill(paths []AffinePath, n float64) ([]float64, float64) {
 		}
 		thetas[i] = th
 	}
-	return thetas, bestT
+	return bestT
 }
 
 // MaxTime returns max_i T_i for the given fractions (Eq. 4 with the

@@ -8,10 +8,10 @@ package exp
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tuner"
 	"repro/internal/ucx"
@@ -176,48 +176,29 @@ type staticPlannerKey struct {
 	pathSet string
 }
 
-// plannerEntry is a single-flight slot: the first panel needing a tuning
-// builds it; concurrent panels needing the same tuning wait on the Once
-// instead of duplicating the (expensive) exhaustive search.
-type plannerEntry struct {
-	once sync.Once
-	sp   *tuner.StaticPlanner
-	err  error
-}
-
 // plannerCache shares offline static tunings across panels of one
-// experiment run. It is safe for concurrent use by parallel panel workers.
+// experiment run: the first panel needing a tuning builds it, concurrent
+// panels wait and reuse it (par.Flight's single-flight semantics), so the
+// expensive exhaustive search never runs twice for one (cluster, path set).
 type plannerCache struct {
-	opts    Options
-	mu      sync.Mutex
-	entries map[staticPlannerKey]*plannerEntry
+	opts   Options
+	flight par.Flight[staticPlannerKey, *tuner.StaticPlanner]
 }
 
 func newPlannerCache(opts Options) *plannerCache {
-	return &plannerCache{opts: opts, entries: make(map[staticPlannerKey]*plannerEntry)}
+	return &plannerCache{opts: opts}
 }
 
 func (pc *plannerCache) get(cluster, pathSet string) (*tuner.StaticPlanner, error) {
-	key := staticPlannerKey{cluster, pathSet}
-	pc.mu.Lock()
-	e, ok := pc.entries[key]
-	if !ok {
-		e = &plannerEntry{}
-		pc.entries[key] = e
-	}
-	pc.mu.Unlock()
-	e.once.Do(func() {
+	return pc.flight.Do(staticPlannerKey{cluster, pathSet}, func() (*tuner.StaticPlanner, error) {
 		spec, err := specFor(cluster)
 		if err != nil {
-			e.err = err
-			return
+			return nil, err
 		}
 		sel, err := ucx.PathSetByName(pathSet)
 		if err != nil {
-			e.err = err
-			return
+			return nil, err
 		}
-		e.sp, e.err = tuner.NewStaticPlanner(spec, sel, pc.opts.Sizes, pc.opts.Search)
+		return tuner.NewStaticPlanner(spec, sel, pc.opts.Sizes, pc.opts.Search)
 	})
-	return e.sp, e.err
 }

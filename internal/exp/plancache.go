@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// The plancache experiment measures the planner itself as the fast path:
+// how many PlanTransfer calls per second a single shared core.Model
+// sustains as goroutines are added, and what fraction of them the sharded
+// configuration cache absorbs. This is the production-planner scenario the
+// ROADMAP targets (per-transfer multi-path decisions at high rate), so —
+// unlike the figure experiments — it reports wall-clock throughput rather
+// than simulated bandwidth and is not expected to be byte-reproducible.
+
+// PlanCachePoint is one measured (series, goroutine-count) sample of the
+// planning-throughput benchmark.
+type PlanCachePoint struct {
+	Series     string  `json:"series"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	HitRatio   float64 `json:"hit_ratio"`
+}
+
+// PlanCacheOpsPerGoroutine is the fixed per-goroutine operation count of
+// one benchmark point; throughput is ops/elapsed.
+const PlanCacheOpsPerGoroutine = 200_000
+
+// PlanCacheBench hammers one shared planner from an increasing number of
+// goroutines and reports throughput and hit ratio per rung. Three series:
+//
+//   - warm: every op is a cache hit over the paper's (path set × size)
+//     grid — the steady-state fast path.
+//   - churn: 1 op in 64 plans a goroutine-unique size, forcing a miss
+//     through the singleflight/eviction machinery.
+//   - quantized: like churn, but with size-class quantization on, so the
+//     unique sizes collapse onto shared size classes.
+//
+// The key set spans every configured path set on the first configured
+// cluster; the goroutine ladder doubles up to GOMAXPROCS.
+func PlanCacheBench(opts Options) (*Figure, []PlanCachePoint, error) {
+	cluster := "beluga"
+	if len(opts.Clusters) > 0 {
+		cluster = opts.Clusters[0]
+	}
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := hw.Build(sim.New(), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keys [][]hw.Path
+	for _, psName := range opts.PathSets {
+		sel, err := ucx.PathSetByName(psName)
+		if err != nil {
+			return nil, nil, err
+		}
+		paths, err := spec.EnumeratePaths(0, 1, sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys = append(keys, paths)
+	}
+	if len(keys) == 0 {
+		return nil, nil, fmt.Errorf("exp: plancache needs at least one path set")
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		return nil, nil, fmt.Errorf("exp: plancache needs at least one size")
+	}
+
+	// Goroutine ladder: powers of two up to GOMAXPROCS, with a floor of 4
+	// so single-core hosts still exercise the contended (oversubscribed)
+	// path rather than reporting one trivial rung.
+	var ladder []int
+	maxG := runtime.GOMAXPROCS(0)
+	if maxG < 4 {
+		maxG = 4
+	}
+	for g := 1; g < maxG; g *= 2 {
+		ladder = append(ladder, g)
+	}
+	ladder = append(ladder, maxG)
+
+	type series struct {
+		name     string
+		churn    bool
+		quantize bool
+	}
+	var points []PlanCachePoint
+	fig := &Figure{
+		ID:      "plancache",
+		Caption: "Planner throughput: shared concurrent plan cache vs goroutines",
+	}
+	throughput := Panel{Title: "planning throughput on " + cluster, YLabel: "Mops/s", XLabel: "goroutines"}
+	hitRatio := Panel{Title: "cache hit ratio on " + cluster, YLabel: "fraction", XLabel: "goroutines"}
+
+	for _, s := range []series{
+		{name: "warm"},
+		{name: "churn", churn: true},
+		{name: "quantized", churn: true, quantize: true},
+	} {
+		mo := core.DefaultOptions()
+		mo.QuantizeSizes = s.quantize
+		model := core.NewModel(core.SpecSource{Node: node}, mo)
+		// Pre-warm the shared grid so the steady-state series measures
+		// pure hits.
+		for _, paths := range keys {
+			for _, n := range sizes {
+				if _, err := model.PlanTransfer(paths, n); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		tp := Series{Name: s.name}
+		hr := Series{Name: s.name}
+		for _, g := range ladder {
+			pt, err := runPlanCachePoint(model, keys, sizes, g, s.churn)
+			if err != nil {
+				return nil, nil, err
+			}
+			pt.Series = s.name
+			points = append(points, pt)
+			tp.Points = append(tp.Points, Point{Bytes: float64(g), Value: pt.OpsPerSec / 1e6})
+			hr.Points = append(hr.Points, Point{Bytes: float64(g), Value: pt.HitRatio})
+		}
+		throughput.Series = append(throughput.Series, tp)
+		hitRatio.Series = append(hitRatio.Series, hr)
+	}
+	fig.Panels = []Panel{throughput, hitRatio}
+	return fig, points, nil
+}
+
+// runPlanCachePoint measures one (goroutines, workload) rung: every
+// goroutine performs PlanCacheOpsPerGoroutine plans against the shared
+// model, cycling the key grid from a goroutine-specific offset so
+// concurrent lookups spread over the cache shards.
+func runPlanCachePoint(model *core.Model, keys [][]hw.Path, sizes []float64, goroutines int, churn bool) (PlanCachePoint, error) {
+	model.ResetStats()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Offset the walk per goroutine; derive churn sizes from a
+			// per-goroutine counter so misses are unique across the run.
+			uniq := float64(g+1) * 1e3
+			for op := 0; op < PlanCacheOpsPerGoroutine; op++ {
+				i := (op + g) % (len(keys) * len(sizes))
+				paths := keys[i/len(sizes)]
+				n := sizes[i%len(sizes)]
+				if churn && op%64 == 0 {
+					uniq++
+					n += uniq // off-grid size: a guaranteed-fresh key
+				}
+				if _, err := model.PlanTransfer(paths, n); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return PlanCachePoint{}, firstErr
+	}
+	st := model.Stats()
+	total := st.Hits + st.Misses + st.InflightMerges
+	pt := PlanCachePoint{
+		Goroutines: goroutines,
+		Ops:        int64(goroutines) * PlanCacheOpsPerGoroutine,
+	}
+	pt.OpsPerSec = float64(pt.Ops) / elapsed.Seconds()
+	pt.NsPerOp = float64(elapsed.Nanoseconds()) / float64(pt.Ops)
+	if total > 0 {
+		pt.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return pt, nil
+}

@@ -1,0 +1,53 @@
+package par
+
+import "sync"
+
+// Flight is a generic single-flight result cache: Do computes the value
+// for a key at most once, no matter how many goroutines ask concurrently —
+// later callers block until the first computation finishes and share its
+// result (including its error). It replaces the hand-rolled
+// mutex+sync.Once plumbing that expensive, shareable computations (offline
+// static tunings, derived planners) previously carried individually.
+//
+// Unlike a retry-oriented singleflight, errors are cached too: the
+// computations guarded here are deterministic, so re-running a failed one
+// would fail identically.
+//
+// The zero value is ready to use.
+type Flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightEntry[V]
+}
+
+type flightEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, computing it with fn if this is
+// the first request. fn runs outside the cache lock, so distinct keys
+// compute concurrently.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[K]*flightEntry[V])
+	}
+	e, ok := f.m[key]
+	if !ok {
+		e = &flightEntry[V]{}
+		f.m[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = fn()
+	})
+	return e.val, e.err
+}
+
+// Len reports how many keys have been requested (computed or in flight).
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightComputesOnce(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	const G = 16
+	var wg sync.WaitGroup
+	results := make([]int, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := f.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn called %d times, want 1", got)
+	}
+	for _, v := range results {
+		if v != 42 {
+			t.Fatalf("result = %d, want 42", v)
+		}
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+}
+
+func TestFlightDistinctKeysAndCachedErrors(t *testing.T) {
+	var f Flight[int, string]
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err := f.Do(1, func() (string, error) {
+			calls.Add(1)
+			return "", boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("failed computation re-ran: %d calls", calls.Load())
+	}
+	v, err := f.Do(2, func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("distinct key got (%q, %v)", v, err)
+	}
+}

@@ -1,0 +1,66 @@
+package tuner
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestStaticPlannerConcurrentReplay checks that one StaticPlanner can be
+// shared by concurrent planners — replay is read-only after construction,
+// so, like core.Model, it needs no external lock. Run under -race this is
+// the tuner half of the shared-planner gate.
+func TestStaticPlannerConcurrentReplay(t *testing.T) {
+	spec := hw.Beluga()
+	opts := DefaultSearchOptions()
+	opts.Step = 0.25
+	opts.Refine = false
+	sizes := []float64{8 * hw.MiB, 64 * hw.MiB}
+	sp, err := NewStaticPlanner(spec, hw.TwoGPUs, sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := spec.EnumeratePaths(0, 1, hw.TwoGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := sp.PlanTransfer(paths, 48*hw.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := 0; op < 200; op++ {
+				n := float64((1 + op%96) * hw.MiB)
+				pl, err := sp.PlanTransfer(paths, n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if pl.Bytes != n {
+					t.Errorf("plan for %g bytes returned %g", n, pl.Bytes)
+					return
+				}
+			}
+			// Replays are deterministic: a repeat of the reference size
+			// must match the sequential result share-for-share.
+			pl, err := sp.PlanTransfer(paths, 48*hw.MiB)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range pl.Paths {
+				if pl.Paths[i].Bytes != ref.Paths[i].Bytes || pl.Paths[i].Chunks != ref.Paths[i].Chunks {
+					t.Errorf("concurrent replay diverged on path %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

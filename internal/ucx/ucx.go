@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cuda"
@@ -189,6 +191,14 @@ func PathSetByName(name string) (hw.PathSet, error) {
 
 // Context owns transport-global state: the planner, the pipeline engine,
 // and the IPC translation cache shared by all endpoints.
+//
+// Planning state is safe for concurrent use: the shared core.Model is a
+// concurrent sharded cache, the per-pair/per-pattern derived planners are
+// built under modelMu with double-checked lookup (one concurrent model per
+// pair, shared by every endpoint that plans against it), and the
+// operation counters are atomic. Simulator execution (Put/Get) remains
+// single-threaded, as the discrete-event core is; PlanFor is the
+// goroutine-safe planning entry point.
 type Context struct {
 	cfg     Config
 	rt      *cuda.Runtime
@@ -197,17 +207,22 @@ type Context struct {
 	planner Planner
 	sel     hw.PathSet
 
+	ipcMu     sync.Mutex
 	ipcOpened map[[2]int]bool
-	ipcOpens  int
-	puts      int
+	ipcOpens  atomic.Int64
+	puts      atomic.Int64
 
+	// modelMu guards the derived-planner maps below.
+	modelMu sync.Mutex
 	// bidirModels caches per-pair contention-aware planners (BidirAware).
 	bidirModels map[[2]int]*core.Model
 	// patternModels caches planners per communication-pattern hint.
 	patternModels map[string]*core.Model
-	// inflight counts active rendezvous transfers per (src, dst) pair,
-	// feeding LoadAware planning.
-	inflight map[[2]int]int
+
+	// inflightMu guards inflight, which counts active rendezvous
+	// transfers per (src, dst) pair, feeding LoadAware planning.
+	inflightMu sync.Mutex
+	inflight   map[[2]int]int
 }
 
 // NewContext builds a context over a CUDA runtime.
@@ -245,10 +260,10 @@ func (c *Context) Runtime() *cuda.Runtime { return c.rt }
 func (c *Context) Config() Config { return c.cfg }
 
 // IpcOpens reports how many IPC handle opens were performed (cache misses).
-func (c *Context) IpcOpens() int { return c.ipcOpens }
+func (c *Context) IpcOpens() int { return int(c.ipcOpens.Load()) }
 
 // Puts reports the number of Put operations issued.
-func (c *Context) Puts() int { return c.puts }
+func (c *Context) Puts() int { return int(c.puts.Load()) }
 
 // Worker is the per-process progress context (one per MPI rank).
 type Worker struct {
@@ -327,7 +342,7 @@ func (ep *Endpoint) put(bytes float64, concurrent [][2]int) (*Request, error) {
 		return nil, fmt.Errorf("ucx: Put of %v bytes", bytes)
 	}
 	c := ep.ctx
-	c.puts++
+	c.puts.Add(1)
 	s := c.rt.Sim()
 	req := &Request{Done: s.NewSignal(), Bytes: bytes, start: s.Now()}
 
@@ -335,9 +350,14 @@ func (ep *Endpoint) put(bytes float64, concurrent [][2]int) (*Request, error) {
 	// remote memory handle; later transfers hit the cache.
 	setup := 0.0
 	key := [2]int{ep.src, ep.dst}
-	if !c.ipcOpened[key] {
+	c.ipcMu.Lock()
+	opened := c.ipcOpened[key]
+	if !opened {
 		c.ipcOpened[key] = true
-		c.ipcOpens++
+	}
+	c.ipcMu.Unlock()
+	if !opened {
+		c.ipcOpens.Add(1)
 		setup += c.cfg.IpcOpenCost
 	}
 
@@ -372,30 +392,40 @@ func (ep *Endpoint) singlePath(req *Request, bytes, setup float64) (*Request, er
 	return req, nil
 }
 
-// multiPath plans and executes the transfer across the configured paths.
-func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][2]int) (*Request, error) {
-	c := ep.ctx
-	s := c.rt.Sim()
-	paths, err := c.rt.Node().Spec.EnumeratePaths(ep.src, ep.dst, c.sel)
+// PlanFor computes the multi-path configuration the context would use for
+// a (src, dst, bytes) transfer with the given concurrency hints — the
+// planning half of a rendezvous Put, with no simulator interaction. It is
+// safe to call from many goroutines at once (a planning service hot path):
+// the shared model's cache is concurrent and derived planners are built
+// once per pair/pattern.
+func (c *Context) PlanFor(src, dst int, bytes float64, concurrent [][2]int) (*core.Plan, error) {
+	paths, err := c.rt.Node().Spec.EnumeratePaths(src, dst, c.sel)
 	if err != nil {
 		return nil, err
 	}
 	if c.cfg.LoadAware && len(concurrent) == 0 {
-		concurrent = c.inflightPairs(ep.src, ep.dst)
+		concurrent = c.inflightPairs(src, dst)
 	}
 	planner := c.planner
 	if c.cfg.Planner == nil {
 		switch {
 		case len(concurrent) > 0 && bytes >= c.cfg.PatternAwareMinBytes:
-			planner, err = c.patternModel(ep.src, ep.dst, concurrent)
+			planner, err = c.patternModel(src, dst, concurrent)
 		case c.cfg.BidirAware:
-			planner, err = c.bidirModel(ep.src, ep.dst, paths)
+			planner, err = c.bidirModel(src, dst, paths)
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
-	pl, err := planner.PlanTransfer(paths, bytes)
+	return planner.PlanTransfer(paths, bytes)
+}
+
+// multiPath plans and executes the transfer across the configured paths.
+func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][2]int) (*Request, error) {
+	c := ep.ctx
+	s := c.rt.Sim()
+	pl, err := c.PlanFor(ep.src, ep.dst, bytes, concurrent)
 	if err != nil {
 		return nil, err
 	}
@@ -403,14 +433,18 @@ func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][
 	req.Plan = pl
 	req.Multipath = true
 	pair := [2]int{ep.src, ep.dst}
+	c.inflightMu.Lock()
 	c.inflight[pair]++
+	c.inflightMu.Unlock()
 	release := func() {
+		c.inflightMu.Lock()
 		if c.inflight[pair] > 0 {
 			c.inflight[pair]--
 		}
 		if c.inflight[pair] == 0 {
 			delete(c.inflight, pair)
 		}
+		c.inflightMu.Unlock()
 	}
 	s.Schedule(setup+c.cfg.RndvOverhead, func() {
 		res, err := c.engine.Execute(pl)
@@ -434,6 +468,8 @@ func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][
 // inflightPairs snapshots the currently active transfer pairs other than
 // the one being planned, in deterministic order.
 func (c *Context) inflightPairs(src, dst int) [][2]int {
+	c.inflightMu.Lock()
+	defer c.inflightMu.Unlock()
 	if len(c.inflight) == 0 {
 		return nil
 	}
@@ -460,6 +496,12 @@ func (c *Context) inflightPairs(src, dst int) [][2]int {
 // part of the load.
 func (c *Context) patternModel(src, dst int, concurrent [][2]int) (*core.Model, error) {
 	key := fmt.Sprintf("%d:%d|%v", src, dst, concurrent)
+	// Holding modelMu across the build serializes concurrent misses for
+	// the same pattern: one goroutine builds, the rest find the cached
+	// planner. Builds are rare (one per distinct pattern) and cheap next
+	// to the searches they replace, so a single lock is enough.
+	c.modelMu.Lock()
+	defer c.modelMu.Unlock()
 	if m, ok := c.patternModels[key]; ok {
 		return m, nil
 	}
@@ -502,6 +544,8 @@ func (c *Context) patternModel(src, dst int, concurrent [][2]int) (*core.Model, 
 // for a GPU pair: it assumes the mirror transfer is concurrently active.
 func (c *Context) bidirModel(src, dst int, paths []hw.Path) (*core.Model, error) {
 	key := [2]int{src, dst}
+	c.modelMu.Lock()
+	defer c.modelMu.Unlock()
 	if m, ok := c.bidirModels[key]; ok {
 		return m, nil
 	}

@@ -15,4 +15,12 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The planner is the concurrency-critical surface: rerun its stress gates
+# with more iterations than the default suite so interleavings that only
+# show up under repetition get a chance to fire.
+echo "==> go test -race -count=3 (plan-cache + shared-planner stress)"
+go test -race -count=3 \
+	-run 'TestPlanCacheConcurrentStress|TestPlanCacheSingleflight|TestContextConcurrentPlanning|TestStaticPlannerConcurrentReplay' \
+	./internal/core/ ./internal/ucx/ ./internal/tuner/
+
 echo "verify: OK"
