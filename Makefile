@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-planner verify
+.PHONY: build test race vet bench bench-planner bench-faults verify
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,9 @@ bench:
 bench-planner:
 	$(GO) test -bench 'BenchmarkPlanCacheHit' -benchmem -run xxx .
 	$(GO) run ./cmd/mpbench -exp plancache -planner-json BENCH_planner.json
+
+# bench-faults runs the fault-adaptation sweep (mid-transfer link
+# degradation and permanent failure, adaptive runtime vs plan-once
+# baseline) and regenerates BENCH_faults.json.
+bench-faults:
+	$(GO) run ./cmd/mpbench -exp faults -faults-json BENCH_faults.json

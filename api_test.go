@@ -1,0 +1,146 @@
+package multipath
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every named preset must be reachable both ways — Preset(name) and the
+// exported constructor var — and produce identical specs.
+func TestPresetVarsRoundTrip(t *testing.T) {
+	vars := map[string]func() *Spec{
+		"beluga":    Beluga,
+		"narval":    Narval,
+		"nvswitch":  NVSwitchNode,
+		"synthetic": Synthetic,
+	}
+	for name, mk := range vars {
+		byName, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if !reflect.DeepEqual(byName, mk()) {
+			t.Errorf("Preset(%q) differs from exported constructor", name)
+		}
+	}
+	// And the other direction: no preset name exists without a facade var.
+	for _, name := range []string{"beluga", "narval", "nvswitch", "synthetic"} {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("preset %q has no exported constructor", name)
+		}
+	}
+}
+
+func TestNewSystemDefaultsWithoutOptions(t *testing.T) {
+	sys, err := NewSystem(Synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Ctx.Config(); !reflect.DeepEqual(got, DefaultConfig()) {
+		t.Fatalf("zero-option config = %+v", got)
+	}
+	if sys.Faults != nil {
+		t.Fatal("no fault plan given, injector should be nil")
+	}
+}
+
+func TestNewSystemPositionalCompat(t *testing.T) {
+	// The legacy positional call must behave exactly like WithConfig.
+	cfg := DefaultConfig()
+	cfg.RndvThreshold = 128 * KiB
+	legacy, err := NewSystem(Beluga(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := NewSystem(Beluga(), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Ctx.Config(), modern.Ctx.Config()) {
+		t.Fatal("positional and WithConfig configs differ")
+	}
+}
+
+func TestWithModelOptionsOverridesPlanner(t *testing.T) {
+	mo := DefaultModelOptions()
+	mo.MaxChunks = 7
+	sys, err := NewSystem(Narval(), WithModelOptions(mo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Ctx.Config().ModelOptions.MaxChunks; got != 7 {
+		t.Fatalf("MaxChunks = %d, want 7", got)
+	}
+	if got := sys.Model().Options().MaxChunks; got != 7 {
+		t.Fatalf("model MaxChunks = %d, want 7", got)
+	}
+}
+
+func TestWithFaultsArmsInjector(t *testing.T) {
+	var fp FaultPlan
+	fp.Degrade(1e-3, NVLinkRef(0, 1), 0.5)
+	sys, err := NewSystem(Narval(), WithFaults(&fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Faults == nil {
+		t.Fatal("injector not armed")
+	}
+	link, err := sys.Node.ResolveLink(NVLinkRef(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := link.Capacity()
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := link.Capacity(); got != before*0.5 {
+		t.Fatalf("capacity after drain = %v, want %v", got, before*0.5)
+	}
+	if sys.Faults.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", sys.Faults.Fired())
+	}
+}
+
+func TestWithFaultsRejectsBadPlan(t *testing.T) {
+	var fp FaultPlan
+	fp.Fail(0, NVLinkRef(0, 99))
+	if _, err := NewSystem(Narval(), WithFaults(&fp)); err == nil {
+		t.Fatal("unresolvable fault ref accepted")
+	}
+}
+
+func TestTransferSurvivesPermanentStagingFailure(t *testing.T) {
+	// Acceptance scenario: a staging path's link dies permanently
+	// mid-transfer; Transfer must complete via failover and report it.
+	var fp FaultPlan
+	fp.Fail(100e-6, NVLinkRef(0, 2))
+	sys, err := NewSystem(Narval(), WithFaults(&fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Transfer(0, 1, 64*MiB, AllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries < 1 || res.Failovers < 1 {
+		t.Fatalf("retries=%d failovers=%d, want ≥ 1 each", res.Retries, res.Failovers)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatal("no bandwidth achieved")
+	}
+}
+
+func TestTransferFaultFreeCountsStayZero(t *testing.T) {
+	sys, err := NewSystem(Narval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Transfer(0, 1, 64*MiB, AllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 || res.Failovers != 0 {
+		t.Fatalf("fault-free run reported retries=%d failovers=%d", res.Retries, res.Failovers)
+	}
+}

@@ -190,6 +190,37 @@ func (c *planCache) invalidate() {
 	}
 }
 
+// invalidateMatching drops completed entries whose plan satisfies pred, and
+// every in-flight entry (its plan cannot be inspected yet; dropping the map
+// slot means the computation finishes, delivers to its waiters, and is not
+// re-cached — the same conservative rule invalidate uses).
+func (c *planCache) invalidateMatching(pred func(*Plan) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if !e.computed || e.plan == nil || pred(e.plan) {
+				delete(s.entries, key)
+			}
+		}
+		// Rebuild the CLOCK ring keeping only survivors.
+		keep := s.ring[:0]
+		for _, e := range s.ring {
+			if _, ok := s.entries[e.key]; ok && s.entries[e.key] == e {
+				keep = append(keep, e)
+			}
+		}
+		for j := len(keep); j < len(s.ring); j++ {
+			s.ring[j] = nil
+		}
+		s.ring = keep
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		s.mu.Unlock()
+	}
+}
+
 // len counts retained (completed or in-flight) entries.
 func (c *planCache) len() int {
 	n := 0

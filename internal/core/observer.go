@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+)
+
+// Online recalibration (the adaptive runtime's feedback loop): the planner's
+// (α, β) parameters are fit offline, but link capacities drift at runtime —
+// thermal throttling, a degraded NVLink lane, PCIe contention from another
+// job. The Observer closes the loop: the runtime feeds it (predicted,
+// achieved) time pairs per path class; when the achieved/predicted ratio
+// drifts past a threshold, the Observer re-fits a per-class bandwidth
+// correction and invalidates the plan caches of every attached Model so
+// subsequent plans use the corrected β.
+//
+// The correction is deliberately coarse — one multiplicative β scale per
+// path kind (direct / GPU-staged / host-staged) — because the runtime's
+// parameter source already reads live link capacities at plan time; the
+// Observer only needs to catch the residual error between the model's
+// affine law and what transfers actually achieve.
+
+// ObserverOptions tune the recalibration loop.
+type ObserverOptions struct {
+	// DriftThreshold is the relative drift |m − 1| that triggers a re-fit,
+	// where m is the fitted achieved/predicted slope. Default 0.10.
+	DriftThreshold float64
+	// MinSamples is the number of samples a class must accumulate before a
+	// drift estimate is trusted. Default 4.
+	MinSamples int
+	// Window bounds how many recent samples per class feed the fit (ring
+	// buffer; older samples age out). Default 8.
+	Window int
+	// MaxScale clamps the cumulative β correction to [1/MaxScale, MaxScale]
+	// so a burst of pathological samples cannot wedge the planner. Default 16.
+	MaxScale float64
+}
+
+// DefaultObserverOptions returns the runtime defaults.
+func DefaultObserverOptions() ObserverOptions {
+	return ObserverOptions{DriftThreshold: 0.10, MinSamples: 4, Window: 8, MaxScale: 16}
+}
+
+func (o *ObserverOptions) normalize() {
+	if o.DriftThreshold <= 0 {
+		o.DriftThreshold = 0.10
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 4
+	}
+	if o.Window < o.MinSamples {
+		o.Window = o.MinSamples * 2
+	}
+	if o.MaxScale < 1 {
+		o.MaxScale = 16
+	}
+}
+
+// obsClass accumulates recent (predicted, achieved) pairs for one path kind.
+type obsClass struct {
+	pred []float64 // ring buffers, len == Window once warm
+	ach  []float64
+	next int
+	n    int // samples currently held (≤ Window)
+}
+
+func (cl *obsClass) push(pred, ach float64, window int) {
+	if len(cl.pred) < window {
+		cl.pred = append(cl.pred, pred)
+		cl.ach = append(cl.ach, ach)
+		cl.n = len(cl.pred)
+		cl.next = cl.n % window
+		return
+	}
+	cl.pred[cl.next] = pred
+	cl.ach[cl.next] = ach
+	cl.next = (cl.next + 1) % window
+	if cl.n < window {
+		cl.n++
+	}
+}
+
+// slope fits achieved = m · predicted through the origin by least squares.
+func (cl *obsClass) slope() (float64, bool) {
+	var num, den float64
+	for i := 0; i < cl.n; i++ {
+		num += cl.pred[i] * cl.ach[i]
+		den += cl.pred[i] * cl.pred[i]
+	}
+	if den <= 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+func (cl *obsClass) reset() {
+	cl.pred = cl.pred[:0]
+	cl.ach = cl.ach[:0]
+	cl.next = 0
+	cl.n = 0
+}
+
+// ObserverStats is a snapshot of the recalibration loop's activity.
+type ObserverStats struct {
+	// Samples counts Record calls accepted.
+	Samples int64
+	// Refits counts threshold crossings that re-fit a class scale (and
+	// invalidated the attached models' caches).
+	Refits int64
+	// Scale is the current β correction per path kind (1 = no correction).
+	Scale map[hw.PathKind]float64
+}
+
+// Observer accumulates prediction error per path class and re-fits a β
+// correction when drift exceeds the threshold. Safe for concurrent use.
+type Observer struct {
+	opts ObserverOptions
+
+	mu      sync.Mutex
+	classes map[hw.PathKind]*obsClass
+	scale   map[hw.PathKind]float64
+	models  []*Model
+
+	samples atomic.Int64
+	refits  atomic.Int64
+}
+
+// NewObserver creates a recalibration observer. Zero-valued options fields
+// take their defaults.
+func NewObserver(opts ObserverOptions) *Observer {
+	opts.normalize()
+	return &Observer{
+		opts:    opts,
+		classes: make(map[hw.PathKind]*obsClass),
+		scale:   make(map[hw.PathKind]float64),
+	}
+}
+
+// register attaches a model whose cache is invalidated on re-fit. Called by
+// Model.AttachObserver.
+func (o *Observer) register(m *Model) {
+	o.mu.Lock()
+	o.models = append(o.models, m)
+	o.mu.Unlock()
+}
+
+// Record feeds one completed path transfer: the model's predicted time and
+// the achieved wall (simulated) time. Non-positive or non-finite pairs are
+// ignored. When the class's fitted drift |m − 1| exceeds the threshold the
+// class scale is re-fit, the window is reset, and every attached model's
+// plan cache is invalidated so fresh plans pick up the correction.
+func (o *Observer) Record(kind hw.PathKind, predicted, achieved float64) {
+	if predicted <= 0 || achieved <= 0 ||
+		math.IsNaN(predicted) || math.IsInf(predicted, 0) ||
+		math.IsNaN(achieved) || math.IsInf(achieved, 0) {
+		return
+	}
+	o.mu.Lock()
+	cl := o.classes[kind]
+	if cl == nil {
+		cl = &obsClass{}
+		o.classes[kind] = cl
+	}
+	cl.push(predicted, achieved, o.opts.Window)
+	o.samples.Add(1)
+
+	var invalidate []*Model
+	if cl.n >= o.opts.MinSamples {
+		if m, ok := cl.slope(); ok && math.Abs(m-1) > o.opts.DriftThreshold {
+			// Achieved ≫ predicted (m > 1) means the class is slower than
+			// modelled: shrink β so predicted times stretch to match.
+			cur := o.scale[kind]
+			if cur == 0 {
+				cur = 1
+			}
+			cur /= m
+			if max := o.opts.MaxScale; cur > max {
+				cur = max
+			} else if cur < 1/max {
+				cur = 1 / max
+			}
+			o.scale[kind] = cur
+			cl.reset()
+			o.refits.Add(1)
+			invalidate = append(invalidate, o.models...)
+		}
+	}
+	o.mu.Unlock()
+
+	// Invalidate outside the observer lock: cache invalidation takes shard
+	// locks, and plan() calls adjust() which takes o.mu — holding both here
+	// would order the locks both ways.
+	for _, m := range invalidate {
+		m.InvalidateCache()
+	}
+}
+
+// BetaScale returns the current β correction for a path kind (1 = none).
+func (o *Observer) BetaScale(kind hw.PathKind) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s, ok := o.scale[kind]; ok {
+		return s
+	}
+	return 1
+}
+
+// Stats returns a snapshot of the loop's activity.
+func (o *Observer) Stats() ObserverStats {
+	o.mu.Lock()
+	scale := make(map[hw.PathKind]float64, len(o.scale))
+	for k, v := range o.scale {
+		scale[k] = v
+	}
+	o.mu.Unlock()
+	return ObserverStats{
+		Samples: o.samples.Load(),
+		Refits:  o.refits.Load(),
+		Scale:   scale,
+	}
+}
+
+// String summarizes the observer state for diagnostics.
+func (o *Observer) String() string {
+	st := o.Stats()
+	return fmt.Sprintf("observer{samples=%d refits=%d scales=%d}",
+		st.Samples, st.Refits, len(st.Scale))
+}
+
+// adjust applies the class correction to a path's parameters. The input is
+// not mutated: Legs is copied before scaling (parameter sources may hand
+// out shared slices).
+func (o *Observer) adjust(p PathParam) PathParam {
+	o.mu.Lock()
+	s, ok := o.scale[p.Path.Kind]
+	o.mu.Unlock()
+	if !ok || s == 1 {
+		return p
+	}
+	legs := make([]LinkParam, len(p.Legs))
+	copy(legs, p.Legs)
+	for i := range legs {
+		legs[i].Beta *= s
+	}
+	p.Legs = legs
+	return p
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hw"
 )
@@ -136,6 +137,9 @@ type Model struct {
 	opts    Options
 	cache   *planCache
 	scratch sync.Pool
+	// obs, when set, applies online β corrections to path parameters at
+	// planning time (see Observer).
+	obs atomic.Pointer[Observer]
 }
 
 // NewModel creates a planner.
@@ -169,6 +173,30 @@ func (m *Model) CachedPlans() int { return m.cache.len() }
 // their result to waiters but are not re-cached. Statistics are cumulative
 // across invalidations; use ResetStats to zero them.
 func (m *Model) InvalidateCache() { m.cache.invalidate() }
+
+// InvalidateMatching drops cached plans for which pred returns true (e.g.
+// plans routing through a link that just failed). In-flight computations
+// are dropped unconditionally — their plans cannot be inspected yet, and
+// re-planning a transfer is cheap relative to executing a stale plan.
+func (m *Model) InvalidateMatching(pred func(*Plan) bool) {
+	m.cache.invalidateMatching(pred)
+}
+
+// AttachObserver wires an online recalibration observer into the planner:
+// path parameters are passed through the observer's β correction at plan
+// time, and the observer invalidates this model's cache whenever it re-fits
+// a correction. Attach at most one observer per model; attaching nil
+// detaches.
+func (m *Model) AttachObserver(o *Observer) {
+	m.obs.Store(o)
+	if o != nil {
+		o.register(m)
+		m.InvalidateCache()
+	}
+}
+
+// Observer returns the attached recalibration observer, or nil.
+func (m *Model) Observer() *Observer { return m.obs.Load() }
 
 // planScratch holds the per-computation working set of Model.plan so a
 // cache miss performs no allocations beyond the returned Plan itself.
@@ -237,6 +265,9 @@ func (m *Model) plan(paths []hw.Path, n float64) (*Plan, error) {
 		}
 		if err := param.Validate(); err != nil {
 			return nil, err
+		}
+		if obs := m.obs.Load(); obs != nil {
+			param = obs.adjust(param)
 		}
 		params[i] = param
 	}

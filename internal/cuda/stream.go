@@ -58,6 +58,12 @@ func (s *Stream) copyOnRoute(r hw.Route, bytes float64) *sim.Signal {
 				f := rt.node.Net.StartFlow(bytes, r.Links...)
 				f.Done().OnFire(func() {
 					release()
+					if err := f.Done().Err(); err != nil {
+						// A link on the route failed mid-copy; surface it so
+						// the pipeline can classify and fail over.
+						done.Fail(err)
+						return
+					}
 					done.Fire()
 				})
 			})

@@ -1,0 +1,50 @@
+package exp
+
+import "testing"
+
+// The acceptance scenario for the fault-adaptive runtime: a 50% degradation
+// of the direct NVLink mid-transfer on narval at 64 MiB. The adaptive
+// runtime must recover at least 1.2x the bandwidth of the plan-once
+// baseline riding the fault out.
+func TestFaultAdaptiveRecovery(t *testing.T) {
+	a, err := runFaultCell("narval", faultRefBytes, 0.5, faultMode{name: "adaptive", adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runFaultCell("narval", faultRefBytes, 0.5, faultMode{name: "static", adaptive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Completed || !s.Completed {
+		t.Fatalf("completion: adaptive=%v static=%v", a.Completed, s.Completed)
+	}
+	ratio := a.Bandwidth / s.Bandwidth
+	t.Logf("degrade 0.5 @ 64MiB: adaptive %.1f GB/s, static %.1f GB/s, ratio %.3f",
+		a.Bandwidth, s.Bandwidth, ratio)
+	if ratio < 1.2 {
+		t.Errorf("adaptive/static bandwidth ratio %.3f, want >= 1.2", ratio)
+	}
+}
+
+// A permanent staging-link failure mid-transfer: the adaptive runtime must
+// complete via failover (reporting the recovery), while the baseline with
+// failover disabled loses the transfer.
+func TestFaultPermanentFailureFailover(t *testing.T) {
+	a, err := runFaultCell("narval", faultRefBytes, 0, faultMode{name: "adaptive", adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Completed {
+		t.Fatal("adaptive transfer did not complete under permanent staging failure")
+	}
+	if a.Retries < 1 || a.Failovers < 1 {
+		t.Errorf("retries=%d failovers=%d, want >= 1 each", a.Retries, a.Failovers)
+	}
+	s, err := runFaultCell("narval", faultRefBytes, 0, faultMode{name: "static", adaptive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Completed {
+		t.Error("baseline with failover disabled should not survive a permanent path failure")
+	}
+}

@@ -1,0 +1,162 @@
+package fluid
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSetCapacityScaleReRatesMidFlow(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	f := n.StartFlow(1000, l)
+	var doneAt sim.Time = -1
+	f.Done().OnFire(func() { doneAt = s.Now() })
+	// Halve the capacity at t=5: 500 B carried, 500 B left at 50 B/s.
+	s.Schedule(5, func() { l.SetCapacityScale(0.5) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, doneAt, 15.0, 1e-9, "completion after mid-flow degradation")
+	almost(t, l.Capacity(), 50, 1e-9, "effective capacity")
+	almost(t, l.NominalCapacity(), 100, 1e-9, "nominal capacity")
+	almost(t, l.CapacityScale(), 0.5, 1e-12, "scale")
+}
+
+func TestSetCapacityScaleRestoreMidFlow(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	f := n.StartFlow(1000, l)
+	var doneAt sim.Time = -1
+	f.Done().OnFire(func() { doneAt = s.Now() })
+	s.Schedule(2, func() { l.SetCapacityScale(0.25) }) // 200 done, 25 B/s
+	s.Schedule(10, func() { l.SetCapacityScale(1) })   // +200 done, back to 100 B/s
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 600 bytes remain at t=10, finishing 6s later.
+	almost(t, doneAt, 16.0, 1e-9, "completion after degrade+restore")
+}
+
+func TestFailLinkFailsActiveFlows(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	other := n.AddLink("M", 100)
+	f := n.StartFlow(1000, l)
+	g := n.StartFlow(1000, other)
+	var ferr, gerr error
+	var fAt sim.Time = -1
+	f.Done().OnFire(func() { ferr = f.Done().Err(); fAt = s.Now() })
+	g.Done().OnFire(func() { gerr = g.Done().Err() })
+	s.Schedule(3, l.FailLink)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(ferr, ErrLinkDown) {
+		t.Fatalf("flow on failed link: got err %v, want ErrLinkDown", ferr)
+	}
+	if !strings.Contains(ferr.Error(), "L") {
+		t.Fatalf("error should name the link: %v", ferr)
+	}
+	almost(t, fAt, 3.0, 1e-9, "failure time")
+	if gerr != nil {
+		t.Fatalf("flow on healthy link failed: %v", gerr)
+	}
+	if !l.Down() {
+		t.Fatal("link should report Down")
+	}
+}
+
+func TestStartFlowOnDownLinkFailsFast(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	l.FailLink()
+	f := n.StartFlow(100, l)
+	var ferr error
+	var at sim.Time = -1
+	f.Done().OnFire(func() { ferr = f.Done().Err(); at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(ferr, ErrLinkDown) {
+		t.Fatalf("got err %v, want ErrLinkDown", ferr)
+	}
+	almost(t, at, 0, 1e-12, "fail-fast time")
+	if n.ActiveFlowCount() != 0 {
+		t.Fatalf("failed flow must not join the network: %d active", n.ActiveFlowCount())
+	}
+}
+
+func TestRestoreAllowsNewFlows(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	var doneAt sim.Time = -1
+	s.Schedule(0, l.FailLink)
+	s.Schedule(2, l.Restore)
+	s.Schedule(2, func() {
+		f := n.StartFlow(100, l)
+		f.Done().OnFire(func() {
+			if f.Done().Err() != nil {
+				t.Errorf("flow after restore failed: %v", f.Done().Err())
+			}
+			doneAt = s.Now()
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, doneAt, 3.0, 1e-9, "completion after restore")
+}
+
+// TestFailLinkReRatesSurvivors checks the max-min shares open up when a
+// competing flow is killed by a link failure: two flows share link A; one
+// of them also crosses link B, which fails.
+func TestFailLinkReRatesSurvivors(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	a := n.AddLink("A", 100)
+	b := n.AddLink("B", 100)
+	surv := n.StartFlow(1000, a)
+	victim := n.StartFlow(1000, a, b)
+	var survAt sim.Time = -1
+	surv.Done().OnFire(func() { survAt = s.Now() })
+	victim.Done().OnFire(func() {})
+	s.Schedule(5, b.FailLink)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 B/s for 5s (250 B left wait: 1000-250=750)... survivor carries
+	// 250 B by t=5, then the full 100 B/s: 750 B more in 7.5s.
+	almost(t, survAt, 12.5, 1e-9, "survivor completion")
+	if !victim.Done().Fired() || victim.Done().Err() == nil {
+		t.Fatal("victim should have failed")
+	}
+}
+
+// TestFaultFreeTimingUnchanged pins the no-fault behaviour: a network where
+// fault APIs exist but are never invoked must time flows exactly as before.
+func TestFaultFreeTimingUnchanged(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := n.AddLink("L", 100)
+	m := n.AddLink("M", 50)
+	var t1, t2 sim.Time
+	f1 := n.StartFlow(500, l)
+	f2 := n.StartFlow(200, l, m)
+	f1.Done().OnFire(func() { t1 = s.Now() })
+	f2.Done().OnFire(func() { t2 = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// f2 bottlenecked at M (50); f1 takes the rest of L (50): both 50 B/s.
+	// f2 finishes at t=4; f1 then gets 100 B/s for its remaining 300 B.
+	almost(t, t2, 4.0, 1e-9, "f2")
+	almost(t, t1, 7.0, 1e-9, "f1")
+}

@@ -24,18 +24,27 @@
 package fluid
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/sim"
 )
 
+// ErrLinkDown marks flow failures caused by a failed link. Callers classify
+// transfer errors with errors.Is(err, ErrLinkDown); the wrapped message
+// carries the link name.
+var ErrLinkDown = errors.New("fluid: link down")
+
 // Link is a unidirectional capacitated resource. Two directions of a
 // physical cable are two Links. A shared resource such as a host memory
 // channel is also a Link that multiple routes traverse.
 type Link struct {
 	name     string
-	capacity float64 // bytes per second
+	base     float64 // nominal capacity, bytes per second
+	scale    float64 // health factor applied to base (1 = healthy)
+	capacity float64 // effective capacity = base × scale
+	down     bool    // failed: active flows were aborted, new flows fail fast
 	net      *Network
 	active   []*Flow // flows currently crossing the link
 
@@ -52,8 +61,71 @@ type Link struct {
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
-// Capacity returns the link capacity in bytes per second.
+// Capacity returns the link's effective capacity (nominal × health scale)
+// in bytes per second. A failed link keeps reporting its effective capacity
+// — planners must stay able to parameterize paths that cross it — but flows
+// started over it fail immediately.
 func (l *Link) Capacity() float64 { return l.capacity }
+
+// NominalCapacity returns the capacity the link was created with,
+// independent of any degradation applied since.
+func (l *Link) NominalCapacity() float64 { return l.base }
+
+// CapacityScale returns the current health factor (1 = healthy).
+func (l *Link) CapacityScale() float64 { return l.scale }
+
+// Down reports whether the link has failed (see FailLink).
+func (l *Link) Down() bool { return l.down }
+
+// SetCapacityScale degrades (or restores) the link to factor × nominal
+// capacity. In-flight flows are settled at the old rates and re-rated at
+// the new capacity from the current instant on. The factor must be positive
+// and finite; use FailLink for a hard failure.
+func (l *Link) SetCapacityScale(factor float64) {
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("fluid: link %q capacity scale must be positive and finite, got %v", l.name, factor))
+	}
+	if factor == l.scale {
+		return
+	}
+	n := l.net
+	n.settle()
+	l.scale = factor
+	l.capacity = l.base * factor
+	n.reallocate()
+}
+
+// FailLink takes the link down: every active flow crossing it fails (its
+// Done signal fails with an ErrLinkDown-wrapped error) and subsequent
+// StartFlow calls over the link fail immediately until Restore. Failing a
+// failed link is a no-op.
+func (l *Link) FailLink() {
+	if l.down {
+		return
+	}
+	n := l.net
+	n.settle()
+	l.down = true
+	// Abort active flows in insertion order (deterministic). Copy first:
+	// failFlow mutates l.active via removeFlow.
+	victims := append([]*Flow(nil), l.active...)
+	err := fmt.Errorf("%w: %s", ErrLinkDown, l.name)
+	for _, f := range victims {
+		n.failFlow(f, err)
+	}
+	n.reallocate()
+}
+
+// Restore brings a failed link back up at its current capacity scale.
+// Flows failed by FailLink stay failed; new flows may use the link again.
+func (l *Link) Restore() {
+	if !l.down {
+		return
+	}
+	l.net.settle()
+	l.down = false
+	l.net.reallocate()
+}
 
 // ActiveFlows returns the number of flows currently crossing the link.
 func (l *Link) ActiveFlows() int { return len(l.active) }
@@ -138,7 +210,7 @@ func (n *Network) AddLink(name string, capacity float64) *Link {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		panic(fmt.Sprintf("fluid: link %q capacity must be positive and finite, got %v", name, capacity))
 	}
-	l := &Link{name: name, capacity: capacity, net: n}
+	l := &Link{name: name, base: capacity, scale: 1, capacity: capacity, net: n}
 	n.links = append(n.links, l)
 	return l
 }
@@ -181,6 +253,16 @@ func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
 		f.finished = true
 		n.sim.Schedule(0, f.done.Fire)
 		return f
+	}
+	for _, l := range route {
+		if l.down {
+			// Fail fast: the flow never joins the network, so it does not
+			// perturb the rates of healthy flows.
+			f.finished = true
+			err := fmt.Errorf("%w: %s", ErrLinkDown, l.name)
+			n.sim.Schedule(0, func() { f.done.Fail(err) })
+			return f
+		}
 	}
 	n.settle()
 	f.finishFn = func() { n.finish(f) }
@@ -373,6 +455,22 @@ func (n *Network) removeFlow(f *Flow) {
 			}
 		}
 	}
+}
+
+// failFlow aborts an in-flight flow: it is removed from the network and its
+// links, its pending completion event is canceled, and its done signal
+// fails with err. The caller is responsible for settling beforehand and
+// re-rating survivors afterwards (FailLink batches both around a group of
+// victims).
+func (n *Network) failFlow(f *Flow, err error) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.completion.Cancel()
+	f.rate = 0
+	n.removeFlow(f)
+	f.done.Fail(err)
 }
 
 // finish completes a flow: verifies its bytes drained, removes it from the

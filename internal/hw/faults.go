@@ -1,0 +1,360 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// Fault injection: a FaultPlan schedules link-level degradations, flaps,
+// and permanent failures at simulated times on a realized Node. Everything
+// is deterministic — events fire at explicit virtual times, and the only
+// randomness (AddRandomFlaps) is a splitmix64 stream derived from an
+// explicit seed, so the same plan on the same topology reproduces the same
+// trajectory bit for bit.
+
+// LinkClass selects which topology resource a LinkRef names.
+type LinkClass int
+
+const (
+	// LinkNVLink is the directed NVLink from GPU A to GPU B.
+	LinkNVLink LinkClass = iota
+	// LinkPCIeUp is GPU A's host-bound PCIe direction.
+	LinkPCIeUp
+	// LinkPCIeDown is GPU A's device-bound PCIe direction.
+	LinkPCIeDown
+	// LinkMem is NUMA domain A's shared memory channel.
+	LinkMem
+	// LinkInter is the directed inter-NUMA link from domain A to domain B.
+	LinkInter
+)
+
+// String implements fmt.Stringer.
+func (c LinkClass) String() string {
+	switch c {
+	case LinkNVLink:
+		return "nvlink"
+	case LinkPCIeUp:
+		return "pcie-up"
+	case LinkPCIeDown:
+		return "pcie-down"
+	case LinkMem:
+		return "mem"
+	case LinkInter:
+		return "inter"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(c))
+	}
+}
+
+// LinkRef names one fluid link of a Node symbolically, so fault plans can
+// be written against a Spec before the node is built. A is the source GPU
+// (NVLink, PCIe) or NUMA domain (Mem, Inter); B is the destination GPU or
+// NUMA domain where the class is directed.
+type LinkRef struct {
+	Class LinkClass
+	A, B  int
+}
+
+// NVLinkRef names the directed NVLink src → dst.
+func NVLinkRef(src, dst int) LinkRef { return LinkRef{Class: LinkNVLink, A: src, B: dst} }
+
+// PCIeUpRef names GPU gpu's host-bound PCIe direction.
+func PCIeUpRef(gpu int) LinkRef { return LinkRef{Class: LinkPCIeUp, A: gpu} }
+
+// PCIeDownRef names GPU gpu's device-bound PCIe direction.
+func PCIeDownRef(gpu int) LinkRef { return LinkRef{Class: LinkPCIeDown, A: gpu} }
+
+// MemRef names NUMA domain numa's memory channel.
+func MemRef(numa int) LinkRef { return LinkRef{Class: LinkMem, A: numa} }
+
+// InterRef names the directed inter-NUMA link a → b.
+func InterRef(a, b int) LinkRef { return LinkRef{Class: LinkInter, A: a, B: b} }
+
+// String renders a compact label such as "nvlink:0->1" or "mem:2".
+func (r LinkRef) String() string {
+	switch r.Class {
+	case LinkPCIeUp, LinkPCIeDown, LinkMem:
+		return fmt.Sprintf("%s:%d", r.Class, r.A)
+	default:
+		return fmt.Sprintf("%s:%d->%d", r.Class, r.A, r.B)
+	}
+}
+
+// FaultKind enumerates the fault event types.
+type FaultKind int
+
+const (
+	// FaultDegrade scales the link to Factor × nominal capacity from At on.
+	FaultDegrade FaultKind = iota
+	// FaultFail takes the link down at At (permanent unless restored).
+	FaultFail
+	// FaultFlap takes the link down at At and restores it Duration later.
+	FaultFlap
+	// FaultRestore brings a failed link back up and resets its capacity
+	// scale to 1.
+	FaultRestore
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDegrade:
+		return "degrade"
+	case FaultFail:
+		return "fail"
+	case FaultFlap:
+		return "flap"
+	case FaultRestore:
+		return "restore"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	// At is the virtual time (seconds) the event applies.
+	At float64
+	// Link names the affected resource.
+	Link LinkRef
+	// Kind selects the effect.
+	Kind FaultKind
+	// Factor is the capacity multiplier for FaultDegrade (> 0; values
+	// above 1 model recovery headroom and are allowed).
+	Factor float64
+	// Duration is the down time for FaultFlap (> 0).
+	Duration float64
+}
+
+// FaultPlan is a deterministic schedule of link faults. The zero value is
+// an empty plan; events are appended with the Degrade/Fail/Flap/Restore
+// builders or AddRandomFlaps.
+type FaultPlan struct {
+	// Seed drives every derived pseudo-random choice (AddRandomFlaps).
+	// Plans with equal seeds and equal builder calls are identical.
+	Seed uint64
+	// Events is the schedule. Order is irrelevant; each event fires at its
+	// own virtual time.
+	Events []FaultEvent
+}
+
+// Degrade schedules a capacity degradation (factor × nominal) at time at.
+func (fp *FaultPlan) Degrade(at float64, link LinkRef, factor float64) *FaultPlan {
+	fp.Events = append(fp.Events, FaultEvent{At: at, Link: link, Kind: FaultDegrade, Factor: factor})
+	return fp
+}
+
+// Fail schedules a permanent link failure at time at.
+func (fp *FaultPlan) Fail(at float64, link LinkRef) *FaultPlan {
+	fp.Events = append(fp.Events, FaultEvent{At: at, Link: link, Kind: FaultFail})
+	return fp
+}
+
+// Flap schedules a transient failure: down at at, restored duration later.
+func (fp *FaultPlan) Flap(at float64, link LinkRef, duration float64) *FaultPlan {
+	fp.Events = append(fp.Events, FaultEvent{At: at, Link: link, Kind: FaultFlap, Duration: duration})
+	return fp
+}
+
+// Restore schedules a restoration (up, scale 1) at time at.
+func (fp *FaultPlan) Restore(at float64, link LinkRef) *FaultPlan {
+	fp.Events = append(fp.Events, FaultEvent{At: at, Link: link, Kind: FaultRestore})
+	return fp
+}
+
+// faultRNG is a splitmix64 stream: tiny, deterministic, and independent of
+// math/rand so fault schedules never perturb (or depend on) global state.
+type faultRNG struct{ state uint64 }
+
+func (r *faultRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *faultRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// AddRandomFlaps appends count transient failures drawn from candidates,
+// with start times uniform over [start, start+window) and down times
+// uniform over [minDur, maxDur). All draws come from a splitmix64 stream
+// seeded by fp.Seed (offset by the current event count, so successive calls
+// extend rather than repeat the sequence): equal seeds produce equal
+// schedules.
+func (fp *FaultPlan) AddRandomFlaps(candidates []LinkRef, count int, start, window, minDur, maxDur float64) *FaultPlan {
+	if len(candidates) == 0 || count <= 0 {
+		return fp
+	}
+	rng := faultRNG{state: fp.Seed + uint64(len(fp.Events))*0x9e3779b97f4a7c15}
+	for i := 0; i < count; i++ {
+		link := candidates[int(rng.next()%uint64(len(candidates)))]
+		at := start + rng.float()*window
+		dur := minDur + rng.float()*(maxDur-minDur)
+		fp.Flap(at, link, dur)
+	}
+	return fp
+}
+
+// Validate checks event sanity against a spec (link references resolvable,
+// times and factors meaningful).
+func (fp *FaultPlan) Validate(sp *Spec) error {
+	for i, ev := range fp.Events {
+		if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
+			return fmt.Errorf("hw: fault event %d: bad time %v", i, ev.At)
+		}
+		switch ev.Kind {
+		case FaultDegrade:
+			if ev.Factor <= 0 || math.IsNaN(ev.Factor) || math.IsInf(ev.Factor, 0) {
+				return fmt.Errorf("hw: fault event %d: degrade factor must be positive and finite, got %v", i, ev.Factor)
+			}
+		case FaultFlap:
+			if ev.Duration <= 0 || math.IsNaN(ev.Duration) || math.IsInf(ev.Duration, 0) {
+				return fmt.Errorf("hw: fault event %d: flap duration must be positive and finite, got %v", i, ev.Duration)
+			}
+		case FaultFail, FaultRestore:
+		default:
+			return fmt.Errorf("hw: fault event %d: unknown kind %v", i, ev.Kind)
+		}
+		if err := sp.checkLinkRef(ev.Link); err != nil {
+			return fmt.Errorf("hw: fault event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkLinkRef validates a LinkRef against the spec without a built node.
+func (sp *Spec) checkLinkRef(r LinkRef) error {
+	switch r.Class {
+	case LinkNVLink:
+		if r.A < 0 || r.A >= sp.GPUs || r.B < 0 || r.B >= sp.GPUs || r.A == r.B {
+			return fmt.Errorf("bad NVLink ref %v", r)
+		}
+		if !sp.HasNVLink(r.A, r.B) {
+			return fmt.Errorf("no NVLink between GPU %d and GPU %d", r.A, r.B)
+		}
+	case LinkPCIeUp, LinkPCIeDown:
+		if r.A < 0 || r.A >= sp.GPUs {
+			return fmt.Errorf("bad PCIe ref %v", r)
+		}
+	case LinkMem:
+		if r.A < 0 || r.A >= sp.NUMAs {
+			return fmt.Errorf("bad Mem ref %v", r)
+		}
+	case LinkInter:
+		if _, ok := sp.Inter[MakePair(r.A, r.B)]; !ok || r.A == r.B {
+			return fmt.Errorf("no inter-NUMA link %d->%d", r.A, r.B)
+		}
+	default:
+		return fmt.Errorf("unknown link class %v", r.Class)
+	}
+	return nil
+}
+
+// ResolveLink maps a symbolic LinkRef to the node's fluid link.
+func (n *Node) ResolveLink(r LinkRef) (*fluid.Link, error) {
+	if err := n.Spec.checkLinkRef(r); err != nil {
+		return nil, fmt.Errorf("hw: %w", err)
+	}
+	switch r.Class {
+	case LinkNVLink:
+		return n.nvl[[2]int{r.A, r.B}], nil
+	case LinkPCIeUp:
+		return n.pcieUp[r.A], nil
+	case LinkPCIeDown:
+		return n.pcieDown[r.A], nil
+	case LinkMem:
+		return n.mem[r.A], nil
+	case LinkInter:
+		return n.inter[[2]int{r.A, r.B}], nil
+	}
+	return nil, fmt.Errorf("hw: unknown link class %v", r.Class)
+}
+
+// Injector is an armed fault plan: its events are scheduled on the node's
+// simulator. Counters and the OnEvent hook observe the trajectory.
+type Injector struct {
+	node    *Node
+	plan    *FaultPlan
+	handles []sim.EventHandle
+	fired   int
+	hooks   []func(FaultEvent)
+}
+
+// Arm validates the plan against the node's spec and schedules every event
+// on the node's simulator, starting from the current virtual time. Events
+// whose time already passed fire at the current instant.
+func (fp *FaultPlan) Arm(node *Node) (*Injector, error) {
+	if err := fp.Validate(node.Spec); err != nil {
+		return nil, err
+	}
+	inj := &Injector{node: node, plan: fp}
+	s := node.Net.Sim()
+	now := s.Now()
+	for _, ev := range fp.Events {
+		ev := ev
+		link, err := node.ResolveLink(ev.Link)
+		if err != nil {
+			return nil, err
+		}
+		delay := ev.At - now
+		if delay < 0 {
+			delay = 0
+		}
+		h := s.Schedule(delay, func() { inj.apply(ev, link) })
+		inj.handles = append(inj.handles, h)
+	}
+	return inj, nil
+}
+
+// apply executes one event.
+func (inj *Injector) apply(ev FaultEvent, link *fluid.Link) {
+	switch ev.Kind {
+	case FaultDegrade:
+		link.SetCapacityScale(ev.Factor)
+	case FaultFail:
+		link.FailLink()
+	case FaultFlap:
+		link.FailLink()
+		inj.node.Net.Sim().Schedule(ev.Duration, func() {
+			link.Restore()
+			inj.notify(FaultEvent{At: ev.At + ev.Duration, Link: ev.Link, Kind: FaultRestore})
+		})
+	case FaultRestore:
+		link.SetCapacityScale(1)
+		link.Restore()
+	}
+	inj.fired++
+	inj.notify(ev)
+}
+
+func (inj *Injector) notify(ev FaultEvent) {
+	for _, h := range inj.hooks {
+		h(ev)
+	}
+}
+
+// OnEvent registers a hook invoked after each applied event (including the
+// implicit restore ending a flap). Hooks run in registration order inside
+// the simulation, so they may inspect link state at the fault instant.
+func (inj *Injector) OnEvent(fn func(FaultEvent)) { inj.hooks = append(inj.hooks, fn) }
+
+// Fired reports how many plan events have been applied so far (implicit
+// flap restores not counted).
+func (inj *Injector) Fired() int { return inj.fired }
+
+// Plan returns the armed plan.
+func (inj *Injector) Plan() *FaultPlan { return inj.plan }
+
+// Cancel drops every not-yet-fired event. Flap restores already in flight
+// still run (a link is never left down by canceling mid-flap restore).
+func (inj *Injector) Cancel() {
+	for _, h := range inj.handles {
+		h.Cancel()
+	}
+	inj.handles = inj.handles[:0]
+}

@@ -100,14 +100,43 @@ func (sp *Spec) Validate() error {
 		if p.A < 0 || p.B >= sp.GPUs || p.A >= p.B {
 			return fmt.Errorf("hw: bad NVLink pair %v", p)
 		}
-		if lp.Bandwidth <= 0 {
-			return fmt.Errorf("hw: NVLink pair %v has non-positive bandwidth", p)
+		if err := lp.validate(); err != nil {
+			return fmt.Errorf("hw: NVLink pair %v: %w", p, err)
 		}
 	}
-	for p := range sp.Inter {
+	for g, lp := range sp.PCIe {
+		if err := lp.validate(); err != nil {
+			return fmt.Errorf("hw: PCIe GPU %d: %w", g, err)
+		}
+	}
+	for m, lp := range sp.Mem {
+		if err := lp.validate(); err != nil {
+			return fmt.Errorf("hw: Mem NUMA %d: %w", m, err)
+		}
+	}
+	for p, lp := range sp.Inter {
 		if p.A < 0 || p.B >= sp.NUMAs || p.A >= p.B {
 			return fmt.Errorf("hw: bad Inter pair %v", p)
 		}
+		if err := lp.validate(); err != nil {
+			return fmt.Errorf("hw: Inter pair %v: %w", p, err)
+		}
+	}
+	if sp.GPUSyncOverhead < 0 || sp.HostSyncOverhead < 0 {
+		return fmt.Errorf("hw: topology %q has negative sync overhead", sp.Name)
+	}
+	return nil
+}
+
+// validate rejects non-positive bandwidths and negative latencies — bad
+// hand-written JSON topologies fail at load instead of producing silently
+// nonsensical plans.
+func (lp LinkProps) validate() error {
+	if lp.Bandwidth <= 0 {
+		return fmt.Errorf("non-positive bandwidth %v", lp.Bandwidth)
+	}
+	if lp.Latency < 0 {
+		return fmt.Errorf("negative latency %v", lp.Latency)
 	}
 	return nil
 }

@@ -89,6 +89,30 @@ func TestSpecFromJSONErrors(t *testing.T) {
 	}
 }
 
+func TestSpecFromJSONRejectsNegativeProps(t *testing.T) {
+	// A minimal valid skeleton with one field poisoned per case.
+	mk := func(nvlink, pcie, mem string) string {
+		return `{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],` +
+			`"nvlink":[` + nvlink + `],"pcie":[` + pcie + `],"mem":[` + mem + `]}`
+	}
+	good := `{"bandwidth_gbps":10,"latency_us":1}`
+	cases := map[string]string{
+		"negative nvlink bandwidth": mk(`{"a":0,"b":1,"bandwidth_gbps":-10}`, good, good),
+		"negative nvlink latency":   mk(`{"a":0,"b":1,"bandwidth_gbps":10,"latency_us":-1}`, good, good),
+		"zero pcie bandwidth":       mk(`{"a":0,"b":1,"bandwidth_gbps":10}`, `{"bandwidth_gbps":0}`, good),
+		"negative pcie latency":     mk(`{"a":0,"b":1,"bandwidth_gbps":10}`, `{"bandwidth_gbps":10,"latency_us":-2}`, good),
+		"negative mem bandwidth":    mk(`{"a":0,"b":1,"bandwidth_gbps":10}`, good, `{"bandwidth_gbps":-1}`),
+	}
+	for name, doc := range cases {
+		if _, err := SpecFromJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := SpecFromJSON(strings.NewReader(mk(`{"a":0,"b":1,"bandwidth_gbps":10}`, good, good))); err != nil {
+		t.Fatalf("clean skeleton rejected: %v", err)
+	}
+}
+
 func TestSpecFromJSONBuildsAndRuns(t *testing.T) {
 	sp, err := SpecFromJSON(strings.NewReader(sampleTopoJSON))
 	if err != nil {

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/fluid"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Link-failure propagation: a link going down mid-transfer must fail the
+// affected path (and the aggregate) with an ErrLinkDown-classifiable error,
+// leave healthy paths' results intact, and never hang the simulation.
+
+func failLinkAt(t *testing.T, s *sim.Simulator, node *hw.Node, ref hw.LinkRef, at float64) {
+	t.Helper()
+	link, err := node.ResolveLink(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(at, link.FailLink)
+}
+
+func TestDirectLinkDownMidTransferFailsPath(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cuda.NewRuntime(node), DefaultConfig())
+	// 400 B at 100 B/s: fails halfway through.
+	failLinkAt(t, s, node, hw.NVLinkRef(0, 1), 2.0)
+	pl := manualPlan(400, directPlanPath(0, 1, 400))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done.Fired() {
+		t.Fatal("transfer never completed")
+	}
+	if !errors.Is(res.Done.Err(), fluid.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", res.Done.Err())
+	}
+	if !errors.Is(res.PathErr[0], fluid.ErrLinkDown) {
+		t.Fatalf("PathErr[0] = %v, want ErrLinkDown", res.PathErr[0])
+	}
+}
+
+func TestStagedFirstLegDownFailsPath(t *testing.T) {
+	// The first leg (0→2) dies while chunks are still crossing it. The
+	// second leg keeps draining staged chunks; the path must still fail —
+	// a silently short transfer would be a correctness bug.
+	s := sim.New()
+	node, err := hw.Build(s, hw.Synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cuda.NewRuntime(node), DefaultConfig())
+	failLinkAt(t, s, node, hw.NVLinkRef(0, 2), 1.0)
+	pl := manualPlan(800, stagedPlanPath(0, 2, 1, 800, 8, 0))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done.Fired() {
+		t.Fatal("transfer never completed")
+	}
+	if !errors.Is(res.Done.Err(), fluid.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", res.Done.Err())
+	}
+}
+
+func TestStagedSecondLegDownFailsPath(t *testing.T) {
+	s := sim.New()
+	node, err := hw.Build(s, hw.Synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cuda.NewRuntime(node), DefaultConfig())
+	failLinkAt(t, s, node, hw.NVLinkRef(2, 1), 1.0)
+	pl := manualPlan(800, stagedPlanPath(0, 2, 1, 800, 8, 0))
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Done.Err(), fluid.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", res.Done.Err())
+	}
+}
+
+func TestPartialLinkFailureKeepsHealthyPathResult(t *testing.T) {
+	// Direct path dies; the staged path delivers. PathErr must separate
+	// them so a failover layer can credit the staged bytes.
+	s := sim.New()
+	node, err := hw.Build(s, hw.Synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cuda.NewRuntime(node), DefaultConfig())
+	failLinkAt(t, s, node, hw.NVLinkRef(0, 1), 0.5)
+	pl := manualPlan(600,
+		directPlanPath(0, 1, 400),
+		stagedPlanPath(0, 2, 1, 200, 2, 0),
+	)
+	res, err := e.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Done.Err() == nil {
+		t.Fatal("aggregate should fail")
+	}
+	if !errors.Is(res.PathErr[0], fluid.ErrLinkDown) {
+		t.Fatalf("direct PathErr = %v, want ErrLinkDown", res.PathErr[0])
+	}
+	if res.PathErr[1] != nil {
+		t.Fatalf("staged path should have succeeded, got %v", res.PathErr[1])
+	}
+	if res.PathDone[1] < 0 {
+		t.Fatal("staged path completion time not recorded")
+	}
+}

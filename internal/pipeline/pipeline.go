@@ -67,6 +67,10 @@ type Result struct {
 	// PathDone records each path's completion time (indexed like
 	// Plan.Paths; zero-share paths stay at -1).
 	PathDone []sim.Time
+	// PathErr records each path's failure, nil for paths that delivered
+	// their share (indexed like Plan.Paths). Failover layers use it to
+	// classify which paths to exclude and how many bytes actually arrived.
+	PathErr []error
 }
 
 // Elapsed returns the end-to-end transfer time. Valid once Done fires.
@@ -97,6 +101,7 @@ func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
 		Plan:     plan,
 		Started:  s.Now(),
 		PathDone: make([]sim.Time, len(plan.Paths)),
+		PathErr:  make([]error, len(plan.Paths)),
 	}
 	for i := range res.PathDone {
 		res.PathDone[i] = -1
@@ -111,7 +116,10 @@ func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
 		}
 		idx := i
 		final := s.NewSignal()
-		final.OnFire(func() { res.PathDone[idx] = s.Now() })
+		final.OnFire(func() {
+			res.PathDone[idx] = s.Now()
+			res.PathErr[idx] = final.Err()
+		})
 		finals = append(finals, final)
 
 		start := func(pp *core.PathPlan, final *sim.Signal) func() {
@@ -196,6 +204,16 @@ func (e *Engine) stagedLegs(
 	eps := pp.Param.Eps
 	slots := e.cfg.StagingSlots
 	drained := make([]*cuda.Event, len(sizes))
+	// Any chunk copy failing on either leg fails the path: the simulator
+	// has no notion of the data a chunk carried, so a lost first-leg chunk
+	// cannot be silently "made up" by the second leg completing.
+	watch := func(sig *sim.Signal) {
+		sig.OnFire(func() {
+			if sig.Err() != nil {
+				final.Fail(sig.Err())
+			}
+		})
+	}
 	var last *sim.Signal
 	for c, sz := range sizes {
 		// Ring buffer: reuse slot c mod slots — wait until the chunk that
@@ -203,13 +221,16 @@ func (e *Engine) stagedLegs(
 		if c >= slots {
 			s1.WaitEvent(drained[c-slots])
 		}
-		leg1(s1, sz)
+		watch(leg1(s1, sz))
 		ev := s1.RecordEvent()
 		s2.WaitEvent(ev)
 		if eps > 0 {
 			s2.Delay(eps) // step 2: staging synchronization cost ε
 		}
 		down := leg2(s2, sz)
+		if c < len(sizes)-1 {
+			watch(down)
+		}
 		drained[c] = s2.RecordEvent()
 		last = down
 	}

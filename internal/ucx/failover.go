@@ -1,0 +1,572 @@
+package ucx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/fluid"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+)
+
+// Failover: a rendezvous transfer no longer dies with the first path that
+// fails under it. Path errors are classified — a link going down or staging
+// memory exhaustion is path-local and retryable; anything else (no route,
+// malformed plan) is fatal. On a retryable failure the transfer is
+// re-planned with the failed paths excluded, the bytes that healthy paths
+// already delivered are credited, and the residual is retried after a
+// capped exponential backoff in simulated time. Re-plans read live link
+// capacities (the parameter source queries the fluid network at plan time),
+// so a degraded-but-alive link is re-weighted rather than excluded.
+//
+// With AdaptSegments > 1 the transfer additionally runs in adaptive
+// chunk-pool mode: the model's plan picks the paths and their relative
+// shares, but bytes are handed out late, as a pool of variable-size chunks
+// that per-path feeders pull from. A feeder on a degraded link simply pulls
+// more slowly, so the byte split tracks live capacity without any explicit
+// re-planning; a feeder whose link dies returns its in-flight bytes to the
+// pool for the survivors. Chunk sizes follow guided self-scheduling: large
+// while the pool is full (amortizing per-chunk latency), shrinking
+// geometrically toward the end, and finish-time balanced so the last bytes
+// drain on all paths in parallel rather than queuing behind one. When the
+// runtime is told about a fault (Context.NotifyFault), live feeders pick up
+// re-planned rates immediately, shifting subsequent chunks off the degraded
+// link without waiting for its slowdown to show up in pull order.
+
+// retryablePathError classifies a path failure: true means the path is
+// worth excluding and the transfer retried over the survivors.
+func retryablePathError(err error) bool {
+	return errors.Is(err, fluid.ErrLinkDown) || errors.Is(err, cuda.ErrOutOfMemory)
+}
+
+const (
+	// feederDepth is how many chunks a feeder keeps in flight. Two: while
+	// one chunk's staging legs drain, the next chunk's first leg runs, so
+	// staged paths stay pipelined across chunk boundaries.
+	feederDepth = 2
+	// chunkDiv controls guided self-scheduling: a feeder's next chunk is
+	// its share of pool/chunkDiv, so early chunks are large and the tail
+	// shrinks geometrically.
+	chunkDiv = 2.0
+	// minChunkTime floors the chunk size in wall time: a feeder never
+	// pulls a chunk shorter than this at its predicted rate, keeping
+	// per-chunk latency amortized, while slow paths still get small byte
+	// counts and cannot become tail stragglers.
+	minChunkTime = 10e-6
+)
+
+// mpRun is the state of one multi-path transfer across attempts and
+// chunks. It lives entirely inside simulator callbacks after launch, so no
+// locking is needed beyond the context's own.
+type mpRun struct {
+	c          *Context
+	src, dst   int
+	sel        hw.PathSet
+	concurrent [][2]int
+	req        *Request
+
+	total       float64 // bytes the request must deliver
+	delivered   float64 // bytes confirmed delivered
+	outstanding float64 // bytes in flight across attempts and chunks
+	segBytes    float64 // max chunk size; 0 = single whole-residual attempts
+	excluded    map[hw.Path]bool
+	attempt     int  // consecutive failed attempts
+	paused      bool // backing off after a failure; no new launches
+	done        bool // request settled
+
+	feeders []*mpFeeder
+	lastErr error // most recent retryable failure, for the final report
+
+	release func()           // inflight accounting; called exactly once, before Done fires
+	onPlan  func(*core.Plan) // observes each attempt's plan (diagnostics)
+}
+
+// mpFeeder pulls chunks from the pool onto one path.
+type mpFeeder struct {
+	r        *mpRun
+	path     hw.Path
+	tmpl     core.PathPlan // planner-produced template (params, chunking)
+	rate     float64       // model-predicted bandwidth on this path, bytes/s
+	lastDur  float64       // expected duration of the last issued chunk
+	inflight int
+	queued   float64 // bytes in flight on this feeder
+	primed   bool    // second chunk issued; window now completion-driven
+	ticking  bool    // the priming timer is pending
+	dead     bool
+}
+
+// initSegments decides whether the transfer runs in chunk-pool mode.
+func (r *mpRun) initSegments(bytes float64) {
+	segs := r.c.cfg.AdaptSegments
+	if segs <= 1 || bytes < r.c.cfg.AdaptMinBytes {
+		return
+	}
+	gran := r.c.cfg.ModelOptions.Granularity
+	if gran < 1 {
+		gran = 1
+	}
+	r.segBytes = math.Ceil(bytes/float64(segs)/gran) * gran
+}
+
+// pool is the byte count not yet delivered or in flight.
+func (r *mpRun) pool() float64 {
+	return r.total - r.delivered - r.outstanding
+}
+
+// plan computes the configuration for an n-byte attempt against current
+// link state and the exclusion set.
+func (r *mpRun) plan(n float64) (*core.Plan, error) {
+	pl, err := r.c.planWith(r.src, r.dst, n, r.sel, r.concurrent, r.excluded)
+	if err != nil {
+		return nil, err
+	}
+	if r.onPlan != nil {
+		r.onPlan(pl)
+	}
+	return pl, nil
+}
+
+// begin launches an already-planned attempt: whole-plan execution by
+// default, chunk-pool mode when segmentation is configured.
+func (r *mpRun) begin(pl *core.Plan) {
+	if r.segBytes > 0 {
+		r.spawnFeeders(pl)
+		return
+	}
+	r.startAttempt(pl)
+}
+
+// startAttempt executes one whole-residual attempt on the shared engine.
+func (r *mpRun) startAttempt(pl *core.Plan) {
+	res, err := r.c.engine.Execute(pl)
+	if err != nil {
+		r.finish(err)
+		return
+	}
+	r.outstanding += pl.Bytes
+	res.Done.OnFire(func() { r.onAttemptResult(pl, res) })
+}
+
+// onAttemptResult handles a whole-residual attempt's outcome: feed the
+// recalibration observer, classify failures, and fail over.
+func (r *mpRun) onAttemptResult(pl *core.Plan, res *pipeline.Result) {
+	if r.done {
+		return
+	}
+	c := r.c
+	if c.observer != nil {
+		for i := range pl.Paths {
+			pp := &pl.Paths[i]
+			if pp.Bytes > 0 && res.PathErr[i] == nil && res.PathDone[i] >= 0 {
+				c.observer.Record(pp.Path.Kind, pp.Predicted, res.PathDone[i]-res.Started)
+			}
+		}
+	}
+	r.outstanding -= pl.Bytes
+
+	if res.Done.Err() == nil {
+		r.delivered += pl.Bytes
+		r.attempt = 0
+		if r.pool() <= 0.5 {
+			r.finish(nil)
+			return
+		}
+		nxt, err := r.plan(r.pool())
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		r.startAttempt(nxt)
+		return
+	}
+
+	// Classify the failure path by path. Healthy paths delivered their
+	// share; retryable failures are excluded from the re-plan; any fatal
+	// path error surfaces immediately.
+	var fatal error
+	newExcl := 0
+	for i := range pl.Paths {
+		pp := &pl.Paths[i]
+		if pp.Bytes <= 0 {
+			continue
+		}
+		perr := res.PathErr[i]
+		switch {
+		case perr == nil:
+			r.delivered += pp.Bytes
+		case retryablePathError(perr):
+			if r.exclude(pp.Path) {
+				newExcl++
+			}
+		case fatal == nil:
+			fatal = perr
+		}
+	}
+	if fatal != nil {
+		r.finish(fatal)
+		return
+	}
+	if !c.cfg.FailoverEnable || r.attempt >= c.cfg.FailoverMaxRetries {
+		r.finish(res.Done.Err())
+		return
+	}
+	r.attempt++
+	r.noteFailover(newExcl)
+	r.backoffThen(func() {
+		nxt, err := r.plan(r.pool())
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		r.startAttempt(nxt)
+	})
+}
+
+// exclude records a failed path; reports whether it is newly excluded.
+func (r *mpRun) exclude(p hw.Path) bool {
+	if r.excluded == nil {
+		r.excluded = make(map[hw.Path]bool)
+	}
+	if r.excluded[p] {
+		return false
+	}
+	r.excluded[p] = true
+	return true
+}
+
+// noteFailover bumps the retry/failover counters for one recovery step.
+func (r *mpRun) noteFailover(newExcl int) {
+	r.req.Retries++
+	r.c.retries.Add(1)
+	r.req.Failovers += newExcl
+	r.c.failovers.Add(int64(newExcl))
+	// Plans computed before the fault are stale (they were solved against
+	// the old capacities); drop them all so the re-plan — and any other
+	// transfer planning after this instant — sees live link state.
+	r.c.model.InvalidateCache()
+}
+
+// backoffThen schedules fn after the capped exponential backoff for the
+// current attempt, pausing launches until it runs.
+func (r *mpRun) backoffThen(fn func()) {
+	c := r.c
+	backoff := c.cfg.FailoverBackoff
+	for a := 1; a < r.attempt; a++ {
+		backoff *= 2
+	}
+	if cap := c.cfg.FailoverBackoffCap; cap > 0 && backoff > cap {
+		backoff = cap
+	}
+	r.paused = true
+	c.rt.Sim().Schedule(backoff, func() {
+		r.paused = false
+		if !r.done {
+			fn()
+		}
+	})
+}
+
+// spawnFeeders starts chunk-pool execution over the attempt plan's paths.
+// The plan contributes the path set and the relative shares; actual byte
+// placement is decided chunk by chunk against live progress.
+func (r *mpRun) spawnFeeders(pl *core.Plan) {
+	r.feeders = r.feeders[:0]
+	for i := range pl.Paths {
+		pp := &pl.Paths[i]
+		if pp.Bytes <= 0 {
+			continue
+		}
+		r.feeders = append(r.feeders, newFeeder(r, pp))
+	}
+	if len(r.feeders) == 0 {
+		r.finish(fmt.Errorf("plan for %v bytes has no usable paths", pl.Bytes))
+		return
+	}
+	for _, f := range r.feeders {
+		f.pump()
+	}
+}
+
+// newFeeder builds a feeder over one planned path.
+func newFeeder(r *mpRun, pp *core.PathPlan) *mpFeeder {
+	f := &mpFeeder{r: r, path: pp.Path, tmpl: *pp}
+	if pp.Predicted > 0 {
+		f.rate = pp.Bytes / pp.Predicted
+	}
+	return f
+}
+
+// chunkFor sizes the next chunk for a feeder: its rate share of
+// pool/chunkDiv, floored so latency amortizes and capped at the configured
+// segment size.
+func (r *mpRun) chunkFor(f *mpFeeder) float64 {
+	p := r.pool()
+	if p <= 0.5 {
+		return 0
+	}
+	liveRate := 0.0
+	for _, g := range r.feeders {
+		if !g.dead {
+			liveRate += g.rate
+		}
+	}
+	n := p / chunkDiv
+	if liveRate > 0 {
+		n *= f.rate / liveRate
+	}
+	if lo := f.rate * minChunkTime; n < lo {
+		n = lo
+	}
+	if n < 64*1024 {
+		n = 64 * 1024
+	}
+	if n > r.segBytes {
+		n = r.segBytes
+	}
+	if n > p {
+		n = p
+	}
+	// Finish-time balancing: the remaining work ideally completes in
+	// (undelivered bytes)/liveRate from now. A chunk that would keep this
+	// path busy past that horizon becomes the transfer's tail straggler,
+	// so trim it to the horizon — the pool's last bytes then drain on all
+	// paths in parallel instead of queuing behind one.
+	if liveRate > 0 && f.rate > 0 {
+		horizon := (p + r.outstanding) / liveRate
+		if budget := horizon - f.queued/f.rate; n > f.rate*budget {
+			n = f.rate * budget
+		}
+	}
+	if n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// pump keeps a feeder's chunk window full. The very first top-up to two
+// chunks is deferred by half a chunk duration: two chunks issued at the
+// same instant move in lockstep (on a staged path both first legs contend,
+// then both second legs, leaving each leg idle half the time), while
+// offset chunks alternate legs and keep both busy. Once offset, the
+// completion-driven issues that follow preserve the alternation.
+func (f *mpFeeder) pump() {
+	r := f.r
+	for !r.done && !r.paused && !f.dead && f.inflight < feederDepth {
+		if f.inflight > 0 && !f.primed {
+			if !f.ticking && f.lastDur > 0 {
+				f.ticking = true
+				r.c.rt.Sim().Schedule(0.5*f.lastDur, func() {
+					f.ticking = false
+					f.primed = true
+					f.pump()
+				})
+			}
+			return
+		}
+		n := r.chunkFor(f)
+		if n <= 0 {
+			return
+		}
+		if f.rate > 0 {
+			f.lastDur = n / f.rate
+		}
+		pp := f.tmpl
+		pp.Bytes = n
+		// Keep the planner's inner chunk size, not its inner chunk count:
+		// a small pool chunk re-split into the template's full count would
+		// produce slivers too small to amortize launch latency.
+		if pp.Chunks > 1 && f.tmpl.Bytes > 0 {
+			inner := f.tmpl.Bytes / float64(f.tmpl.Chunks)
+			pp.Chunks = int(math.Round(n / inner))
+		}
+		if pp.Chunks < 1 {
+			pp.Chunks = 1
+		}
+		pl := &core.Plan{Src: r.src, Dst: r.dst, Bytes: n, Paths: []core.PathPlan{pp}}
+		res, err := r.c.engine.Execute(pl)
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		f.inflight++
+		f.queued += n
+		r.outstanding += n
+		res.Done.OnFire(func() { f.onChunk(n, res) })
+	}
+}
+
+// onChunk handles one chunk's outcome. Successful chunks advance the pool;
+// a retryable failure kills the feeder and returns its bytes to the pool,
+// and when no feeder survives the run falls back to a re-planned attempt
+// after backoff.
+func (f *mpFeeder) onChunk(n float64, res *pipeline.Result) {
+	r := f.r
+	if r.done {
+		return
+	}
+	f.inflight--
+	f.queued -= n
+	r.outstanding -= n
+
+	err := res.Done.Err()
+	if err == nil {
+		r.delivered += n
+		r.attempt = 0
+		f.pump()
+		r.settleChunks()
+		return
+	}
+	if !retryablePathError(err) {
+		r.finish(err)
+		return
+	}
+	r.lastErr = err
+	if !f.dead {
+		f.dead = true
+		if !r.c.cfg.FailoverEnable {
+			r.finish(err)
+			return
+		}
+		newExcl := 0
+		if r.exclude(f.path) {
+			newExcl++
+		}
+		r.noteFailover(newExcl)
+		// Give surviving feeders the dead feeder's returned bytes.
+		for _, g := range r.feeders {
+			if !g.dead {
+				g.pump()
+			}
+		}
+	}
+	r.settleChunks()
+}
+
+// settleChunks finishes or restarts a chunk-pool run once nothing is in
+// flight: success when every byte is delivered, otherwise a re-planned
+// attempt after backoff (all feeders died with bytes still pooled).
+func (r *mpRun) settleChunks() {
+	if r.done || r.paused {
+		return
+	}
+	inflight := 0
+	live := 0
+	for _, f := range r.feeders {
+		inflight += f.inflight
+		if !f.dead {
+			live++
+		}
+	}
+	if inflight > 0 {
+		return
+	}
+	if r.pool() <= 0.5 && r.delivered >= r.total-0.5 {
+		r.finish(nil)
+		return
+	}
+	if live > 0 {
+		// Feeders are alive but idle with bytes pooled; top them up.
+		for _, f := range r.feeders {
+			if !f.dead {
+				f.pump()
+			}
+		}
+		return
+	}
+	err := r.lastErr
+	if err == nil {
+		err = fmt.Errorf("no paths left with %v bytes undelivered", r.pool())
+	}
+	if r.attempt >= r.c.cfg.FailoverMaxRetries {
+		r.finish(err)
+		return
+	}
+	r.attempt++
+	r.backoffThen(func() {
+		pl, perr := r.plan(r.pool())
+		if perr != nil {
+			r.finish(perr)
+			return
+		}
+		r.spawnFeeders(pl)
+	})
+}
+
+// replanLive re-plans an in-flight chunk-pool transfer against current link
+// state (Context.NotifyFault calls it when a fault event arrives): feeders
+// whose path stays in the fresh plan pick up its rates and templates, paths
+// that fell out of the plan retire, newly planned paths get feeders.
+// Whole-attempt transfers ride the fault out and re-plan at the next
+// attempt boundary.
+func (r *mpRun) replanLive() {
+	if r.done || r.paused || r.segBytes == 0 || len(r.feeders) == 0 {
+		return
+	}
+	p := r.pool()
+	if p <= 0.5 {
+		return
+	}
+	pl, err := r.plan(p)
+	if err != nil {
+		// Keep draining on the stale plan; if paths actually break, the
+		// chunk failure path handles it.
+		return
+	}
+	for i := range pl.Paths {
+		pp := &pl.Paths[i]
+		if pp.Bytes <= 0 || pp.Predicted <= 0 {
+			continue
+		}
+		for _, f := range r.feeders {
+			if !f.dead && f.path == pp.Path {
+				f.rate = pp.Bytes / pp.Predicted
+			}
+		}
+	}
+}
+
+// finish settles the request. release runs before the Done signal so
+// inflight accounting is consistent for anything planning on that edge.
+func (r *mpRun) finish(err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.c.untrackRun(r)
+	if r.release != nil {
+		r.release()
+	}
+	if err != nil {
+		r.req.Done.Fail(fmt.Errorf("ucx: multi-path transfer %d->%d: %w", r.src, r.dst, err))
+		return
+	}
+	r.req.Done.Fire()
+}
+
+// StartTransfer plans and launches one engine-level transfer at the current
+// simulated instant — no eager/rendezvous protocol overheads, no IPC setup
+// cost — with the context's failover, segmentation, and recalibration
+// machinery active. It is the primitive behind multipath.System.Transfer;
+// Endpoint.Put remains the full-protocol entry point.
+func (c *Context) StartTransfer(src, dst int, bytes float64, sel hw.PathSet) (*Request, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("ucx: transfer of %v bytes", bytes)
+	}
+	s := c.rt.Sim()
+	req := &Request{Done: s.NewSignal(), Bytes: bytes, start: s.Now(), Multipath: true}
+	run := &mpRun{
+		c: c, src: src, dst: dst, sel: sel, req: req, total: bytes,
+		onPlan: func(pl *core.Plan) { req.Plan = pl },
+	}
+	run.initSegments(bytes)
+	pl, err := run.plan(bytes)
+	if err != nil {
+		return nil, err
+	}
+	c.trackRun(run)
+	run.begin(pl)
+	return req, nil
+}

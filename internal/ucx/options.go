@@ -1,0 +1,36 @@
+package ucx
+
+import (
+	"repro/internal/hw"
+)
+
+// SystemConfig is everything a top-level system build can customize: the
+// transport configuration plus cross-cutting concerns that are not part of
+// the transport itself (a fault-injection plan armed on the realized
+// topology). It lives here rather than in the public package so both the
+// functional options and the legacy positional Config can populate it
+// without an import cycle.
+type SystemConfig struct {
+	Config Config
+	// Faults, when non-nil, is validated and armed on the node right after
+	// it is built; the resulting injector drives link degradation during
+	// the run.
+	Faults *hw.FaultPlan
+}
+
+// SystemOption configures a system build. Config itself implements it, so
+// the legacy positional call NewSystem(spec, cfg) keeps compiling — the
+// bare Config value acts as a WithConfig option.
+type SystemOption interface {
+	ConfigureSystem(*SystemConfig)
+}
+
+// ConfigureSystem lets a bare Config be passed where a SystemOption is
+// expected (the pre-options calling convention).
+func (c Config) ConfigureSystem(sc *SystemConfig) { sc.Config = c }
+
+// SystemOptionFunc adapts a function to the SystemOption interface.
+type SystemOptionFunc func(*SystemConfig)
+
+// ConfigureSystem implements SystemOption.
+func (f SystemOptionFunc) ConfigureSystem(sc *SystemConfig) { f(sc) }

@@ -69,6 +69,35 @@ type Config struct {
 	// is already running, and adapts collectives without pattern
 	// knowledge. Gated by PatternAwareMinBytes like explicit hints.
 	LoadAware bool
+	// FailoverEnable lets a rendezvous transfer survive path-local faults:
+	// when a path fails mid-transfer with a retryable error (a link going
+	// down, staging memory exhaustion), the transfer is re-planned with the
+	// failed path excluded and the undelivered bytes are retried.
+	FailoverEnable bool
+	// FailoverMaxRetries caps consecutive failed attempts per transfer
+	// before the failure is surfaced.
+	FailoverMaxRetries int
+	// FailoverBackoff is the delay (simulated seconds) before the first
+	// retry; each subsequent attempt doubles it up to FailoverBackoffCap.
+	FailoverBackoff float64
+	// FailoverBackoffCap bounds the exponential retry backoff.
+	FailoverBackoffCap float64
+	// AdaptSegments splits large rendezvous transfers into this many
+	// sequentially planned segments, each planned against current link
+	// state — a mid-transfer degradation is picked up at the next segment
+	// boundary instead of after the whole message. 1 (default) plans the
+	// whole message once, which is the paper's baseline behaviour.
+	AdaptSegments int
+	// AdaptMinBytes gates segmented planning: smaller transfers are
+	// planned whole (segment overheads would dominate).
+	AdaptMinBytes float64
+	// Recalibrate attaches an online recalibration observer to the
+	// planner: achieved path times are compared against predictions and
+	// the model's β parameters are corrected when drift exceeds
+	// RecalOptions.DriftThreshold.
+	Recalibrate bool
+	// RecalOptions tune the observer; zero-valued fields take defaults.
+	RecalOptions core.ObserverOptions
 }
 
 // Planner produces a multi-path configuration for a transfer. core.Model
@@ -90,6 +119,12 @@ func DefaultConfig() Config {
 		ModelOptions:         core.DefaultOptions(),
 		EngineConfig:         pipeline.DefaultConfig(),
 		PatternAwareMinBytes: 24 * hw.MiB,
+		FailoverEnable:       true,
+		FailoverMaxRetries:   3,
+		FailoverBackoff:      20.0e-6,
+		FailoverBackoffCap:   2.0e-3,
+		AdaptSegments:        1,
+		AdaptMinBytes:        16 * hw.MiB,
 	}
 }
 
@@ -104,6 +139,11 @@ func DefaultConfig() Config {
 //	UCX_MP_BIDIR_AWARE   y|n
 //	UCX_MP_ADAPTIVE_PHI  y|n
 //	UCX_MP_LOAD_AWARE    y|n
+//	UCX_MP_FAILOVER      y|n
+//	UCX_MP_MAX_RETRIES   integer ≥ 0
+//	UCX_MP_ADAPT_SEGMENTS integer ≥ 1
+//	UCX_MP_ADAPT_MIN_BYTES bytes (integer)
+//	UCX_MP_RECALIBRATE   y|n
 func ParseConfig(env map[string]string) (Config, error) {
 	cfg := DefaultConfig()
 	for k, v := range env {
@@ -155,6 +195,36 @@ func ParseConfig(env map[string]string) (Config, error) {
 				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
 			}
 			cfg.LoadAware = b
+		case "UCX_MP_FAILOVER":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.FailoverEnable = b
+		case "UCX_MP_MAX_RETRIES":
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.FailoverMaxRetries = i
+		case "UCX_MP_ADAPT_SEGMENTS":
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 1 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.AdaptSegments = i
+		case "UCX_MP_ADAPT_MIN_BYTES":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.AdaptMinBytes = f
+		case "UCX_MP_RECALIBRATE":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.Recalibrate = b
 		default:
 			return cfg, fmt.Errorf("ucx: unknown variable %q", k)
 		}
@@ -207,10 +277,18 @@ type Context struct {
 	planner Planner
 	sel     hw.PathSet
 
+	// observer is the online recalibration loop (nil unless
+	// Config.Recalibrate is set).
+	observer *core.Observer
+
 	ipcMu     sync.Mutex
 	ipcOpened map[[2]int]bool
 	ipcOpens  atomic.Int64
 	puts      atomic.Int64
+	// retries counts failed attempts that were re-planned and re-executed;
+	// failovers counts paths excluded by those re-plans.
+	retries   atomic.Int64
+	failovers atomic.Int64
 
 	// modelMu guards the derived-planner maps below.
 	modelMu sync.Mutex
@@ -223,6 +301,11 @@ type Context struct {
 	// transfers per (src, dst) pair, feeding LoadAware planning.
 	inflightMu sync.Mutex
 	inflight   map[[2]int]int
+
+	// runsMu guards runs, the live multi-path transfers in launch order;
+	// NotifyFault walks them to re-plan mid-flight.
+	runsMu sync.Mutex
+	runs   []*mpRun
 }
 
 // NewContext builds a context over a CUDA runtime.
@@ -232,6 +315,11 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 		return nil, err
 	}
 	model := core.NewModel(core.SpecSource{Node: rt.Node()}, cfg.ModelOptions)
+	var observer *core.Observer
+	if cfg.Recalibrate {
+		observer = core.NewObserver(cfg.RecalOptions)
+		model.AttachObserver(observer)
+	}
 	var planner Planner = model
 	if cfg.Planner != nil {
 		planner = cfg.Planner
@@ -243,6 +331,7 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 		model:         model,
 		planner:       planner,
 		sel:           sel,
+		observer:      observer,
 		ipcOpened:     make(map[[2]int]bool),
 		bidirModels:   make(map[[2]int]*core.Model),
 		patternModels: make(map[string]*core.Model),
@@ -264,6 +353,52 @@ func (c *Context) IpcOpens() int { return int(c.ipcOpens.Load()) }
 
 // Puts reports the number of Put operations issued.
 func (c *Context) Puts() int { return int(c.puts.Load()) }
+
+// Retries reports how many failed transfer attempts were re-planned and
+// re-executed by the failover machinery.
+func (c *Context) Retries() int { return int(c.retries.Load()) }
+
+// Failovers reports how many paths were excluded by failover re-plans.
+func (c *Context) Failovers() int { return int(c.failovers.Load()) }
+
+// Observer returns the online recalibration observer, or nil when
+// Config.Recalibrate is off.
+func (c *Context) Observer() *core.Observer { return c.observer }
+
+// trackRun registers a launched multi-path transfer for fault notification.
+func (c *Context) trackRun(r *mpRun) {
+	c.runsMu.Lock()
+	c.runs = append(c.runs, r)
+	c.runsMu.Unlock()
+}
+
+// untrackRun drops a settled transfer from the notification set.
+func (c *Context) untrackRun(r *mpRun) {
+	c.runsMu.Lock()
+	for i, x := range c.runs {
+		if x == r {
+			c.runs = append(c.runs[:i], c.runs[i+1:]...)
+			break
+		}
+	}
+	c.runsMu.Unlock()
+}
+
+// NotifyFault tells the context link state changed underneath it — the
+// health notification a real runtime gets from NVML or a UCX error
+// callback. Cached plans are dropped, and every live chunk-pool transfer is
+// re-planned against the current capacities so its byte split shifts off
+// degraded links immediately instead of at the next transfer. Silent faults
+// (no notification) are still caught, later, by recalibration and failover.
+func (c *Context) NotifyFault() {
+	c.model.InvalidateCache()
+	c.runsMu.Lock()
+	runs := append([]*mpRun(nil), c.runs...)
+	c.runsMu.Unlock()
+	for _, r := range runs {
+		r.replanLive()
+	}
+}
 
 // Worker is the per-process progress context (one per MPI rank).
 type Worker struct {
@@ -305,8 +440,13 @@ type Request struct {
 	start sim.Time
 	// Multipath reports whether the transfer used the multi-path engine.
 	Multipath bool
-	// Plan is the configuration used (nil for eager/single-path).
+	// Plan is the configuration used (nil for eager/single-path; the most
+	// recent attempt's plan when failover re-planned).
 	Plan *core.Plan
+	// Retries counts failed attempts of this transfer that were re-planned
+	// and re-executed; Failovers counts paths those re-plans excluded.
+	Retries   int
+	Failovers int
 }
 
 // Elapsed returns the operation duration once Done has fired.
@@ -399,9 +539,29 @@ func (ep *Endpoint) singlePath(req *Request, bytes, setup float64) (*Request, er
 // the shared model's cache is concurrent and derived planners are built
 // once per pair/pattern.
 func (c *Context) PlanFor(src, dst int, bytes float64, concurrent [][2]int) (*core.Plan, error) {
-	paths, err := c.rt.Node().Spec.EnumeratePaths(src, dst, c.sel)
+	return c.planWith(src, dst, bytes, c.sel, concurrent, nil)
+}
+
+// planWith is PlanFor with an explicit path-set selection and an exclusion
+// set (paths ruled out by failover). Excluded paths are filtered after
+// enumeration, so the plan cache keys the filtered list and healthy-state
+// plans are never clobbered by degraded-state ones.
+func (c *Context) planWith(src, dst int, bytes float64, sel hw.PathSet, concurrent [][2]int, excluded map[hw.Path]bool) (*core.Plan, error) {
+	paths, err := c.rt.Node().Spec.EnumeratePaths(src, dst, sel)
 	if err != nil {
 		return nil, err
+	}
+	if len(excluded) > 0 {
+		kept := make([]hw.Path, 0, len(paths))
+		for _, p := range paths {
+			if !excluded[p] {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("ucx: no usable paths %d->%d after excluding %d failed", src, dst, len(excluded))
+		}
+		paths = kept
 	}
 	if c.cfg.LoadAware && len(concurrent) == 0 {
 		concurrent = c.inflightPairs(src, dst)
@@ -421,22 +581,27 @@ func (c *Context) PlanFor(src, dst int, bytes float64, concurrent [][2]int) (*co
 	return planner.PlanTransfer(paths, bytes)
 }
 
-// multiPath plans and executes the transfer across the configured paths.
+// multiPath plans and executes the transfer across the configured paths,
+// delegating retry/failover/segmentation to an mpRun.
 func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][2]int) (*Request, error) {
 	c := ep.ctx
 	s := c.rt.Sim()
-	pl, err := c.PlanFor(ep.src, ep.dst, bytes, concurrent)
+	run := &mpRun{
+		c: c, src: ep.src, dst: ep.dst, sel: c.sel,
+		concurrent: concurrent, req: req, total: bytes,
+		onPlan: func(pl *core.Plan) { ep.plan = pl; req.Plan = pl },
+	}
+	run.initSegments(bytes)
+	pl, err := run.plan(bytes)
 	if err != nil {
 		return nil, err
 	}
-	ep.plan = pl
-	req.Plan = pl
 	req.Multipath = true
 	pair := [2]int{ep.src, ep.dst}
 	c.inflightMu.Lock()
 	c.inflight[pair]++
 	c.inflightMu.Unlock()
-	release := func() {
+	run.release = func() {
 		c.inflightMu.Lock()
 		if c.inflight[pair] > 0 {
 			c.inflight[pair]--
@@ -446,22 +611,8 @@ func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][
 		}
 		c.inflightMu.Unlock()
 	}
-	s.Schedule(setup+c.cfg.RndvOverhead, func() {
-		res, err := c.engine.Execute(pl)
-		if err != nil {
-			release()
-			req.Done.Fail(err)
-			return
-		}
-		res.Done.OnFire(func() {
-			release()
-			if res.Done.Err() != nil {
-				req.Done.Fail(res.Done.Err())
-				return
-			}
-			req.Done.Fire()
-		})
-	})
+	c.trackRun(run)
+	s.Schedule(setup+c.cfg.RndvOverhead, func() { run.begin(pl) })
 	return req, nil
 }
 

@@ -18,11 +18,48 @@
 //
 // Quick start:
 //
-//	sys, err := multipath.NewSystem(multipath.Beluga(), multipath.DefaultConfig())
+//	sys, err := multipath.NewSystem(multipath.Beluga())
 //	ep, err := sys.Endpoint(0, 1)
 //	req, err := ep.Put(64 * multipath.MiB)
 //	err = sys.Drain()
 //	fmt.Println(req.Elapsed(), req.Plan.PredictedTime)
+//
+// # Configuring a system
+//
+// NewSystem takes functional options:
+//
+//	sys, err := multipath.NewSystem(multipath.Narval(),
+//	    multipath.WithConfig(cfg),            // transport configuration
+//	    multipath.WithModelOptions(mo),       // planner overrides
+//	    multipath.WithFaults(&faultPlan),     // link-fault injection
+//	)
+//
+// Migration note: the original positional form NewSystem(spec, cfg) still
+// compiles and behaves identically — Config implements the Option
+// interface, acting as its own WithConfig. New code should prefer the
+// explicit options; the positional form is kept for source compatibility
+// and may be dropped in a future major version.
+//
+// # Fault injection and the adaptive runtime
+//
+// A FaultPlan schedules deterministic link faults (degradation, permanent
+// failure, down/up flaps) at simulated times:
+//
+//	var fp multipath.FaultPlan
+//	fp.Degrade(1e-3, multipath.NVLinkRef(0, 1), 0.5) // halve capacity at t=1ms
+//	fp.Fail(2e-3, multipath.PCIeUpRef(2))            // kill a PCIe lane at t=2ms
+//	sys, err := multipath.NewSystem(multipath.Narval(), multipath.WithFaults(&fp))
+//
+// Transfers running over a failed link fail over: the runtime excludes the
+// dead path, re-plans against live capacities, and retries the residual
+// bytes (Config.FailoverEnable, on by default). Config.AdaptSegments
+// switches large transfers to a chunk-pool executor: per-path feeders pull
+// variable-size chunks from a shared byte pool at the planner's predicted
+// rates, so a mid-message degradation slows that path's pull rate and the
+// healthy paths absorb the slack; fault notifications re-plan the residual
+// pool against live capacities. Config.Recalibrate closes the loop by
+// correcting the model's β parameters when achieved times drift from
+// predictions.
 //
 // Deeper control is available through the re-exported subsystem types;
 // the experiment drivers that regenerate the paper's figures live in
@@ -40,7 +77,6 @@ import (
 	"repro/internal/hw"
 	"repro/internal/internode"
 	"repro/internal/mpi"
-	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/ucx"
 )
@@ -97,7 +133,55 @@ var (
 	Narval = hw.Narval
 	// NVSwitchNode: an 8-GPU NVSwitch system (future-work section).
 	NVSwitchNode = hw.NVSwitchNode
+	// Synthetic: the minimal 3-GPU topology used by unit tests and
+	// documentation examples.
+	Synthetic = hw.Synthetic
 )
+
+// Fault-injection re-exports: schedule link faults against a system with
+// WithFaults and observe them through System.Faults.
+type (
+	// FaultPlan is a deterministic schedule of link faults.
+	FaultPlan = hw.FaultPlan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = hw.FaultEvent
+	// LinkRef names one directed link of a topology.
+	LinkRef = hw.LinkRef
+	// Injector is an armed fault plan (returned on System.Faults).
+	Injector = hw.Injector
+)
+
+// Link reference constructors for fault plans.
+var (
+	NVLinkRef   = hw.NVLinkRef
+	PCIeUpRef   = hw.PCIeUpRef
+	PCIeDownRef = hw.PCIeDownRef
+	MemRef      = hw.MemRef
+	InterRef    = hw.InterRef
+)
+
+// Option configures NewSystem. Config implements it directly (acting as
+// WithConfig), which keeps the legacy positional NewSystem(spec, cfg) form
+// compiling unchanged.
+type Option = ucx.SystemOption
+
+// WithConfig sets the transport configuration (default DefaultConfig).
+func WithConfig(cfg Config) Option {
+	return ucx.SystemOptionFunc(func(sc *ucx.SystemConfig) { sc.Config = cfg })
+}
+
+// WithModelOptions overrides the planner options inside the current
+// transport configuration. Apply after WithConfig if both are given.
+func WithModelOptions(mo ModelOptions) Option {
+	return ucx.SystemOptionFunc(func(sc *ucx.SystemConfig) { sc.Config.ModelOptions = mo })
+}
+
+// WithFaults arms a fault-injection plan on the built system. The plan is
+// validated against the spec; NewSystem fails on unresolvable link
+// references. The armed injector is exposed as System.Faults.
+func WithFaults(fp *FaultPlan) Option {
+	return ucx.SystemOptionFunc(func(sc *ucx.SystemConfig) { sc.Faults = fp })
+}
 
 // Path-set selections matching the paper's figure labels.
 var (
@@ -130,22 +214,38 @@ type System struct {
 	Runtime *cuda.Runtime
 	// Ctx is the transport context (planner, engine, IPC cache).
 	Ctx *ucx.Context
+	// Faults is the armed fault injector (nil unless WithFaults was given).
+	Faults *Injector
 }
 
 // NewSystem builds a machine from the spec and attaches a transport
-// context configured by cfg.
-func NewSystem(spec *Spec, cfg Config) (*System, error) {
+// context. With no options the default configuration is used; pass
+// WithConfig/WithModelOptions/WithFaults to customize (or a bare Config
+// for the legacy positional form).
+func NewSystem(spec *Spec, opts ...Option) (*System, error) {
+	sc := ucx.SystemConfig{Config: ucx.DefaultConfig()}
+	for _, opt := range opts {
+		opt.ConfigureSystem(&sc)
+	}
 	s := sim.New()
 	node, err := hw.Build(s, spec)
 	if err != nil {
 		return nil, err
 	}
 	rt := cuda.NewRuntime(node)
-	ctx, err := ucx.NewContext(rt, cfg)
+	ctx, err := ucx.NewContext(rt, sc.Config)
 	if err != nil {
 		return nil, err
 	}
-	return &System{Sim: s, Node: node, Runtime: rt, Ctx: ctx}, nil
+	sys := &System{Sim: s, Node: node, Runtime: rt, Ctx: ctx}
+	if sc.Faults != nil {
+		inj, err := sc.Faults.Arm(node)
+		if err != nil {
+			return nil, err
+		}
+		sys.Faults = inj
+	}
+	return sys, nil
 }
 
 // Endpoint connects a source GPU to a destination GPU.
@@ -180,27 +280,39 @@ type TransferResult struct {
 	Plan      *Plan
 	Elapsed   float64
 	Bandwidth float64
+	// Retries counts failed attempts that were re-planned and re-executed;
+	// Failovers counts paths those re-plans excluded. Both are zero on a
+	// fault-free run.
+	Retries   int
+	Failovers int
 }
 
 // Transfer runs a single isolated transfer end to end (plan → execute →
-// drain) and reports achieved vs predicted performance.
+// drain) and reports achieved vs predicted performance. It executes on the
+// system's shared engine with failover active: under injected faults the
+// transfer re-plans around failed paths, and the result reports how often.
 func (sys *System) Transfer(src, dst int, bytes float64, sel PathSet) (*TransferResult, error) {
-	plan, err := sys.Plan(src, dst, bytes, sel)
-	if err != nil {
-		return nil, err
-	}
-	eng := pipeline.New(sys.Runtime, pipeline.DefaultConfig())
-	res, err := eng.Execute(plan)
+	req, err := sys.Ctx.StartTransfer(src, dst, bytes, sel)
 	if err != nil {
 		return nil, err
 	}
 	if err := sys.Drain(); err != nil {
 		return nil, err
 	}
-	if res.Done.Err() != nil {
-		return nil, res.Done.Err()
+	if req.Done.Err() != nil {
+		return nil, req.Done.Err()
 	}
-	return &TransferResult{Plan: plan, Elapsed: res.Elapsed(), Bandwidth: res.Bandwidth()}, nil
+	el := req.Elapsed()
+	res := &TransferResult{
+		Plan:      req.Plan,
+		Elapsed:   el,
+		Retries:   req.Retries,
+		Failovers: req.Failovers,
+	}
+	if el > 0 {
+		res.Bandwidth = bytes / el
+	}
+	return res, nil
 }
 
 // Calibrate measures a topology's model parameters (offline step).

@@ -3,6 +3,14 @@
 # experiment runner. Run from the repository root (or via `make verify`).
 set -eu
 
+echo "==> gofmt -l"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -22,5 +30,13 @@ echo "==> go test -race -count=3 (plan-cache + shared-planner stress)"
 go test -race -count=3 \
 	-run 'TestPlanCacheConcurrentStress|TestPlanCacheSingleflight|TestContextConcurrentPlanning|TestStaticPlannerConcurrentReplay' \
 	./internal/core/ ./internal/ucx/ ./internal/tuner/
+
+# The fault-adaptive runtime (failover, chunk-pool feeders, fault
+# injection) mixes simulator callbacks with concurrent planners; rerun its
+# stress tests under the race detector the same way.
+echo "==> go test -race -count=3 (fault / failover stress)"
+go test -race -count=3 \
+	-run 'TestFailover|TestFault|TestAdaptiveSegments|TestTransferSurvives' \
+	./internal/ucx/ ./internal/fluid/ ./internal/hw/ ./internal/exp/ .
 
 echo "verify: OK"
