@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-planner bench-faults verify
+.PHONY: build test race vet lint bench bench-planner bench-faults verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint builds and runs mplint, the repo's own analyzer suite (determinism,
+# unit-safety, concurrency invariants). It must stay clean: suppress a
+# knowingly-safe finding with "//lint:allow <analyzer> <reason>".
+lint:
+	$(GO) build -o bin/mplint ./cmd/mplint
+	./bin/mplint ./...
 
 # verify is the gate every change should pass: vet + build + tests + the
 # race detector (the parallel experiment runner's worker pools make -race

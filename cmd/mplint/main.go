@@ -1,0 +1,51 @@
+// mplint is the repo's domain-specific static analyzer: a multichecker
+// running the internal/analysis suite over the module.
+//
+// Usage:
+//
+//	mplint [packages]
+//
+// With no arguments it analyzes ./... from the current directory. Exit
+// status: 0 clean, 1 findings, 2 operational error.
+//
+// The analyzers enforce the invariants behind the repo's byte-identical
+// figure-table guarantee:
+//
+//	simtime      no wall-clock time / unseeded randomness in the
+//	             simulation core (internal/sim, fluid, core, ucx)
+//	maporder     no order-sensitive work inside range-over-map loops
+//	atomicfield  no mixed atomic/plain access to the same variable
+//	units        no bytes / MiB / seconds confusion in the model math
+//	errchecksim  no discarded errors from the repo's fallible APIs
+//
+// A finding that is a considered exception is silenced in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/errchecksim"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/simtime"
+	"repro/internal/analysis/units"
+)
+
+// Suite is the full mplint analyzer suite, in reporting order.
+var Suite = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	errchecksim.Analyzer,
+	maporder.Analyzer,
+	simtime.Analyzer,
+	units.Analyzer,
+}
+
+func main() {
+	os.Exit(checker.Main(os.Stdout, os.Stderr, os.Args[1:], Suite))
+}

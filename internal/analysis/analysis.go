@@ -1,0 +1,70 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API, built on the standard library only
+// (this repository vendors no third-party modules). It exists so the
+// domain-specific analyzers under internal/analysis/... — the mplint
+// suite — can be written in the idiomatic Analyzer/Pass shape and later
+// ported to the real x/tools framework without touching analyzer logic.
+//
+// The invariants these analyzers enforce (no wall-clock time in simulated
+// paths, no unordered map iteration feeding accumulation, no mixed
+// atomic/plain field access, no bytes-vs-MiB confusion, no dropped errors
+// from the repo's fallible APIs) are load-bearing for the repo's headline
+// guarantee: figure tables byte-identical to the paper reproduction.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single package. Diagnostics are
+	// delivered via pass.Report/Reportf; the error return is reserved for
+	// analyzer malfunction (it aborts the whole run).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset positions every AST node in Files.
+	Fset *token.FileSet
+
+	// Files are the parsed source files of the package, with comments.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker results for Files. All maps
+	// (Types, Defs, Uses, Selections, Implicits) are populated.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The checker applies
+	// "//lint:allow" suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,176 @@
+// Package analysistest runs mplint analyzers over fixture packages under
+// internal/analysis/testdata, checking reported diagnostics against
+// "// want" expectations — a self-contained miniature of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture files mark expected diagnostics with trailing comments:
+//
+//	sum += v // want "floating-point accumulation"
+//
+// Each quoted string is a regular expression that must match the message
+// of a diagnostic reported on that line; every diagnostic must be
+// matched by an expectation and vice versa. Suppressed findings
+// (silenced by "//lint:allow") must have no expectation: the harness
+// asserts they stay silent, and returns them so tests can additionally
+// assert the finding exists and would fire if the suppression were
+// deleted.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+// wantRE extracts the quoted expectations from a "// want" comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the fixture tree testdata/src/<analyzer-name>/... (or the
+// named subdirectories of it, when dirs are given) with a, verifies
+// every diagnostic against the fixtures' "// want" expectations, and
+// returns all findings — suppressed ones included — for further
+// assertions.
+//
+// It is called from a test in the analyzer's own package directory
+// (internal/analysis/<name>), so the testdata root is ../testdata.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) []checker.Finding {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	var patterns []string
+	if len(dirs) == 0 {
+		patterns = []string{"./" + filepath.Join("..", "testdata", "src", a.Name, "...")}
+	} else {
+		for _, d := range dirs {
+			patterns = append(patterns, "./"+filepath.Join("..", "testdata", "src", a.Name, d))
+		}
+	}
+	pkgs, err := checker.Load(wd, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %v", patterns)
+	}
+	findings, err := checker.Analyze(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzing fixtures: %v", err)
+	}
+
+	wants := collectWants(t, pkgs)
+	matched := make(map[*want]bool)
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		key := posKey(f.Pos.Filename, f.Pos.Line)
+		var hit *want
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, f.Analyzer, f.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	// Sorted keys so unmatched-expectation errors print in a stable order
+	// (maporder's own invariant, applied to the harness).
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !matched[w] {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+	for _, f := range findings {
+		if f.Suppressed && f.Reason == "" {
+			t.Errorf("%s: suppressed finding carries no reason (the checker must reject this)", posKey(f.Pos.Filename, f.Pos.Line))
+		}
+	}
+	return findings
+}
+
+// Suppressed filters findings down to the suppressed ones whose message
+// matches pattern. Analyzer tests use it to prove a fixture's finding is
+// real — i.e. that deleting the //lint:allow line would fail the lint.
+func Suppressed(t *testing.T, findings []checker.Finding, pattern string) []checker.Finding {
+	t.Helper()
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("bad pattern %q: %v", pattern, err)
+	}
+	var out []checker.Finding
+	for _, f := range findings {
+		if f.Suppressed && re.MatchString(f.Message) {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		t.Errorf("no suppressed finding matches %q: the //lint:allow fixture is not exercising the analyzer", pattern)
+	}
+	return out
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants scans every fixture file for "// want" expectations.
+func collectWants(t *testing.T, pkgs []*checker.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	seenFile := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture %s: %v", name, err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				_, comment, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				key := posKey(name, i+1)
+				for _, m := range wantRE.FindAllStringSubmatch(comment, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+				if len(wantRE.FindAllString(comment, -1)) == 0 {
+					t.Fatalf("%s: malformed want comment (no quoted regexp)", key)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

@@ -1,0 +1,131 @@
+// Package atomicfield defines an analyzer detecting mixed atomic and
+// plain access to the same variable.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports variables (struct fields or package-level vars) that
+// are accessed through sync/atomic in one place and by plain read/write
+// in another, within the same package. Mixing the two is a data race the
+// race detector only catches if both sides execute in the observed
+// interleaving; statically, one atomic use is a declaration of intent
+// that every access must be atomic. Stats counters (CacheStats sources,
+// ucx.Context operation counters) are the repo's canonical examples: a
+// plain `x.count++` next to `atomic.AddInt64(&x.count, 1)` silently
+// loses increments and perturbs cache-stats tables.
+//
+// Initialization in a constructor before the value escapes is a common
+// legitimate plain write; suppress those sites with
+// "//lint:allow atomicfield <reason>" (or switch the field to the typed
+// atomic.Int64 family, which makes plain access unrepresentable).
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag plain reads/writes of variables that are elsewhere accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every variable whose address is taken by a sync/atomic
+	// call, and remember the identifiers inside those sanctioned call
+	// sites so pass 2 does not re-flag them.
+	atomicVars := make(map[*types.Var]string) // var -> atomic func name seen
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !isAtomicAccessor(fn.Name()) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			v := analysis.SelectedVar(pass.TypesInfo, target)
+			if v == nil {
+				return true
+			}
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = fn.Name()
+			}
+			markIdents(target, sanctioned)
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Composite-literal field keys (S{count: 0}) initialize before the
+	// value can escape; sanction them rather than flag construction.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other use of those variables is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			if fname, ok := atomicVars[v]; ok {
+				pass.Reportf(id.Pos(), "plain access of %s, which is accessed with atomic.%s elsewhere in this package; every access must be atomic (or use the typed atomic.* types)", id.Name, fname)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicAccessor reports whether name is a sync/atomic function that
+// operates on a caller-supplied address.
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// markIdents records every identifier under e as part of a sanctioned
+// atomic access (the &x.f operand of an atomic call).
+func markIdents(e ast.Expr, sanctioned map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sanctioned[id] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,413 @@
+// Package checker loads, type-checks, and analyzes Go packages for the
+// mplint analyzer suite. It is the offline stand-in for the x/tools
+// multichecker + go/packages stack: packages are enumerated with
+// `go list -export -deps -json` (so dependency type information comes
+// from the build cache's export data, exactly as `go vet -vettool`
+// drivers consume it) and type-checked with the standard library's gc
+// importer. No third-party module is required.
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// suppressions maps file base path -> line -> allow directives whose
+	// scope covers that line (the directive's own line and the next).
+	suppressions map[string]map[int][]allowDirective
+}
+
+// allowDirective is one parsed "//lint:allow <analyzer> <reason>" comment.
+type allowDirective struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+}
+
+// A Finding is one diagnostic from one analyzer, resolved to a position.
+// Suppressed findings are retained (with the directive that silenced
+// them) so tests can assert that removing a suppression re-fails.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	Reason     string // suppression reason, when Suppressed
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath      string
+	Dir             string
+	Name            string
+	Standard        bool
+	DepOnly         bool
+	ForTest         string
+	Export          string
+	GoFiles         []string
+	CgoFiles        []string
+	CompiledGoFiles []string
+	ImportMap       map[string]string
+	Module          *struct{ Path string }
+	Error           *struct{ Err string }
+}
+
+// Load enumerates patterns with `go list` (run in dir), type-checks every
+// non-dependency package in the result, and returns them ready for
+// analysis. Test variants are included: a package with tests is returned
+// as its [pkg.test] variant (a superset of the plain package) plus any
+// external _test package.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-test", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exportFile := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		switch {
+		case p.DepOnly || p.Standard:
+		case p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test"):
+			// Synthesized test-main package; nothing human-written in it.
+		case p.ForTest != "" && !strings.Contains(p.ImportPath, " ["):
+			// Defensive: shouldn't occur, but never analyze a half-variant.
+		default:
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	// Drop the plain variant of any package also listed as [pkg.test]:
+	// the test variant compiles a superset of the same files, so keeping
+	// both would analyze the non-test files twice.
+	hasTestVariant := make(map[string]bool)
+	for _, p := range targets {
+		if p.ForTest != "" {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var pkgs []*Package
+	for _, p := range targets {
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue
+		}
+		pkg, err := typecheck(p, exportFile)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package against the export
+// data of its (transitive) dependencies.
+func typecheck(p *listPackage, exportFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := p.CompiledGoFiles
+	if len(files) == 0 {
+		files = p.GoFiles
+	}
+	var parsed []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		parsed = append(parsed, f)
+	}
+
+	// The gc importer resolves an import path to export data through the
+	// package's ImportMap first (so "repro/internal/sim" binds to the
+	// [sim.test] variant when type-checking sim's external tests), then
+	// identity into the global index.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(strings.TrimSuffix(p.ImportPath, ".test"), fset, parsed, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: type errors:", p.ImportPath)
+		for i, err := range typeErrs {
+			if i == 5 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", err)
+		}
+		return nil, fmt.Errorf("%s", b.String())
+	}
+
+	pkg := &Package{
+		ImportPath:   p.ImportPath,
+		Dir:          p.Dir,
+		Fset:         fset,
+		Files:        parsed,
+		Types:        tpkg,
+		Info:         info,
+		suppressions: make(map[string]map[int][]allowDirective),
+	}
+	for _, f := range parsed {
+		pkg.collectSuppressions(f)
+	}
+	return pkg, nil
+}
+
+// collectSuppressions indexes "//lint:allow <analyzer> <reason>" comments.
+// A directive's scope is its own source line and the line below it, so it
+// can trail the flagged statement or sit on the line above it.
+func (pkg *Package) collectSuppressions(f *ast.File) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			d := allowDirective{Pos: pos}
+			if len(fields) > 0 {
+				d.Analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			byLine := pkg.suppressions[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]allowDirective)
+				pkg.suppressions[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], d)
+			byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+		}
+	}
+}
+
+// suppressionFor returns the directive covering a diagnostic from
+// analyzer at pos, if any. A directive without a reason is invalid and
+// suppresses nothing (it is separately reported as a finding).
+func (pkg *Package) suppressionFor(analyzer string, pos token.Position) (allowDirective, bool) {
+	for _, d := range pkg.suppressions[pos.Filename][pos.Line] {
+		if d.Analyzer == analyzer && d.Reason != "" {
+			return d, true
+		}
+	}
+	return allowDirective{}, false
+}
+
+// Analyze runs every analyzer over every package and returns all findings
+// (including suppressed ones, marked as such) sorted by position. It also
+// validates the suppression directives themselves: a directive with no
+// reason, or naming no known analyzer, is a finding from the pseudo
+// analyzer "lintdirective" and cannot be suppressed.
+func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	seen := make(map[string]bool) // dedupe across pkg/test-variant overlap
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d:%d|%s|%s", pos.Filename, pos.Line, pos.Column, a.Name, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if d, ok := pkg.suppressionFor(a.Name, pos); ok {
+					f.Suppressed = true
+					f.Reason = d.Reason
+				}
+				findings = append(findings, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+
+		// Validate directives once per file line (each is indexed twice).
+		// Iterate in sorted order: ranging the maps directly would emit
+		// findings in Go's randomized map order — the exact defect the
+		// maporder analyzer exists to catch (and did, on this loop).
+		files := make([]string, 0, len(pkg.suppressions))
+		for file := range pkg.suppressions {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			byLine := pkg.suppressions[file]
+			lines := make([]int, 0, len(byLine))
+			for line := range byLine {
+				lines = append(lines, line)
+			}
+			sort.Ints(lines)
+			for _, line := range lines {
+				for _, d := range byLine[line] {
+					if d.Pos.Line != line {
+						continue
+					}
+					var msg string
+					switch {
+					case d.Analyzer == "":
+						msg = "lint:allow directive missing analyzer name and reason"
+					case !known[d.Analyzer]:
+						msg = fmt.Sprintf("lint:allow names unknown analyzer %q", d.Analyzer)
+					case d.Reason == "":
+						msg = fmt.Sprintf("lint:allow %s requires a reason", d.Analyzer)
+					default:
+						continue
+					}
+					key := fmt.Sprintf("%s:%d|lintdirective|%s", file, line, msg)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					findings = append(findings, Finding{Analyzer: "lintdirective", Pos: d.Pos, Message: msg})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Main is the command-line driver shared by cmd/mplint: it loads the
+// given patterns (default "./..."), runs the analyzers, prints active
+// findings to stdout, and returns the process exit code (0 clean, 1
+// findings, 2 failure to load or analyze).
+func Main(out, errw io.Writer, args []string, analyzers []*analysis.Analyzer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(errw, "mplint: %v\n", err)
+		return 2
+	}
+	pkgs, err := Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "mplint: %v\n", err)
+		return 2
+	}
+	findings, err := Analyze(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(errw, "mplint: %v\n", err)
+		return 2
+	}
+	active := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		active++
+		pos := f.Pos
+		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, f.Analyzer, f.Message)
+	}
+	if active > 0 {
+		fmt.Fprintf(errw, "mplint: %d finding(s)\n", active)
+		return 1
+	}
+	return 0
+}

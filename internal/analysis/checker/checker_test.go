@@ -1,0 +1,166 @@
+package checker_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/errchecksim"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/simtime"
+	"repro/internal/analysis/units"
+)
+
+// suite mirrors cmd/mplint's analyzer set.
+var suite = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	errchecksim.Analyzer,
+	maporder.Analyzer,
+	simtime.Analyzer,
+	units.Analyzer,
+}
+
+func load(t *testing.T, patterns ...string) []*checker.Package {
+	t.Helper()
+	pkgs, err := checker.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("Load(%v): %v", patterns, err)
+	}
+	return pkgs
+}
+
+// TestDirectiveValidation: malformed //lint:allow comments (missing
+// reason, unknown analyzer) are findings in their own right, from the
+// pseudo-analyzer "lintdirective", and cannot be suppressed.
+func TestDirectiveValidation(t *testing.T) {
+	pkgs := load(t, "./../testdata/src/lintdirective/sim")
+	findings, err := checker.Analyze(pkgs, suite)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var gotReason, gotUnknown bool
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		switch {
+		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, "requires a reason"):
+			gotReason = true
+		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, `unknown analyzer "simtyme"`):
+			gotUnknown = true
+		}
+	}
+	if !gotReason {
+		t.Errorf("no finding for reason-less lint:allow; directives must carry a justification")
+	}
+	if !gotUnknown {
+		t.Errorf("no finding for lint:allow naming unknown analyzer; typos must not silently suppress nothing")
+	}
+	// The reason-less directive must not actually suppress: the
+	// wall-clock finding it sits above stays active.
+	var simtimeActive int
+	for _, f := range findings {
+		if f.Analyzer == "simtime" && !f.Suppressed {
+			simtimeActive++
+		}
+	}
+	if simtimeActive != 2 {
+		t.Errorf("got %d active simtime findings, want 2 (malformed directives must not suppress)", simtimeActive)
+	}
+}
+
+// TestFindingsDeterministic: the checker's own output order must not
+// depend on map iteration (the invariant maporder enforces applies to
+// the linter too).
+func TestFindingsDeterministic(t *testing.T) {
+	var first []string
+	for i := 0; i < 3; i++ {
+		pkgs := load(t, "./../testdata/src/...")
+		findings, err := checker.Analyze(pkgs, suite)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		if i == 0 {
+			first = lines
+			if len(first) == 0 {
+				t.Fatal("fixture tree produced no findings")
+			}
+			continue
+		}
+		if len(lines) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", i, len(lines), len(first))
+		}
+		for j := range lines {
+			if lines[j] != first[j] {
+				t.Fatalf("run %d: finding %d differs:\n  %s\n  %s", i, j, lines[j], first[j])
+			}
+		}
+	}
+}
+
+// TestSuiteOnFixtureTree: the full suite over the whole fixture tree
+// reports every analyzer at least once, keeps suppressed findings
+// retrievable (deleting any //lint:allow re-fails the lint), and Main
+// exits nonzero on the violations.
+func TestSuiteOnFixtureTree(t *testing.T) {
+	pkgs := load(t, "./../testdata/src/...")
+	findings, err := checker.Analyze(pkgs, suite)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	active := make(map[string]int)
+	suppressed := make(map[string]int)
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed[f.Analyzer]++
+		} else {
+			active[f.Analyzer]++
+		}
+	}
+	for _, a := range suite {
+		if active[a.Name] == 0 {
+			t.Errorf("analyzer %s found nothing across the fixture tree", a.Name)
+		}
+		if suppressed[a.Name] == 0 {
+			t.Errorf("analyzer %s has no suppressed fixture finding (every analyzer needs a deliberate, silenced false positive)", a.Name)
+		}
+	}
+
+	var out, errw bytes.Buffer
+	code := checker.Main(&out, &errw, []string{"./../testdata/src/..."}, suite)
+	if code != 1 {
+		t.Fatalf("Main on violating fixtures: exit %d, want 1\nstderr: %s", code, errw.String())
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			continue
+		}
+		// Match by exact position: the same message may legitimately be
+		// active at a different, unsuppressed site.
+		loc := fmt.Sprintf("%s:%d:%d:", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column)
+		if strings.Contains(out.String(), loc) {
+			t.Errorf("suppressed finding leaked into Main output: %s %s", loc, f.Message)
+		}
+	}
+}
+
+// TestMainCleanPackage: Main exits 0 on a violation-free package.
+func TestMainCleanPackage(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := checker.Main(&out, &errw, []string{"./../testdata/src/simtime/other"}, suite)
+	if code != 0 {
+		t.Fatalf("Main on clean fixture: exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}

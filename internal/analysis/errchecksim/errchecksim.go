@@ -1,0 +1,128 @@
+// Package errchecksim defines an analyzer requiring checked errors on
+// this repository's own fallible APIs.
+package errchecksim
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ModulePath is the module whose functions the analyzer treats as its
+// own: any call to a function under this path whose final result is an
+// error must not be used as a bare statement. It is a variable so the
+// analyzer's tests can exercise the rule on fixture modules.
+var ModulePath = "repro"
+
+// critical are API names whose error result must never be blanked
+// either: these are the entry points that validate external input
+// (topology JSON, UCX_MP_* config) or execute transfers, and a
+// swallowed error there silently degrades results rather than failing.
+var critical = map[string]bool{
+	"SpecFromJSON": true,
+	"ParseConfig":  true,
+	"Transfer":     true,
+}
+
+// Analyzer reports discarded errors from the repo's fallible APIs: a
+// call used as a bare expression statement when the callee is any
+// module-internal function returning an error, and an error blanked
+// with `_` when the callee is one of the critical input/transfer entry
+// points (SpecFromJSON, ParseConfig, Transfer). Standard-library calls
+// are out of scope (go vet and idiom cover them); deferred calls are
+// exempt (the `defer f.Close()` idiom). A deliberate discard needs a
+// "//lint:allow errchecksim <reason>".
+var Analyzer = &analysis.Analyzer{
+	Name: "errchecksim",
+	Doc:  "require checked errors from the repo's own fallible APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankedError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareCall flags statement-position calls to module functions whose
+// final result is an error.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if !inModule(fn.Pkg().Path()) && !critical[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1)
+	if !isErrorType(last.Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s.%s is discarded; the repo's fallible APIs must be checked", pkgBase(fn.Pkg().Path()), fn.Name())
+}
+
+// checkBlankedError flags `x, _ := SpecFromJSON(...)`-style blanking of
+// the error from a critical entry point.
+func checkBlankedError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !critical[fn.Name()] {
+		return
+	}
+	if !inModule(fn.Pkg().Path()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(), "error from %s assigned to blank; %s validates external input and its error must be handled", fn.Name(), fn.Name())
+		}
+	}
+}
+
+// inModule reports whether path is inside the analyzed module.
+func inModule(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// pkgBase is the last element of an import path, for diagnostics.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

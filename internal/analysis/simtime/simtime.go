@@ -1,0 +1,108 @@
+// Package simtime defines an analyzer forbidding wall-clock time and
+// unseeded randomness in packages whose results must be a pure function
+// of simulated time.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports uses of wall-clock time (time.Now, time.Since, timers)
+// and of math/rand's unseeded process-global source inside the simulation
+// core. Those packages (internal/sim, internal/fluid, internal/core, and
+// the ucx engine) define the repo's determinism boundary: every quantity
+// they produce feeds the figure tables, which must be byte-identical
+// run-to-run. Wall-clock reads make output depend on host load; the
+// global rand source makes it depend on whatever else ran first.
+// Benchmark drivers (internal/exp, cmd/...) measure real elapsed time by
+// design and are exempt.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock time and unseeded randomness inside the simulation core",
+	Run:  run,
+}
+
+// restrictedBases are the package-path base names (test variants
+// included) where only simulated time is legal. Beyond the four packages
+// the determinism guarantee names (sim, fluid, core, ucx), every layer
+// that executes *inside* the simulation is restricted too; the exempt
+// packages are the ones that measure the real world by design
+// (internal/exp wall-clock throughput sweeps, cmd/* drivers) or are
+// simulation-agnostic utilities (internal/par, the analysis suite).
+var restrictedBases = map[string]bool{
+	"sim":       true,
+	"fluid":     true,
+	"core":      true,
+	"ucx":       true,
+	"cuda":      true,
+	"omb":       true,
+	"pipeline":  true,
+	"internode": true,
+	"workload":  true,
+	"calib":     true,
+	"mpi":       true,
+	"hw":        true,
+	"stats":     true,
+	"trace":     true,
+}
+
+// wallClock are the time-package functions whose result or behaviour
+// depends on the host clock.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// seededConstructors are the math/rand functions that build an explicit,
+// seedable source; everything else at package level draws from the
+// process-global source.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !restrictedBases[analysis.PkgPathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClock[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation-core packages must use simulated time only", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the unseeded process-global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

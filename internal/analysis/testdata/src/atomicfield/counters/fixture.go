@@ -1,0 +1,58 @@
+// Package counters is an atomicfield fixture modeled on stats counters:
+// fields updated via sync/atomic in one place and touched plainly in
+// another.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) load() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// read is the mixed-access bug: a plain load racing every hit().
+func (s *stats) read() int64 {
+	return s.hits // want "plain access of hits"
+}
+
+// reset half-fixes itself: hits is atomic elsewhere, misses never is.
+func (s *stats) reset() {
+	s.hits = 0   // want "plain access of hits"
+	s.misses = 0 // misses is never accessed atomically: allowed
+}
+
+// ops shows the same rule applies to package-level vars.
+var ops int64
+
+func bump() { atomic.AddInt64(&ops, 1) }
+
+func opsNow() int64 {
+	return ops // want "plain access of ops"
+}
+
+// newStats is the suppressed false positive: a plain write before the
+// value escapes the constructor. Deleting the lint:allow below must make
+// the suite's tests fail.
+func newStats(warm int64) *stats {
+	s := &stats{}
+	s.hits = warm //lint:allow atomicfield value has not escaped the constructor yet
+	return s
+}
+
+var (
+	_ = (*stats).hit
+	_ = (*stats).load
+	_ = (*stats).read
+	_ = (*stats).reset
+	_ = bump
+	_ = opsNow
+	_ = newStats
+)

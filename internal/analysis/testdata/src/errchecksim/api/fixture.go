@@ -1,0 +1,75 @@
+// Package api is an errchecksim fixture mirroring the repo's fallible
+// entry points: SpecFromJSON and ParseConfig validate external input,
+// Transfer executes; their errors must be handled.
+package api
+
+import "errors"
+
+type spec struct{}
+
+// SpecFromJSON mirrors the topology-JSON entry point.
+func SpecFromJSON(data []byte) (*spec, error) {
+	if len(data) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &spec{}, nil
+}
+
+// ParseConfig mirrors the UCX_MP_* config entry point.
+func ParseConfig(env map[string]string) (map[string]string, error) {
+	return env, nil
+}
+
+// warm is an ordinary module-internal fallible function.
+func warm() error { return nil }
+
+// bareStatement drops a module function's error on the floor.
+func bareStatement() {
+	warm() // want "error result of api.warm is discarded"
+}
+
+// blankedCritical blanks the error of an input-validating entry point.
+func blankedCritical(data []byte) *spec {
+	s, _ := SpecFromJSON(data) // want "error from SpecFromJSON assigned to blank"
+	return s
+}
+
+// blankedConfig does the same through ParseConfig.
+func blankedConfig() map[string]string {
+	cfg, _ := ParseConfig(nil) // want "error from ParseConfig assigned to blank"
+	return cfg
+}
+
+// checked handles the error: allowed.
+func checked(data []byte) (*spec, error) {
+	return SpecFromJSON(data)
+}
+
+// explicitDiscard of a non-critical function is a visible, greppable
+// decision: allowed without suppression.
+func explicitDiscard() {
+	_ = warm()
+}
+
+// deferredCleanup is the Close idiom: deferred calls are exempt.
+func deferredCleanup() {
+	defer warm()
+}
+
+// prewarmCache is the suppressed false positive: a best-effort call
+// whose failure is recovered elsewhere. Deleting the lint:allow below
+// must make the suite's tests fail.
+func prewarmCache() {
+	//lint:allow errchecksim best-effort prewarm; a miss is recomputed on demand
+	warm()
+}
+
+var (
+	_ = bareStatement
+	_ = blankedCritical
+	_ = blankedConfig
+	_ = checked
+	_ = explicitDiscard
+	_ = deferredCleanup
+	_ = prewarmCache
+)

@@ -1,0 +1,22 @@
+// Package sim holds malformed suppression directives: each must be
+// rejected by the checker itself (findings no //lint:allow can silence).
+package sim
+
+import "time"
+
+// Missing reason: a suppression with no justification is not a decision,
+// it is a mute button.
+//
+//lint:allow simtime
+var noReason = time.Now()
+
+// Unknown analyzer: a typo here would otherwise silently suppress
+// nothing while looking like it suppresses something.
+//
+//lint:allow simtyme wall clock is fine here
+var typoAnalyzer = time.Now()
+
+var (
+	_ = noReason
+	_ = typoAnalyzer
+)

@@ -1,0 +1,139 @@
+// Package sweep is a maporder fixture modeled on the repo's sweep
+// drivers: accumulation and collection over map-keyed results.
+package sweep
+
+import "sort"
+
+type scheduler struct{}
+
+func (s *scheduler) Schedule(delay float64, fn func()) {}
+
+// sumLatency is the classic table-drift bug: float accumulation in map
+// iteration order.
+func sumLatency(byName map[string]float64) float64 {
+	var total float64
+	for _, v := range byName {
+		total += v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+// spelledOut is the same bug without the compound token.
+func spelledOut(byName map[string]float64) float64 {
+	var total float64
+	for _, v := range byName {
+		total = total + v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+// collectFindings re-introduces the true positive mplint surfaced in
+// internal/analysis/checker during its own bring-up: appending
+// map-ordered values to a result slice.
+func collectFindings(byFile map[string][]string) []string {
+	var findings []string
+	for _, fs := range byFile {
+		findings = append(findings, fs...) // want "append to findings"
+	}
+	return findings
+}
+
+// collectKeys is the deterministic idiom the analyzer must NOT flag:
+// append only the key, sort, then use.
+func collectKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intSum commutes exactly; allowed.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyedWrites are order-independent; allowed.
+func keyedWrites(src map[string]float64) map[string]float64 {
+	dst := make(map[string]float64, len(src))
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+	return dst
+}
+
+// localAccum accumulates into a variable scoped inside the loop body;
+// nothing outlives an iteration, so order cannot matter.
+func localAccum(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// schedule fires simulator events per map entry: same-timestamp events
+// then execute in map order.
+func schedule(s *scheduler, handlers map[string]func()) {
+	for _, fn := range handlers {
+		s.Schedule(0, fn) // want "Schedule called while ranging over a map"
+	}
+}
+
+// firstBad is the validation pattern mplint surfaced in hw.Validate and
+// ucx.ParseConfig: returning an entry-derived error means "which bad
+// entry gets reported" follows map iteration order.
+func firstBad(limits map[string]int) (string, bool) {
+	for k, v := range limits {
+		if v < 0 {
+			return k, false // want "return of a range-variable-derived value"
+		}
+	}
+	return "", true
+}
+
+// firstBadConst returns only values independent of the entry; which
+// iteration triggers it cannot be observed, so it is allowed.
+func firstBadConst(limits map[string]int) bool {
+	for _, v := range limits {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sumSingleton is the suppressed false positive: the caller guarantees a
+// single entry, so order cannot matter. Deleting the lint:allow below
+// must make the suite's tests fail.
+func sumSingleton(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:allow maporder caller guarantees len(m)==1 so iteration order cannot matter
+		total += v
+	}
+	return total
+}
+
+var (
+	_ = sumLatency
+	_ = spelledOut
+	_ = collectFindings
+	_ = collectKeys
+	_ = intSum
+	_ = keyedWrites
+	_ = localAccum
+	_ = schedule
+	_ = firstBad
+	_ = firstBadConst
+	_ = sumSingleton
+)

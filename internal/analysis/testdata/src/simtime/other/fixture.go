@@ -1,0 +1,18 @@
+// Package other is a simtime fixture outside the determinism boundary:
+// identical wall-clock uses must produce no diagnostics here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Benchmark-style wall-clock measurement is the whole point of the
+// exempt packages (internal/exp and the cmd drivers).
+func Measure(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+func Jitter() float64 { return rand.Float64() }

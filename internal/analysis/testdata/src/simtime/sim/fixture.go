@@ -1,0 +1,49 @@
+// Package sim is a simtime fixture: its path base "sim" is inside the
+// determinism boundary, so wall-clock and global-rand uses are flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Started is the classic violation: a wall-clock read baked into package
+// state.
+var Started = time.Now() // want "time.Now reads the wall clock"
+
+func elapsed(since time.Time) float64 {
+	return time.Since(since).Seconds() // want "time.Since reads the wall clock"
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "unseeded process-global source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "unseeded process-global source"
+}
+
+// seeded draws from an explicit source: reproducible, allowed.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// CalibrationClock is the sanctioned exception fixture: deleting the
+// lint:allow below must make the suite's tests fail.
+//
+//lint:allow simtime calibration harness compares simulated to host clock deliberately
+var CalibrationClock = time.Now()
+
+var (
+	_ = Started
+	_ = elapsed
+	_ = backoff
+	_ = jitter
+	_ = shuffle
+	_ = seeded
+)

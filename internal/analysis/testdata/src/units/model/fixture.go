@@ -1,0 +1,74 @@
+// Package model is a units fixture mirroring the Hockney-model call
+// graph: n is always bytes, sizes are scaled with the KiB/MiB/GiB
+// constants, and suffix conventions carry the unit.
+package model
+
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// predict mirrors the model entry points: n is the transfer size in
+// bytes (the paper's message size).
+func predict(n float64) float64 { return n / 25e9 }
+
+// wait mirrors the simulator API: dt is seconds.
+func wait(dt float64) float64 { return dt }
+
+// rightCall scales MiB to bytes at the boundary: allowed.
+func rightCall(sizeMiB float64) float64 {
+	return predict(sizeMiB * MiB)
+}
+
+// wrongCall is the headline bug class: a MiB quantity where bytes are
+// expected, type-correct and 2^20 off.
+func wrongCall(sizeMiB float64) float64 {
+	return predict(sizeMiB) // want "MiB value passed to parameter \"n\""
+}
+
+// wrongSeconds confuses a byte count for a duration.
+func wrongSeconds(totalBytes float64) float64 {
+	return wait(totalBytes) // want "bytes value passed to parameter \"dt\""
+}
+
+// conversionTransparent: numeric conversions do not launder units.
+func conversionTransparent(sizeGiB int64) float64 {
+	return predict(float64(sizeGiB)) // want "GiB value passed to parameter \"n\""
+}
+
+// reportingIdiom divides back out for display: n/MiB is MiB, allowed.
+func reportingIdiom(nBytes float64) float64 {
+	sizeMiB := nBytes / MiB
+	return sizeMiB
+}
+
+// wrongAssign binds a MiB quantity to a bytes-suffixed name.
+func wrongAssign(sizeMiB float64) float64 {
+	totalBytes := sizeMiB // want "MiB value assigned to totalBytes"
+	return totalBytes
+}
+
+// scaleAlone: the bare constant is itself a byte count (1 MiB of bytes).
+func scaleAlone() float64 {
+	return predict(MiB)
+}
+
+// legacyTable is the suppressed false positive: a table deliberately
+// keyed in MiB, converted by the caller. Deleting the lint:allow below
+// must make the suite's tests fail.
+func legacyTable(sizeMiB float64) float64 {
+	//lint:allow units legacy sweep table is keyed in MiB and rescaled by its only caller
+	return predict(sizeMiB)
+}
+
+var (
+	_ = rightCall
+	_ = wrongCall
+	_ = wrongSeconds
+	_ = conversionTransparent
+	_ = reportingIdiom
+	_ = wrongAssign
+	_ = scaleAlone
+	_ = legacyTable
+)

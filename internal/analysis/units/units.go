@@ -1,0 +1,301 @@
+// Package units defines an analyzer catching byte/mebibyte/second unit
+// confusion flowing through the planner and model call graph.
+package units
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer tracks the measurement unit of values by naming convention
+// (suffix heuristics) and constant structure, and reports mixes: passing
+// a MiB-denominated value to a parameter expecting bytes, assigning
+// seconds into a bytes-named variable, and so on. The Hockney-model math
+// is unit-sensitive end to end — n is always bytes, bandwidths are
+// bytes/second, latencies are seconds — and a single `64` that meant
+// `64 * hw.MiB` shifts every figure table while remaining perfectly
+// type-correct, which is why ordinary type checking cannot catch it.
+//
+// Conventions recognized:
+//   - exact names KiB/MiB/GiB (and KB/MB/GB) are scale constants;
+//     `x * hw.MiB` and `x << 20` therefore denote bytes
+//   - suffix Bytes/bytes, or a parameter named n/size/sz/bytes, denotes
+//     bytes (n is the paper's message size, always bytes)
+//   - suffix KiB/MiB/GiB (KB/MB/GB) denotes that unit, e.g. sizeMiB
+//   - suffix Seconds/Secs/Sec, or a parameter named dt/seconds, denotes
+//     seconds
+//
+// Dividing by a scale constant converts back (n/hw.MiB is MiB), so the
+// reporting idiom `fmt.Printf("%.0f MiB", n/hw.MiB)` is understood.
+var Analyzer = &analysis.Analyzer{
+	Name: "units",
+	Doc:  "flag suspicious mixes of byte counts, MiB/KiB/GiB quantities, and seconds",
+	Run:  run,
+}
+
+type unit int
+
+const (
+	unitUnknown unit = iota
+	unitBytes
+	unitKiB
+	unitMiB
+	unitGiB
+	unitSeconds
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitBytes:
+		return "bytes"
+	case unitKiB:
+		return "KiB"
+	case unitMiB:
+		return "MiB"
+	case unitGiB:
+		return "GiB"
+	case unitSeconds:
+		return "seconds"
+	}
+	return "unknown"
+}
+
+// scaleConstNames are identifiers that denote byte-scale multipliers, not
+// quantities: multiplying by one yields bytes.
+var scaleConstNames = map[string]unit{
+	"KiB": unitKiB, "KB": unitKiB,
+	"MiB": unitMiB, "MB": unitMiB,
+	"GiB": unitGiB, "GB": unitGiB,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						checkBinding(pass, n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						checkBinding(pass, n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall compares each argument's apparent unit against the callee
+// parameter's declared unit.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			break // variadic tails (fmt args etc.) carry no unit contract
+		}
+		param := sig.Params().At(i)
+		if !isNumeric(param.Type()) {
+			continue
+		}
+		pu := unitOfParam(param.Name())
+		if pu == unitUnknown {
+			continue
+		}
+		au := unitOfExpr(pass, arg)
+		if au == unitUnknown || au == pu {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s value passed to parameter %q of %s, which expects %s", au, param.Name(), fn.Name(), pu)
+	}
+}
+
+// checkBinding compares a unit-named assignment target against the unit
+// of the bound expression.
+func checkBinding(pass *analysis.Pass, lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	lu := unitOfName(id.Name)
+	if lu == unitUnknown {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(lhs); t != nil && !isNumeric(t) {
+		return
+	}
+	ru := unitOfExpr(pass, rhs)
+	if ru == unitUnknown || ru == lu {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "%s value assigned to %s, whose name denotes %s", ru, id.Name, lu)
+}
+
+// unitOfParam classifies a parameter name. Parameters get the extra
+// bare-name rules (n, size, ...) that would be too noisy for arbitrary
+// expressions: in this codebase a parameter named n is the transfer size
+// in bytes throughout the model and planner.
+func unitOfParam(name string) unit {
+	if u := unitOfName(name); u != unitUnknown {
+		return u
+	}
+	switch strings.ToLower(name) {
+	case "n", "nbytes", "size", "sz", "bytes":
+		return unitBytes
+	case "dt", "seconds", "secs", "elapsed":
+		return unitSeconds
+	}
+	return unitUnknown
+}
+
+// unitOfName classifies an identifier by suffix convention. Exact scale
+// constant names (MiB, ...) denote multipliers, not quantities, and are
+// excluded here.
+func unitOfName(name string) unit {
+	if _, isScale := scaleConstNames[name]; isScale {
+		return unitUnknown
+	}
+	switch {
+	case strings.HasSuffix(name, "KiB") || strings.HasSuffix(name, "KB"):
+		return unitKiB
+	case strings.HasSuffix(name, "MiB") || strings.HasSuffix(name, "MB"):
+		return unitMiB
+	case strings.HasSuffix(name, "GiB") || strings.HasSuffix(name, "GB"):
+		return unitGiB
+	case strings.HasSuffix(name, "Bytes") || strings.HasSuffix(name, "bytes"):
+		return unitBytes
+	case strings.HasSuffix(name, "Seconds") || strings.HasSuffix(name, "Secs") ||
+		strings.HasSuffix(name, "Sec") || strings.HasSuffix(name, "seconds"):
+		return unitSeconds
+	}
+	return unitUnknown
+}
+
+// unitOfExpr classifies an expression's apparent unit, looking through
+// parentheses and numeric conversions, and understanding scaling by the
+// KiB/MiB/GiB constants (multiply → bytes, divide → that unit).
+func unitOfExpr(pass *analysis.Pass, e ast.Expr) unit {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if _, isScale := scaleConst(pass, e); isScale {
+			return unitBytes // hw.MiB alone is a byte count
+		}
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		if _, isScale := scaleConst(pass, e.Sel); isScale {
+			return unitBytes
+		}
+		return unitOfName(e.Sel.Name)
+	case *ast.CallExpr:
+		// Numeric conversions are transparent: float64(nBytes) is bytes.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && isNumeric(tv.Type) {
+				return unitOfExpr(pass, e.Args[0])
+			}
+		}
+		return unitUnknown
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			if isByteScale(pass, e.X) || isByteScale(pass, e.Y) {
+				return unitBytes
+			}
+		case token.SHL:
+			if tv, ok := pass.TypesInfo.Types[e.Y]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok && (v == 10 || v == 20 || v == 30) {
+					return unitBytes
+				}
+			}
+		case token.QUO:
+			if u, ok := byteScaleUnit(pass, e.Y); ok {
+				if inner := unitOfExpr(pass, e.X); inner == unitUnknown || inner == unitBytes {
+					return u // bytes / hw.MiB = MiB
+				}
+			}
+		case token.ADD, token.SUB:
+			x, y := unitOfExpr(pass, e.X), unitOfExpr(pass, e.Y)
+			if x == y {
+				return x
+			}
+		}
+		return unitUnknown
+	}
+	return unitUnknown
+}
+
+// isByteScale reports whether e is a byte-scale multiplier: one of the
+// named scale constants or a literal power-of-1024 constant.
+func isByteScale(pass *analysis.Pass, e ast.Expr) bool {
+	_, ok := byteScaleUnit(pass, e)
+	return ok
+}
+
+// byteScaleUnit resolves e to the unit its scale factor represents
+// (1<<10 → KiB, 1<<20 → MiB, 1<<30 → GiB).
+func byteScaleUnit(pass *analysis.Pass, e ast.Expr) (unit, bool) {
+	e = ast.Unparen(e)
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	if u, ok := scaleConstNames[name]; ok {
+		return u, true
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			switch v {
+			case 1 << 10:
+				return unitKiB, true
+			case 1 << 20:
+				return unitMiB, true
+			case 1 << 30:
+				return unitGiB, true
+			}
+		}
+	}
+	return unitUnknown, false
+}
+
+// scaleConst reports whether id names one of the scale constants.
+func scaleConst(pass *analysis.Pass, id *ast.Ident) (unit, bool) {
+	u, ok := scaleConstNames[id.Name]
+	if !ok {
+		return unitUnknown, false
+	}
+	if obj, isConst := pass.TypesInfo.Uses[id].(*types.Const); isConst && obj != nil {
+		return u, true
+	}
+	return unitUnknown, false
+}
+
+// isNumeric reports whether t is an integer or float type.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}

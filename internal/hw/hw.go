@@ -11,6 +11,7 @@ package hw
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fluid"
 	"repro/internal/sim"
@@ -96,11 +97,13 @@ func (sp *Spec) Validate() error {
 	if len(sp.Mem) != sp.NUMAs {
 		return fmt.Errorf("hw: Mem has %d entries, want %d", len(sp.Mem), sp.NUMAs)
 	}
-	for p, lp := range sp.NVLink {
+	// Iterate sorted keys so that with several bad entries the same one is
+	// reported every run (map iteration order is randomized).
+	for _, p := range sortedPairs(sp.NVLink) {
 		if p.A < 0 || p.B >= sp.GPUs || p.A >= p.B {
 			return fmt.Errorf("hw: bad NVLink pair %v", p)
 		}
-		if err := lp.validate(); err != nil {
+		if err := sp.NVLink[p].validate(); err != nil {
 			return fmt.Errorf("hw: NVLink pair %v: %w", p, err)
 		}
 	}
@@ -114,11 +117,11 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("hw: Mem NUMA %d: %w", m, err)
 		}
 	}
-	for p, lp := range sp.Inter {
+	for _, p := range sortedPairs(sp.Inter) {
 		if p.A < 0 || p.B >= sp.NUMAs || p.A >= p.B {
 			return fmt.Errorf("hw: bad Inter pair %v", p)
 		}
-		if err := lp.validate(); err != nil {
+		if err := sp.Inter[p].validate(); err != nil {
 			return fmt.Errorf("hw: Inter pair %v: %w", p, err)
 		}
 	}
@@ -126,6 +129,22 @@ func (sp *Spec) Validate() error {
 		return fmt.Errorf("hw: topology %q has negative sync overhead", sp.Name)
 	}
 	return nil
+}
+
+// sortedPairs returns m's keys ordered by (A, B), giving validation a
+// deterministic traversal of pairwise link maps.
+func sortedPairs(m map[Pair]LinkProps) []Pair {
+	ps := make([]Pair, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+	return ps
 }
 
 // validate rejects non-positive bandwidths and negative latencies — bad

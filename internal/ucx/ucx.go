@@ -18,6 +18,7 @@ package ucx
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -146,7 +147,15 @@ func DefaultConfig() Config {
 //	UCX_MP_RECALIBRATE   y|n
 func ParseConfig(env map[string]string) (Config, error) {
 	cfg := DefaultConfig()
-	for k, v := range env {
+	// Walk variables in sorted order so that with several invalid entries
+	// the error names the same one every run (map order is randomized).
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := env[k]
 		switch k {
 		case "UCX_MP_ENABLE":
 			b, err := parseBool(v)

@@ -11,6 +11,10 @@ if [ -n "$fmt_out" ]; then
 	exit 1
 fi
 
+echo "==> mplint ./..."
+go build -o bin/mplint ./cmd/mplint
+./bin/mplint ./...
+
 echo "==> go vet ./..."
 go vet ./...
 
