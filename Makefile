@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-planner bench-faults verify
+.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs verify
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,9 @@ bench-planner:
 # baseline) and regenerates BENCH_faults.json.
 bench-faults:
 	$(GO) run ./cmd/mpbench -exp faults -faults-json BENCH_faults.json
+
+# bench-graphs compares the eager (interpreted) engine against compiled
+# transfer-graph replay over sizes x windows x clusters and regenerates
+# BENCH_graphs.json, including the O(1) launch-cost ladder.
+bench-graphs:
+	$(GO) run ./cmd/mpbench -exp graphs -clusters beluga,narval -windows 1,16 -iters 3 -graphs-json BENCH_graphs.json

@@ -1,0 +1,70 @@
+// Package graph is a maporder fixture modeled on compiled transfer
+// graphs: node child/dependency tables must be traversed in sorted
+// node-ID order — ranging a map while replaying, patching, or flattening
+// the DAG reintroduces run-to-run nondeterminism the graph IR exists to
+// avoid.
+package graph
+
+import "sort"
+
+type node struct {
+	id    int
+	bytes float64
+}
+
+type scheduler struct{}
+
+func (s *scheduler) Schedule(delay float64, fn func()) {}
+
+// kickOffChildren fans a replayed node out to its children straight from
+// the child map: the kicked-off events share a timestamp, so their fire
+// order would follow Go's randomized map order.
+func kickOffChildren(s *scheduler, children map[int]*node) {
+	for _, c := range children {
+		c := c
+		s.Schedule(0, func() { _ = c.id }) // want "Schedule called while ranging over a map"
+	}
+}
+
+// flattenDeps collects a node's dependency edges in map order — the
+// captured-topology table would differ between otherwise identical runs.
+func flattenDeps(deps map[int][]int) []int {
+	var edges []int
+	for _, ds := range deps {
+		edges = append(edges, ds...) // want "append to edges"
+	}
+	return edges
+}
+
+// patchedBytes sums per-node byte patches in map order: float addition
+// is not associative, so the checksum drifts run to run.
+func patchedBytes(patches map[int]float64) float64 {
+	var total float64
+	for _, b := range patches {
+		total += b // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+// sortedReplay is the idiom the graph code actually uses and the
+// analyzer must NOT flag: snapshot the IDs, sort, then traverse.
+func sortedReplay(s *scheduler, children map[int]*node) {
+	ids := make([]int, 0, len(children))
+	for id := range children {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := children[id]
+		s.Schedule(0, func() { _ = c.bytes })
+	}
+}
+
+// nodeCount commutes exactly; integer accumulation in map order is fine.
+func nodeCount(groups map[int][]int) int {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	return n
+}

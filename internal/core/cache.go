@@ -263,16 +263,24 @@ func planKey(paths []hw.Path, n float64) uint64 {
 	h := uint64(1469598103934665603) // FNV-1a offset basis
 	h = (h ^ uint64(len(paths))) * fnvPrime
 	for _, p := range paths {
-		// Pack one path per word: kind and the three (small) endpoint ids.
-		w := uint64(uint8(p.Kind))<<48 |
-			uint64(uint16(p.Src))<<32 |
-			uint64(uint16(p.Dst))<<16 |
-			uint64(uint16(p.Via))
-		h = (h ^ w) * fnvPrime
+		h = (h ^ packPath(p)) * fnvPrime
 	}
 	h = (h ^ math.Float64bits(n)) * fnvPrime
-	// splitmix64 finalizer: FNV alone mixes low bits poorly, and both the
-	// shard index and the map use them.
+	return mix64(h)
+}
+
+// packPath packs one path per word: kind and the three (small) endpoint
+// ids.
+func packPath(p hw.Path) uint64 {
+	return uint64(uint8(p.Kind))<<48 |
+		uint64(uint16(p.Src))<<32 |
+		uint64(uint16(p.Dst))<<16 |
+		uint64(uint16(p.Via))
+}
+
+// mix64 is the splitmix64 finalizer: FNV alone mixes low bits poorly, and
+// both the shard index and the map use them.
+func mix64(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27

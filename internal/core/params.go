@@ -218,3 +218,21 @@ func ParamsFromSpec(node *hw.Node, p hw.Path) (PathParam, error) {
 	}
 	return pp, nil
 }
+
+// GraphAwareSource wraps a parameter source for compiled-graph execution:
+// a graph replay does not pay the per-chunk staging synchronization ε (the
+// cross-stream dependency is a baked edge, not a runtime event sync), so
+// path parameters report ε = 0 and the chunk and share laws plan for the
+// replay's actual cost structure. The one ε the replay does pay — once per
+// launch — is charged by the pipeline engine, derived from the topology.
+type GraphAwareSource struct{ Inner ParamSource }
+
+// PathParams implements ParamSource.
+func (g GraphAwareSource) PathParams(p hw.Path) (PathParam, error) {
+	pp, err := g.Inner.PathParams(p)
+	if err != nil {
+		return pp, err
+	}
+	pp.Eps = 0
+	return pp, nil
+}

@@ -117,6 +117,21 @@ type Plan struct {
 	PredictedBandwidth float64
 }
 
+// Key returns the plan's cache key: the same uint64 hash the
+// configuration cache computes from the candidate path list (in order)
+// and the message size. Layers that cache artifacts derived from plans —
+// the ucx compiled-graph cache — key them identically, so a plan-cache
+// hit and its graph-cache hit always agree.
+func (p *Plan) Key() uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	h = (h ^ uint64(len(p.Paths))) * fnvPrime
+	for i := range p.Paths {
+		h = (h ^ packPath(p.Paths[i].Path)) * fnvPrime
+	}
+	h = (h ^ math.Float64bits(p.Bytes)) * fnvPrime
+	return mix64(h)
+}
+
 // ActivePaths returns the paths that received a non-zero share.
 func (pl *Plan) ActivePaths() []PathPlan {
 	out := make([]PathPlan, 0, len(pl.Paths))

@@ -1,0 +1,398 @@
+package cuda
+
+// Transfer graphs: the simulated analogue of CUDA graphs
+// (cudaStreamBeginCapture / cudaGraphInstantiate / cudaGraphLaunch /
+// cudaGraphExecUpdate). A Graph captures the stream-ordered DAG of
+// operations issued on capture-mode streams — copies, fixed delays, and
+// event synchronization — into an immutable node topology. Instantiating
+// the graph pays the schedule-construction cost once and yields a
+// GraphExec whose Launch enqueues the whole DAG with a single O(1) call:
+// node fan-out happens inside simulator events, so per-launch host work
+// does not grow with the node count, and the modeled per-operation
+// launch/synchronization overheads of eager execution are replaced by one
+// launch overhead per replay.
+//
+// Capture rules (mirroring CUDA's):
+//   - Operations on a capturing stream become nodes depending on the
+//     stream's previous node (stream order).
+//   - RecordEvent marks the stream's current capture tail; WaitEvent on a
+//     captured event materializes an empty node depending on both the
+//     stream tail and the event's node, so cross-stream edges are exact.
+//   - Capture-mode streams cannot be synchronized or mixed with captured
+//     events from other graphs; both are programming errors and panic.
+//
+// Parameter updates (GraphExec.UpdateBytes, cudaGraphExecUpdate-style)
+// patch copy byte counts in place without re-instantiation. Updates are
+// copy-on-write: a Launch snapshots the current parameter set by
+// reference, so patching between overlapping replays never corrupts an
+// in-flight one. Link re-rating needs no patching at all — copy nodes
+// start fluid flows at execution time, so a replay always sees live link
+// capacities.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// graphNodeKind classifies graph nodes.
+type graphNodeKind int
+
+const (
+	// nodeCopy transfers bytes over a fixed route, holding a copy engine.
+	nodeCopy graphNodeKind = iota
+	// nodeDelay occupies virtual time without moving bytes.
+	nodeDelay
+	// nodeEmpty is a synchronization-only node (event wait fan-in).
+	nodeEmpty
+)
+
+// graphNode is one captured operation. Nodes are immutable after End;
+// dependency IDs always reference earlier nodes, so the captured topology
+// is a DAG by construction.
+type graphNode struct {
+	kind  graphNodeKind
+	route hw.Route // nodeCopy
+	dev   *Device  // nodeCopy: engine-owning device
+	bytes float64  // nodeCopy: default byte count (patchable per exec)
+	dur   float64  // nodeDelay
+	group int      // caller-assigned completion group, -1 if none
+	deps  []int    // sorted ascending; all < this node's ID
+}
+
+// Graph is a transfer DAG under construction (capturing) or finalized
+// (ended). A finalized graph is immutable and can be instantiated any
+// number of times.
+type Graph struct {
+	rt       *Runtime
+	nodes    []graphNode
+	group    int // group tag applied to newly captured nodes
+	groups   int // number of distinct groups (max tag + 1)
+	ended    bool
+	captured []*Stream // streams currently capturing into this graph
+}
+
+// NewGraph starts an empty graph in capturing state.
+func (rt *Runtime) NewGraph() *Graph {
+	return &Graph{rt: rt, group: -1}
+}
+
+// NodeCount returns the number of captured nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// Groups returns the number of completion groups tagged during capture.
+func (g *Graph) Groups() int { return g.groups }
+
+// StartGroup tags subsequently captured nodes with the given completion
+// group (>= 0). Replays expose a per-group completion signal, which the
+// pipeline compiler uses for per-path completion without walking nodes.
+func (g *Graph) StartGroup(id int) {
+	if g.ended {
+		panic("cuda: StartGroup on an ended graph")
+	}
+	if id < 0 {
+		panic(fmt.Sprintf("cuda: negative group id %d", id))
+	}
+	g.group = id
+	if id+1 > g.groups {
+		g.groups = id + 1
+	}
+}
+
+// addNode appends a node and returns its ID.
+func (g *Graph) addNode(n graphNode) int {
+	if g.ended {
+		panic("cuda: operation captured into an ended graph")
+	}
+	n.group = g.group
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	return id
+}
+
+// CaptureStream creates a stream on dev whose operations are captured
+// into g instead of executing (cudaStreamBeginCapture). The stream is
+// released from capture mode by Graph.End; using it afterwards executes
+// normally.
+func (g *Graph) CaptureStream(dev *Device, name string) *Stream {
+	if g.ended {
+		panic("cuda: CaptureStream on an ended graph")
+	}
+	st := dev.NewStream(name)
+	st.graph = g
+	st.capTail = -1
+	g.captured = append(g.captured, st)
+	return st
+}
+
+// End finalizes the capture: the node topology becomes immutable and all
+// capturing streams return to normal execution mode.
+func (g *Graph) End() {
+	if g.ended {
+		return
+	}
+	g.ended = true
+	for _, st := range g.captured {
+		st.graph = nil
+	}
+	g.captured = nil
+}
+
+// execParams is one immutable parameter set of a GraphExec. UpdateBytes
+// replaces the whole set (copy-on-write); a Replay holds the set that was
+// current at Launch, so in-flight replays are isolated from later patches.
+type execParams struct {
+	bytes    []float64 // per node; meaningful for nodeCopy only
+	overhead float64   // sim-time cost of one Launch
+}
+
+// GraphExec is an instantiated graph: the executable form whose Launch
+// replays the whole captured DAG. Instantiation is the expensive step
+// (cudaGraphInstantiate bakes the schedule); replays are cheap.
+type GraphExec struct {
+	g      *Graph
+	params atomic.Pointer[execParams]
+	// groupSize[k] counts nodes in completion group k (computed once).
+	groupSize []int
+	launches  atomic.Int64
+}
+
+// Instantiate bakes the captured topology into an executable graph.
+// launchOverhead is the simulated cost charged once per Launch — the
+// single graph-launch latency that replaces eager execution's
+// per-operation launch and synchronization overheads.
+func (g *Graph) Instantiate(launchOverhead float64) (*GraphExec, error) {
+	if !g.ended {
+		return nil, fmt.Errorf("cuda: Instantiate before End (capture still open)")
+	}
+	if launchOverhead < 0 {
+		return nil, fmt.Errorf("cuda: negative launch overhead %v", launchOverhead)
+	}
+	if len(g.nodes) == 0 {
+		return nil, fmt.Errorf("cuda: Instantiate of an empty graph")
+	}
+	x := &GraphExec{g: g, groupSize: make([]int, g.groups)}
+	p := &execParams{bytes: make([]float64, len(g.nodes)), overhead: launchOverhead}
+	for i := range g.nodes {
+		p.bytes[i] = g.nodes[i].bytes
+		if grp := g.nodes[i].group; grp >= 0 {
+			x.groupSize[grp]++
+		}
+	}
+	x.params.Store(p)
+	return x, nil
+}
+
+// Graph returns the topology this exec was instantiated from.
+func (x *GraphExec) Graph() *Graph { return x.g }
+
+// Launches reports how many times this exec has been launched.
+func (x *GraphExec) Launches() int64 { return x.launches.Load() }
+
+// LaunchOverhead returns the current per-launch simulated cost.
+func (x *GraphExec) LaunchOverhead() float64 { return x.params.Load().overhead }
+
+// NodeBytes returns the current byte parameter of a copy node.
+func (x *GraphExec) NodeBytes(node int) float64 { return x.params.Load().bytes[node] }
+
+// UpdateBytes patches the byte counts of copy nodes in place
+// (cudaGraphExecUpdate): nodes[i] receives bytes[i]. The topology is
+// untouched, so no re-instantiation happens; replays launched before the
+// update keep the parameters they started with.
+func (x *GraphExec) UpdateBytes(nodes []int, bytes []float64) error {
+	if len(nodes) != len(bytes) {
+		return fmt.Errorf("cuda: UpdateBytes got %d nodes but %d byte counts", len(nodes), len(bytes))
+	}
+	old := x.params.Load()
+	next := &execParams{bytes: append([]float64(nil), old.bytes...), overhead: old.overhead}
+	for i, id := range nodes {
+		if id < 0 || id >= len(x.g.nodes) {
+			return fmt.Errorf("cuda: UpdateBytes node %d out of range [0,%d)", id, len(x.g.nodes))
+		}
+		if x.g.nodes[id].kind != nodeCopy {
+			return fmt.Errorf("cuda: UpdateBytes node %d is not a copy node", id)
+		}
+		if bytes[i] < 0 {
+			return fmt.Errorf("cuda: UpdateBytes node %d negative bytes %v", id, bytes[i])
+		}
+		next.bytes[id] = bytes[i]
+	}
+	x.params.Store(next)
+	return nil
+}
+
+// SetLaunchOverhead patches the per-launch simulated cost in place.
+func (x *GraphExec) SetLaunchOverhead(d float64) error {
+	if d < 0 {
+		return fmt.Errorf("cuda: negative launch overhead %v", d)
+	}
+	old := x.params.Load()
+	next := &execParams{bytes: old.bytes, overhead: d}
+	x.params.Store(next)
+	return nil
+}
+
+// Replay is one in-flight launch of a GraphExec. Its completion signal
+// fires when every node has completed, carrying the first node error if
+// any node failed (a failed copy does not stop dependent nodes, matching
+// eager stream semantics where a stream keeps executing past a failed
+// operation).
+type Replay struct {
+	x      *GraphExec
+	params *execParams
+	done   *sim.Signal
+
+	remaining int
+	firstErr  error
+
+	groupRem  []int
+	groupErr  []error
+	groupSigs []*sim.Signal
+
+	nodeSigs []*sim.Signal
+}
+
+// Launch replays the whole DAG: after the exec's launch overhead elapses,
+// every root node starts and the topology unrolls inside simulator
+// events. The call itself is O(1) in the node count — it snapshots the
+// current parameter set by reference and schedules a single kickoff
+// event.
+func (x *GraphExec) Launch() *Replay {
+	s := x.g.rt.sim
+	rep := &Replay{
+		x:         x,
+		params:    x.params.Load(),
+		done:      s.NewSignal(),
+		remaining: len(x.g.nodes),
+		groupRem:  append([]int(nil), x.groupSize...),
+		groupErr:  make([]error, len(x.groupSize)),
+		groupSigs: make([]*sim.Signal, len(x.groupSize)),
+	}
+	x.launches.Add(1)
+	s.Schedule(rep.params.overhead, rep.start)
+	return rep
+}
+
+// Done returns the whole-replay completion signal.
+func (r *Replay) Done() *sim.Signal { return r.done }
+
+// GroupDone returns the completion signal for one capture group: it fires
+// when every node tagged with the group has completed, failing with the
+// group's first node error. Call before the simulation drains the replay.
+func (r *Replay) GroupDone(group int) *sim.Signal {
+	if group < 0 || group >= len(r.groupSigs) {
+		panic(fmt.Sprintf("cuda: group %d out of range [0,%d)", group, len(r.groupSigs)))
+	}
+	if r.groupSigs[group] == nil {
+		sig := r.x.g.rt.sim.NewSignal()
+		r.groupSigs[group] = sig
+		if r.groupRem[group] == 0 {
+			r.settleGroup(group)
+		}
+	}
+	return r.groupSigs[group]
+}
+
+// settleGroup fires a group signal once its nodes have drained.
+func (r *Replay) settleGroup(group int) {
+	sig := r.groupSigs[group]
+	if sig == nil {
+		return
+	}
+	if err := r.groupErr[group]; err != nil {
+		sig.Fail(err)
+		return
+	}
+	sig.Fire()
+}
+
+// start wires and kicks off the DAG. It runs inside a simulator event, so
+// the O(nodes) fan-out costs no simulated time and no caller time.
+func (r *Replay) start() {
+	g := r.x.g
+	r.nodeSigs = make([]*sim.Signal, len(g.nodes))
+	for i := range g.nodes {
+		id := i
+		sig := g.rt.sim.NewSignal()
+		r.nodeSigs[id] = sig
+		sig.OnFire(func() { r.nodeComplete(id, sig.Err()) })
+		deps := g.nodes[id].deps
+		if len(deps) == 0 {
+			r.runNode(id)
+			continue
+		}
+		// Dependency gate: run when every dep has completed, regardless of
+		// dep errors (matching eager streams, which execute the next
+		// operation after a failed one; errors surface via completion).
+		pending := len(deps)
+		for _, d := range deps {
+			r.nodeSigs[d].OnFire(func() {
+				pending--
+				if pending == 0 {
+					r.runNode(id)
+				}
+			})
+		}
+	}
+}
+
+// runNode executes one node at the current instant, firing its signal on
+// completion.
+func (r *Replay) runNode(id int) {
+	g := r.x.g
+	n := &g.nodes[id]
+	sig := r.nodeSigs[id]
+	switch n.kind {
+	case nodeCopy:
+		bytes := r.params.bytes[id]
+		if bytes <= 0 {
+			// A path patched down to zero bytes: the node degenerates to
+			// its route latency with no flow started.
+			g.rt.sim.Schedule(n.route.Latency, sig.Fire)
+			return
+		}
+		n.dev.acquireEngine(func(release func()) {
+			g.rt.sim.Schedule(n.route.Latency, func() {
+				f := g.rt.node.Net.StartFlow(bytes, n.route.Links...)
+				f.Done().OnFire(func() {
+					release()
+					if err := f.Done().Err(); err != nil {
+						sig.Fail(err)
+						return
+					}
+					sig.Fire()
+				})
+			})
+		})
+	case nodeDelay:
+		g.rt.sim.Schedule(n.dur, sig.Fire)
+	default: // nodeEmpty
+		sig.Fire()
+	}
+}
+
+// nodeComplete updates replay and group bookkeeping for one finished node.
+func (r *Replay) nodeComplete(id int, err error) {
+	if err != nil && r.firstErr == nil {
+		r.firstErr = err
+	}
+	if grp := r.x.g.nodes[id].group; grp >= 0 {
+		if err != nil && r.groupErr[grp] == nil {
+			r.groupErr[grp] = err
+		}
+		r.groupRem[grp]--
+		if r.groupRem[grp] == 0 {
+			r.settleGroup(grp)
+		}
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		if r.firstErr != nil {
+			r.done.Fail(r.firstErr)
+			return
+		}
+		r.done.Fire()
+	}
+}

@@ -1,0 +1,243 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// captureDirect captures a single dev0→dev1 copy of the given size.
+func captureDirect(t *testing.T, rt *Runtime, bytes float64) *Graph {
+	t.Helper()
+	g := rt.NewGraph()
+	st := g.CaptureStream(rt.Device(0), "cap")
+	st.MemcpyPeerAsync(rt.Device(1), bytes)
+	g.End()
+	return g
+}
+
+func launchAndDrain(t *testing.T, s *sim.Simulator, x *GraphExec) float64 {
+	t.Helper()
+	start := s.Now()
+	rep := x.Launch()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done().Fired() {
+		t.Fatal("replay never completed")
+	}
+	if err := rep.Done().Err(); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	return s.Now() - start
+}
+
+func TestGraphReplayMatchesEagerTiming(t *testing.T) {
+	s, rt := newSynthetic(t)
+	// Eager: 500 B over the 100 B/s NVLink = 5 s.
+	g := captureDirect(t, rt, 500)
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, launchAndDrain(t, s, x), 5.0, 1e-9, "replay with zero overhead")
+}
+
+func TestGraphLaunchOverheadChargedOncePerReplay(t *testing.T) {
+	s, rt := newSynthetic(t)
+	g := captureDirect(t, rt, 500)
+	x, err := g.Instantiate(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, launchAndDrain(t, s, x), 5.25, 1e-9, "first replay")
+	almost(t, launchAndDrain(t, s, x), 5.25, 1e-9, "second replay")
+	if x.Launches() != 2 {
+		t.Fatalf("launch counter = %d, want 2", x.Launches())
+	}
+}
+
+func TestGraphCrossStreamCaptureEdges(t *testing.T) {
+	s, rt := newSynthetic(t)
+	g := rt.NewGraph()
+	s1 := g.CaptureStream(rt.Device(0), "leg1")
+	s2 := g.CaptureStream(rt.Device(1), "leg2")
+	s1.MemcpyPeerAsync(rt.Device(1), 100) // node 0: t=1 on replay
+	e := s1.RecordEvent()
+	s2.WaitEvent(e)                       // node 1: empty fan-in
+	s2.MemcpyPeerAsync(rt.Device(2), 100) // node 2: 1 + 1
+	g.End()
+	if g.NodeCount() != 3 {
+		t.Fatalf("node count = %d, want 3", g.NodeCount())
+	}
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, launchAndDrain(t, s, x), 2.0, 1e-9, "cross-stream pipeline replay")
+}
+
+func TestGraphInstantiateErrors(t *testing.T) {
+	_, rt := newSynthetic(t)
+	g := rt.NewGraph()
+	st := g.CaptureStream(rt.Device(0), "cap")
+	st.MemcpyPeerAsync(rt.Device(1), 100)
+	if _, err := g.Instantiate(0); err == nil {
+		t.Error("Instantiate before End accepted")
+	}
+	g.End()
+	if _, err := g.Instantiate(-1); err == nil {
+		t.Error("negative launch overhead accepted")
+	}
+
+	empty := rt.NewGraph()
+	empty.End()
+	if _, err := empty.Instantiate(0); err == nil {
+		t.Error("empty graph instantiated")
+	}
+}
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestGraphCaptureRulePanics(t *testing.T) {
+	_, rt := newSynthetic(t)
+
+	g := rt.NewGraph()
+	st := g.CaptureStream(rt.Device(0), "cap")
+	mustPanic(t, "Tail on a capturing stream", func() { st.Tail() })
+
+	// An event captured in one graph cannot gate capture into another.
+	st.MemcpyPeerAsync(rt.Device(1), 100)
+	e := st.RecordEvent()
+	other := rt.NewGraph()
+	ost := other.CaptureStream(rt.Device(2), "other")
+	mustPanic(t, "not captured in the same graph", func() { ost.WaitEvent(e) })
+
+	// A captured event has no live signal outside its graph's capture.
+	plain := rt.Device(2).NewStream("plain")
+	mustPanic(t, "outside its graph", func() { plain.WaitEvent(e) })
+
+	g.End()
+	mustPanic(t, "ended graph", func() { g.CaptureStream(rt.Device(0), "late") })
+	mustPanic(t, "StartGroup on an ended graph", func() { g.StartGroup(0) })
+}
+
+func TestGraphUpdateBytes(t *testing.T) {
+	s, rt := newSynthetic(t)
+	g := captureDirect(t, rt, 500)
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.UpdateBytes([]int{0}, []float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	if x.NodeBytes(0) != 100 {
+		t.Fatalf("patched bytes = %v, want 100", x.NodeBytes(0))
+	}
+	almost(t, launchAndDrain(t, s, x), 1.0, 1e-9, "replay after patch")
+
+	// Patching to zero degenerates the copy to its route latency (zero on
+	// the synthetic topology) without starting a flow.
+	if err := x.UpdateBytes([]int{0}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, launchAndDrain(t, s, x), 0.0, 1e-9, "zero-byte replay")
+
+	for _, tc := range []struct {
+		name  string
+		nodes []int
+		bytes []float64
+	}{
+		{"length mismatch", []int{0}, []float64{1, 2}},
+		{"node out of range", []int{7}, []float64{1}},
+		{"negative node", []int{-1}, []float64{1}},
+		{"negative bytes", []int{0}, []float64{-4}},
+	} {
+		if err := x.UpdateBytes(tc.nodes, tc.bytes); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestGraphUpdateRejectsNonCopyNodes(t *testing.T) {
+	_, rt := newSynthetic(t)
+	g := rt.NewGraph()
+	st := g.CaptureStream(rt.Device(0), "cap")
+	st.Delay(1.0) // node 0: not a copy
+	st.MemcpyPeerAsync(rt.Device(1), 100)
+	g.End()
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.UpdateBytes([]int{0}, []float64{50}); err == nil {
+		t.Error("patch of a delay node accepted")
+	}
+}
+
+func TestGraphUpdateIsolatedFromInflightReplay(t *testing.T) {
+	// Copy-on-write parameters: a replay launched before a patch keeps the
+	// byte counts it started with, even if the patch lands before the
+	// simulation drains it.
+	s, rt := newSynthetic(t)
+	g := captureDirect(t, rt, 500)
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := x.Launch()
+	if err := x.UpdateBytes([]int{0}, []float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	var done float64 = -1
+	rep.Done().OnFire(func() { done = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, done, 5.0, 1e-9, "in-flight replay keeps pre-patch bytes")
+	almost(t, launchAndDrain(t, s, x), 1.0, 1e-9, "next replay sees the patch")
+}
+
+func TestGraphGroupDone(t *testing.T) {
+	s, rt := newSynthetic(t)
+	g := rt.NewGraph()
+	g.StartGroup(0)
+	sa := g.CaptureStream(rt.Device(0), "a")
+	sa.MemcpyPeerAsync(rt.Device(1), 100) // group 0: t=1
+	g.StartGroup(1)
+	sb := g.CaptureStream(rt.Device(2), "b")
+	sb.MemcpyPeerAsync(rt.Device(3), 300) // group 1: t=3
+	g.End()
+	if g.Groups() != 2 {
+		t.Fatalf("groups = %d, want 2", g.Groups())
+	}
+	x, err := g.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := x.Launch()
+	t0, t1, all := -1.0, -1.0, -1.0
+	rep.GroupDone(0).OnFire(func() { t0 = s.Now() })
+	rep.GroupDone(1).OnFire(func() { t1 = s.Now() })
+	rep.Done().OnFire(func() { all = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, t0, 1.0, 1e-9, "group 0 completion")
+	almost(t, t1, 3.0, 1e-9, "group 1 completion")
+	almost(t, all, 3.0, 1e-9, "whole-replay completion")
+}

@@ -10,10 +10,55 @@ import (
 // Stream is an in-order execution queue on one device. Operations start
 // when the previous operation on the stream has completed; independent
 // streams proceed concurrently subject to link contention.
+//
+// A stream created by Graph.CaptureStream is in capture mode: operations
+// are recorded as graph nodes instead of executing, and the signals they
+// return are inert placeholders that never fire (completion is observed
+// on the replay, not at capture time). Graph.End returns the stream to
+// normal execution.
 type Stream struct {
 	dev  *Device
 	name string
 	tail *sim.Signal
+
+	// graph is non-nil while the stream captures into a transfer graph;
+	// capTail is the ID of the stream's most recent captured node (-1
+	// when none yet).
+	graph   *Graph
+	capTail int
+}
+
+// Capturing reports whether the stream is in graph-capture mode.
+func (s *Stream) Capturing() bool { return s.graph != nil }
+
+// captureNode appends a node in stream order: it depends on the stream's
+// previous captured node plus any extra dependencies, and becomes the new
+// stream tail. The returned inert signal stands in for the operation's
+// completion (it never fires; replays expose real completion).
+func (s *Stream) captureNode(n graphNode, extraDeps ...int) *sim.Signal {
+	if s.capTail >= 0 {
+		n.deps = append(n.deps, s.capTail)
+	}
+	for _, d := range extraDeps {
+		if d >= 0 {
+			n.deps = append(n.deps, d)
+		}
+	}
+	sortDeps(n.deps)
+	n.dev = s.dev
+	s.capTail = s.graph.addNode(n)
+	return s.dev.rt.sim.NewSignal()
+}
+
+// sortDeps orders a (tiny) dependency list ascending; graph child and
+// dependency tables are always kept in sorted node-ID order so traversal
+// is deterministic.
+func sortDeps(deps []int) {
+	for i := 1; i < len(deps); i++ {
+		for j := i; j > 0 && deps[j] < deps[j-1]; j-- {
+			deps[j], deps[j-1] = deps[j-1], deps[j]
+		}
+	}
 }
 
 // NewStream creates a stream on the device.
@@ -40,16 +85,26 @@ func (s *Stream) enqueue(run func(done *sim.Signal)) *sim.Signal {
 }
 
 // Tail returns a signal that fires when all currently enqueued work
-// completes (equivalent to recording an event now).
-func (s *Stream) Tail() *sim.Signal { return s.tail }
+// completes (equivalent to recording an event now). Capture-mode streams
+// have no executable tail.
+func (s *Stream) Tail() *sim.Signal {
+	if s.graph != nil {
+		panic("cuda: Tail on a capturing stream")
+	}
+	return s.tail
+}
 
 // Synchronize blocks the calling process until the stream drains.
-func (s *Stream) Synchronize(p *sim.Proc) error { return p.Wait(s.tail) }
+// Synchronizing a capturing stream is a programming error (as in CUDA).
+func (s *Stream) Synchronize(p *sim.Proc) error { return p.Wait(s.Tail()) }
 
 // copyOnRoute enqueues a transfer of bytes over the route: the stream is
 // occupied for the route's startup latency plus the flow duration, and
 // the copy holds one of the device's copy engines while in flight.
 func (s *Stream) copyOnRoute(r hw.Route, bytes float64) *sim.Signal {
+	if s.graph != nil {
+		return s.captureNode(graphNode{kind: nodeCopy, route: r, bytes: bytes})
+	}
 	rt := s.dev.rt
 	dev := s.dev
 	return s.enqueue(func(done *sim.Signal) {
@@ -107,32 +162,62 @@ func (s *Stream) MemcpyFromHostAsync(numa int, bytes float64) *sim.Signal {
 // per-operation overheads (kernel launches, synchronization costs)
 // inserted explicitly by higher layers.
 func (s *Stream) Delay(d float64) *sim.Signal {
+	if s.graph != nil {
+		return s.captureNode(graphNode{kind: nodeDelay, dur: d})
+	}
 	rt := s.dev.rt
 	return s.enqueue(func(done *sim.Signal) {
 		rt.sim.Schedule(d, done.Fire)
 	})
 }
 
-// Event marks a point in a stream's execution.
+// Event marks a point in a stream's execution. An event recorded on a
+// capturing stream identifies a graph node instead of carrying a live
+// signal; it can only be waited on by streams capturing into the same
+// graph.
 type Event struct {
 	sig *sim.Signal
+	// graph/node identify a captured event (sig is nil). node is -1 when
+	// the capturing stream had no work yet — such an event is trivially
+	// complete, like recording on an idle stream.
+	graph *Graph
+	node  int
 }
 
-// Fired reports whether the event has completed.
-func (e *Event) Fired() bool { return e.sig.Fired() }
+// Fired reports whether the event has completed. Captured events never
+// fire at capture time.
+func (e *Event) Fired() bool { return e.sig != nil && e.sig.Fired() }
 
-// Signal exposes the underlying completion signal.
+// Signal exposes the underlying completion signal (nil for captured
+// events, whose completion is observable only on a replay).
 func (e *Event) Signal() *sim.Signal { return e.sig }
 
 // RecordEvent captures the stream's current tail: the event fires when all
-// previously enqueued work completes.
+// previously enqueued work completes. On a capturing stream it marks the
+// current capture tail node.
 func (s *Stream) RecordEvent() *Event {
+	if s.graph != nil {
+		return &Event{graph: s.graph, node: s.capTail}
+	}
 	return &Event{sig: s.tail}
 }
 
 // WaitEvent makes subsequent operations on the stream wait for the event
-// (cudaStreamWaitEvent). The wait itself consumes no stream time.
+// (cudaStreamWaitEvent). The wait itself consumes no stream time. During
+// capture the wait materializes an empty node depending on both the
+// stream tail and the event's node, making the cross-stream edge part of
+// the captured topology.
 func (s *Stream) WaitEvent(e *Event) {
+	if s.graph != nil {
+		if e.graph != s.graph {
+			panic("cuda: WaitEvent during capture on an event not captured in the same graph")
+		}
+		s.captureNode(graphNode{kind: nodeEmpty}, e.node)
+		return
+	}
+	if e.sig == nil {
+		panic("cuda: WaitEvent on a captured event outside its graph's capture")
+	}
 	s.enqueue(func(done *sim.Signal) {
 		e.sig.OnFire(done.Fire)
 	})

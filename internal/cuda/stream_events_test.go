@@ -1,0 +1,185 @@
+package cuda
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// eventObs is one observed completion in an event-semantics scenario.
+type eventObs struct {
+	name string
+	sig  *sim.Signal
+	want float64
+}
+
+// TestStreamEventSemantics is a table of event-ordering scenarios on the
+// synthetic topology (all-pairs NVLink, 100 B/s, zero latency — a 100 B
+// copy takes exactly 1 s). Each case wires streams and events and states
+// when every observer must fire; cases with a deterministic completion
+// order also assert it.
+func TestStreamEventSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T, rt *Runtime) []eventObs
+		order []string // required completion order; nil to skip
+	}{
+		{
+			// The basic record → wait edge: the consumer's copy may not
+			// start before the producer's recorded point completes.
+			name: "record then wait orders cross-stream work",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				a := rt.Device(0).NewStream("a")
+				prod := a.MemcpyPeerAsync(rt.Device(1), 100) // t=1
+				e := a.RecordEvent()
+				b := rt.Device(2).NewStream("b")
+				b.WaitEvent(e)
+				cons := b.MemcpyPeerAsync(rt.Device(3), 100) // 1 + 1
+				return []eventObs{
+					{"producer", prod, 1.0},
+					{"consumer", cons, 2.0},
+				}
+			},
+			order: []string{"producer", "consumer"},
+		},
+		{
+			// Recording on an idle stream yields an already-complete event:
+			// waiting on it must not delay the waiter (cudaStreamWaitEvent
+			// on a fired event is free).
+			name: "wait on idle-stream event adds nothing",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				a := rt.Device(0).NewStream("a")
+				e := a.RecordEvent()
+				if !e.Fired() {
+					t.Fatal("event on idle stream should be complete")
+				}
+				b := rt.Device(2).NewStream("b")
+				b.WaitEvent(e)
+				cons := b.MemcpyPeerAsync(rt.Device(3), 100)
+				return []eventObs{{"consumer", cons, 1.0}}
+			},
+		},
+		{
+			// Fan-in: one consumer gated on two producers starts when the
+			// slower of the two completes.
+			name: "cross-stream fan-in waits for slowest producer",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				a := rt.Device(0).NewStream("a")
+				fast := a.MemcpyPeerAsync(rt.Device(1), 100) // t=1
+				ea := a.RecordEvent()
+				b := rt.Device(2).NewStream("b")
+				slow := b.MemcpyPeerAsync(rt.Device(3), 300) // t=3
+				eb := b.RecordEvent()
+				c := rt.Device(1).NewStream("c")
+				c.WaitEvent(ea)
+				c.WaitEvent(eb)
+				cons := c.MemcpyPeerAsync(rt.Device(2), 100) // 3 + 1
+				return []eventObs{
+					{"fast producer", fast, 1.0},
+					{"slow producer", slow, 3.0},
+					{"consumer", cons, 4.0},
+				}
+			},
+			order: []string{"fast producer", "slow producer", "consumer"},
+		},
+		{
+			// Fan-out: one recorded event releases two consumers on
+			// disjoint links at the same instant.
+			name: "cross-stream fan-out releases all waiters",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				a := rt.Device(0).NewStream("a")
+				prod := a.MemcpyPeerAsync(rt.Device(1), 200) // t=2
+				e := a.RecordEvent()
+				b := rt.Device(2).NewStream("b")
+				b.WaitEvent(e)
+				c1 := b.MemcpyPeerAsync(rt.Device(3), 100) // 2 + 1
+				c := rt.Device(3).NewStream("c")
+				c.WaitEvent(e)
+				c2 := c.MemcpyPeerAsync(rt.Device(0), 100) // 2 + 1
+				return []eventObs{
+					{"producer", prod, 2.0},
+					{"consumer b", c1, 3.0},
+					{"consumer c", c2, 3.0},
+				}
+			},
+		},
+		{
+			// An event marks the stream's state at RecordEvent time, not
+			// its eventual tail; waiting (repeatedly) consumes no stream
+			// time.
+			name: "event marks record point, waits are free",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				a := rt.Device(0).NewStream("a")
+				first := a.MemcpyPeerAsync(rt.Device(1), 100) // t=1
+				e := a.RecordEvent()                          // marks t=1, not the later tail
+				later := a.MemcpyPeerAsync(rt.Device(1), 100) // t=2
+				b := rt.Device(2).NewStream("b")
+				b.WaitEvent(e)
+				b.WaitEvent(e)
+				b.WaitEvent(e)
+				cons := b.MemcpyPeerAsync(rt.Device(3), 100) // 1 + 1, not 2 + 1
+				return []eventObs{
+					{"first", first, 1.0},
+					{"later", later, 2.0},
+					{"consumer", cons, 2.0},
+				}
+			},
+		},
+		{
+			// Tail snapshots taken between enqueues fire in deterministic
+			// enqueue order, each when the work enqueued so far drains.
+			name: "deterministic tail order",
+			build: func(t *testing.T, rt *Runtime) []eventObs {
+				st := rt.Device(0).NewStream("s")
+				st.MemcpyPeerAsync(rt.Device(1), 100)
+				t1 := st.Tail()
+				st.MemcpyPeerAsync(rt.Device(1), 100)
+				t2 := st.Tail()
+				st.MemcpyPeerAsync(rt.Device(1), 100)
+				t3 := st.Tail()
+				return []eventObs{
+					{"tail after 1", t1, 1.0},
+					{"tail after 2", t2, 2.0},
+					{"tail after 3", t3, 3.0},
+				}
+			},
+			order: []string{"tail after 1", "tail after 2", "tail after 3"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, rt := newSynthetic(t)
+			obs := tc.build(t, rt)
+			times := make([]float64, len(obs))
+			var got []string
+			for i := range obs {
+				i := i
+				times[i] = -1
+				obs[i].sig.OnFire(func() {
+					times[i] = s.Now()
+					got = append(got, obs[i].name)
+				})
+			}
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range obs {
+				if times[i] < 0 {
+					t.Fatalf("%s never fired", obs[i].name)
+				}
+				almost(t, times[i], obs[i].want, 1e-9, obs[i].name)
+			}
+			if tc.order != nil {
+				if len(got) != len(tc.order) {
+					t.Fatalf("completion order %v, want %v", got, tc.order)
+				}
+				for i := range tc.order {
+					if got[i] != tc.order[i] {
+						t.Fatalf("completion order %v, want %v", got, tc.order)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,364 @@
+// Compiled transfer graphs: instead of eagerly enqueuing a plan's
+// stream/event schedule on every Execute, the engine can lower the plan
+// once into a cuda.Graph — the same chunked k-way pipelines, ring-buffer
+// constraints, and cross-stream event edges, captured as an immutable
+// DAG — and replay it per transfer with a single graph launch.
+//
+// The cost model difference is the point (and mirrors the follow-on
+// paper, "Accelerating Intra-Node GPU-to-GPU Communication Through
+// Multi-Path Transfers with CUDA Graphs"): eager execution pays the
+// per-path launch latency α sequentially (Algorithm 1 line 18) and a
+// synchronization cost ε per chunk per window; a compiled graph pays one
+// launch overhead per replay — the dependencies are baked in, so nothing
+// else is charged. For small and medium messages, where ε·k and the
+// accumulated α dominate, this visibly bends the bandwidth curves upward.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// compiledBuffer is a staging allocation owned by a compiled path (GPU or
+// host staging ring).
+type compiledBuffer interface{ Free() error }
+
+// compiledPath is the lowered form of one active plan path.
+type compiledPath struct {
+	idx    int // index into plan.Paths
+	group  int // graph completion group
+	chunks int
+	// leg1/leg2 are the copy-node IDs per chunk (leg2 empty for direct
+	// paths, whose single copy lives in leg1[0]). Kept in chunk order so
+	// byte patching walks them deterministically.
+	leg1, leg2 []int
+	// staging ring bookkeeping for reallocation on patch.
+	buf       compiledBuffer
+	slotBytes float64
+	slots     int
+}
+
+// CompiledPlan is a plan lowered into an instantiated transfer graph.
+// Replays are issued with ExecuteCompiled; UpdateTo patches byte counts
+// in place for a structurally identical plan (same paths, same chunk
+// counts) without re-instantiation.
+type CompiledPlan struct {
+	engine   *Engine
+	plan     *core.Plan
+	exec     *cuda.GraphExec
+	paths    []compiledPath
+	released bool
+}
+
+// Plan returns the plan the graph currently encodes (the compile-time
+// plan, or the last plan patched in with UpdateTo).
+func (cp *CompiledPlan) Plan() *core.Plan { return cp.plan }
+
+// Exec exposes the instantiated graph (diagnostics, launch counters).
+func (cp *CompiledPlan) Exec() *cuda.GraphExec { return cp.exec }
+
+// launchOverheadFor derives the per-replay launch cost for a plan: the
+// configured fixed cost when set, otherwise the largest staging
+// synchronization cost ε among the active paths, read from the topology
+// (not the plan's params, which a graph-aware planner zeroes). Eager
+// execution pays ε once per chunk per window and serializes path
+// initiations; a graph replay pays ε exactly once — the launch that
+// submits the whole baked DAG. A direct-only plan has ε = 0 and replays
+// with no added overhead, matching eager execution of the same plan.
+func (e *Engine) launchOverheadFor(plan *core.Plan) float64 {
+	if e.cfg.GraphLaunch > 0 {
+		return e.cfg.GraphLaunch
+	}
+	node := e.rt.Node()
+	worst := 0.0
+	for i := range plan.Paths {
+		pp := &plan.Paths[i]
+		if pp.Bytes <= 0 {
+			continue
+		}
+		if eps := node.Epsilon(pp.Path); eps > worst {
+			worst = eps
+		}
+	}
+	return worst
+}
+
+// Compile lowers the plan into a transfer graph and instantiates it. The
+// capture reproduces Execute's schedule — per-path streams, the chunked
+// staging pipeline with its ring-buffer waits — minus the eager-only
+// overheads (per-chunk ε delays, sequential path initiation), which the
+// single launch overhead replaces. Staging memory is allocated at compile
+// time and held for the compiled plan's lifetime; call Release to return
+// it.
+func (e *Engine) Compile(plan *core.Plan) (*CompiledPlan, error) {
+	if err := validatePlan(plan); err != nil {
+		return nil, err
+	}
+	g := e.rt.NewGraph()
+	cp := &CompiledPlan{engine: e, plan: plan}
+	group := 0
+	for i := range plan.Paths {
+		pp := &plan.Paths[i]
+		if pp.Bytes <= 0 {
+			continue
+		}
+		g.StartGroup(group)
+		lowered, err := e.lowerPath(g, pp)
+		if err != nil {
+			cp.freeBuffers()
+			return nil, err
+		}
+		lowered.idx = i
+		lowered.group = group
+		cp.paths = append(cp.paths, lowered)
+		group++
+	}
+	if len(cp.paths) == 0 {
+		return nil, fmt.Errorf("pipeline: plan has no active paths")
+	}
+	g.End()
+	exec, err := g.Instantiate(e.launchOverheadFor(plan))
+	if err != nil {
+		cp.freeBuffers()
+		return nil, err
+	}
+	cp.exec = exec
+	return cp, nil
+}
+
+// lowerPath captures one path's schedule into the graph.
+func (e *Engine) lowerPath(g *cuda.Graph, pp *core.PathPlan) (compiledPath, error) {
+	switch pp.Path.Kind {
+	case hw.Direct:
+		src := e.rt.Device(pp.Path.Src)
+		dst := e.rt.Device(pp.Path.Dst)
+		st := g.CaptureStream(src, "graph-direct")
+		sig := st.MemcpyPeerAsync(dst, pp.Bytes)
+		if err := sig.Err(); err != nil {
+			return compiledPath{}, err
+		}
+		return compiledPath{chunks: 1, leg1: []int{g.NodeCount() - 1}}, nil
+	case hw.GPUStaged:
+		src := e.rt.Device(pp.Path.Src)
+		via := e.rt.Device(pp.Path.Via)
+		dst := e.rt.Device(pp.Path.Dst)
+		s1 := g.CaptureStream(src, "graph-stage-up")
+		s2 := g.CaptureStream(via, "graph-stage-down")
+		return e.lowerStaged(g, pp,
+			func(b float64) *sim.Signal { return s1.MemcpyPeerAsync(via, b) },
+			func(b float64) *sim.Signal { return s2.MemcpyPeerAsync(dst, b) },
+			s1, s2,
+			func(slotBytes float64, slots int) (compiledBuffer, error) {
+				return via.Malloc(slotBytes * float64(slots))
+			})
+	case hw.HostStaged:
+		src := e.rt.Device(pp.Path.Src)
+		dst := e.rt.Device(pp.Path.Dst)
+		numa := pp.Path.Via
+		s1 := g.CaptureStream(src, "graph-host-up")
+		s2 := g.CaptureStream(dst, "graph-host-down")
+		return e.lowerStaged(g, pp,
+			func(b float64) *sim.Signal { return s1.MemcpyToHostAsync(numa, b) },
+			func(b float64) *sim.Signal { return s2.MemcpyFromHostAsync(numa, b) },
+			s1, s2,
+			func(slotBytes float64, slots int) (compiledBuffer, error) {
+				return e.rt.Host(numa).MallocHost(slotBytes * float64(slots))
+			})
+	default:
+		return compiledPath{}, fmt.Errorf("pipeline: unknown path kind %v", pp.Path.Kind)
+	}
+}
+
+// lowerStaged captures the three-step chunk pipeline — the same ring
+// buffer and cross-stream event edges stagedLegs enqueues eagerly — as
+// graph nodes. The per-chunk ε delay is deliberately absent: in a
+// compiled graph the leg-2 dependency is a baked edge, not a runtime
+// synchronization.
+func (e *Engine) lowerStaged(
+	g *cuda.Graph,
+	pp *core.PathPlan,
+	leg1 func(bytes float64) *sim.Signal,
+	leg2 func(bytes float64) *sim.Signal,
+	s1, s2 *cuda.Stream,
+	alloc func(slotBytes float64, slots int) (compiledBuffer, error),
+) (compiledPath, error) {
+	sizes := SplitChunks(pp.Bytes, pp.Chunks)
+	slots := e.cfg.StagingSlots
+	if len(sizes) < slots {
+		slots = len(sizes)
+	}
+	slotBytes := pp.Bytes / float64(len(sizes))
+	buf, err := alloc(slotBytes, slots)
+	if err != nil {
+		return compiledPath{}, fmt.Errorf("pipeline: staging alloc for compiled path %v: %w", pp.Path, err)
+	}
+	out := compiledPath{chunks: len(sizes), buf: buf, slotBytes: slotBytes, slots: slots}
+	drained := make([]*cuda.Event, len(sizes))
+	for c, sz := range sizes {
+		if c >= slots {
+			s1.WaitEvent(drained[c-slots])
+		}
+		if err := leg1(sz).Err(); err != nil {
+			return out, err
+		}
+		out.leg1 = append(out.leg1, g.NodeCount()-1)
+		ev := s1.RecordEvent()
+		s2.WaitEvent(ev)
+		if err := leg2(sz).Err(); err != nil {
+			return out, err
+		}
+		out.leg2 = append(out.leg2, g.NodeCount()-1)
+		drained[c] = s2.RecordEvent()
+	}
+	return out, nil
+}
+
+// ExecuteCompiled replays the compiled graph once and returns a Result
+// with the same shape Execute produces: per-path completion times and
+// errors, and a Done signal firing when the last byte lands. The launch
+// itself is O(1) in the chunk and window count — the DAG unrolls inside
+// simulator events.
+func (e *Engine) ExecuteCompiled(cp *CompiledPlan) (*Result, error) {
+	if cp.released {
+		return nil, fmt.Errorf("pipeline: ExecuteCompiled on a released compiled plan")
+	}
+	s := e.rt.Sim()
+	res := &Result{
+		Plan:     cp.plan,
+		Started:  s.Now(),
+		PathDone: make([]sim.Time, len(cp.plan.Paths)),
+		PathErr:  make([]error, len(cp.plan.Paths)),
+	}
+	for i := range res.PathDone {
+		res.PathDone[i] = -1
+	}
+	rep := cp.exec.Launch()
+	for _, lp := range cp.paths {
+		idx := lp.idx
+		gd := rep.GroupDone(lp.group)
+		gd.OnFire(func() {
+			res.PathDone[idx] = s.Now()
+			res.PathErr[idx] = gd.Err()
+		})
+	}
+	res.Done = rep.Done()
+	return res, nil
+}
+
+// Patchable reports whether a compiled graph built from `from` can be
+// re-pointed at `to` by parameter update alone: the path lists must match
+// exactly, with the same set of active paths and the same per-path chunk
+// counts. Share rebalances and byte-count changes are patchable;
+// structural changes (a path entering or leaving the plan, a chunk-count
+// change) require recompilation.
+func Patchable(from, to *core.Plan) bool {
+	if from == nil || to == nil || len(from.Paths) != len(to.Paths) {
+		return false
+	}
+	for i := range from.Paths {
+		a, b := &from.Paths[i], &to.Paths[i]
+		if a.Path != b.Path {
+			return false
+		}
+		activeA, activeB := a.Bytes > 0, b.Bytes > 0
+		if activeA != activeB {
+			return false
+		}
+		if activeA && a.Chunks != b.Chunks {
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateTo patches the compiled graph's byte parameters to encode plan —
+// a GraphExecUpdate, not a re-instantiation. The plan must be Patchable
+// from the currently encoded one. Staging rings grow in place when the
+// new chunk size exceeds the allocated slot size.
+func (cp *CompiledPlan) UpdateTo(plan *core.Plan) error {
+	if cp.released {
+		return fmt.Errorf("pipeline: UpdateTo on a released compiled plan")
+	}
+	if err := validatePlan(plan); err != nil {
+		return err
+	}
+	if !Patchable(cp.plan, plan) {
+		return fmt.Errorf("pipeline: plan not patchable onto compiled graph (structure changed)")
+	}
+	var nodes []int
+	var bytes []float64
+	for pi := range cp.paths {
+		lp := &cp.paths[pi]
+		pp := &plan.Paths[lp.idx]
+		sizes := SplitChunks(pp.Bytes, lp.chunks)
+		for c, id := range lp.leg1 {
+			nodes = append(nodes, id)
+			bytes = append(bytes, sizes[c])
+		}
+		for c, id := range lp.leg2 {
+			nodes = append(nodes, id)
+			bytes = append(bytes, sizes[c])
+		}
+		if lp.buf != nil {
+			if slot := pp.Bytes / float64(lp.chunks); slot > lp.slotBytes {
+				if err := cp.reallocStaging(lp, pp, slot); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := cp.exec.UpdateBytes(nodes, bytes); err != nil {
+		return err
+	}
+	if err := cp.exec.SetLaunchOverhead(cp.engine.launchOverheadFor(plan)); err != nil {
+		return err
+	}
+	cp.plan = plan
+	return nil
+}
+
+// reallocStaging grows one path's staging ring to fit a larger chunk.
+func (cp *CompiledPlan) reallocStaging(lp *compiledPath, pp *core.PathPlan, slotBytes float64) error {
+	if err := lp.buf.Free(); err != nil {
+		return err
+	}
+	var buf compiledBuffer
+	var err error
+	switch pp.Path.Kind {
+	case hw.GPUStaged:
+		buf, err = cp.engine.rt.Device(pp.Path.Via).Malloc(slotBytes * float64(lp.slots))
+	case hw.HostStaged:
+		buf, err = cp.engine.rt.Host(pp.Path.Via).MallocHost(slotBytes * float64(lp.slots))
+	default:
+		return fmt.Errorf("pipeline: staging realloc on non-staged path %v", pp.Path)
+	}
+	if err != nil {
+		return err
+	}
+	lp.buf = buf
+	lp.slotBytes = slotBytes
+	return nil
+}
+
+// Release frees the compiled plan's staging memory. Further replays are
+// rejected. Releasing twice is a no-op.
+func (cp *CompiledPlan) Release() {
+	if cp.released {
+		return
+	}
+	cp.released = true
+	cp.freeBuffers()
+}
+
+func (cp *CompiledPlan) freeBuffers() {
+	for i := range cp.paths {
+		if cp.paths[i].buf != nil {
+			_ = cp.paths[i].buf.Free()
+			cp.paths[i].buf = nil
+		}
+	}
+}

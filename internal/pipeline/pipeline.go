@@ -19,13 +19,20 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
+
+// ErrNonPositiveBytes is returned by Engine.Execute (and Compile) for
+// plans whose byte count is zero, negative, or non-finite — sizes that
+// would otherwise surface later as NaN bandwidths or empty transfers.
+var ErrNonPositiveBytes = errors.New("pipeline: non-positive transfer size")
 
 // Config tunes the engine.
 type Config struct {
@@ -35,6 +42,10 @@ type Config struct {
 	// SequentialInitiation serializes path launches on the issuing CPU
 	// (matches Algorithm 1 line 18). Disabling it is an ablation.
 	SequentialInitiation bool
+	// GraphLaunch fixes the per-replay launch overhead charged by compiled
+	// transfer graphs. Zero (the default) derives it from the plan: the
+	// largest first-leg launch latency α among the active paths.
+	GraphLaunch float64
 }
 
 // DefaultConfig returns the runtime configuration.
@@ -73,28 +84,45 @@ type Result struct {
 	PathErr []error
 }
 
-// Elapsed returns the end-to-end transfer time. Valid once Done fires.
+// Elapsed returns the end-to-end transfer time. Valid once Done fires;
+// zero before then (never negative).
 func (r *Result) Elapsed() float64 {
 	if !r.Done.Fired() {
 		return 0
 	}
-	return r.Done.FiredAt() - r.Started
+	el := r.Done.FiredAt() - r.Started
+	if el < 0 {
+		return 0
+	}
+	return el
 }
 
-// Bandwidth returns achieved bytes/second. Valid once Done fires.
+// Bandwidth returns achieved bytes/second. Zero-byte and zero-elapsed
+// transfers report 0 rather than NaN or Inf.
 func (r *Result) Bandwidth() float64 {
 	el := r.Elapsed()
-	if el <= 0 {
+	if el <= 0 || r.Plan == nil || r.Plan.Bytes <= 0 {
 		return 0
 	}
 	return r.Plan.Bytes / el
 }
 
+// validatePlan applies the shared sanity checks of Execute and Compile.
+func validatePlan(plan *core.Plan) error {
+	if plan == nil || len(plan.Paths) == 0 {
+		return fmt.Errorf("pipeline: empty plan")
+	}
+	if plan.Bytes <= 0 || math.IsNaN(plan.Bytes) || math.IsInf(plan.Bytes, 0) {
+		return fmt.Errorf("%w: %v bytes", ErrNonPositiveBytes, plan.Bytes)
+	}
+	return nil
+}
+
 // Execute runs the plan. The returned result's Done signal fires when the
 // last byte of the last path arrives at the destination.
 func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
-	if plan == nil || len(plan.Paths) == 0 {
-		return nil, fmt.Errorf("pipeline: empty plan")
+	if err := validatePlan(plan); err != nil {
+		return nil, err
 	}
 	s := e.rt.Sim()
 	res := &Result{
@@ -174,21 +202,10 @@ func (e *Engine) startDirect(pp *core.PathPlan, final *sim.Signal) error {
 	return nil
 }
 
-// chunkSizes splits bytes into k near-equal pieces (last chunk absorbs the
-// remainder), mirroring how the engine slices a share.
+// chunkSizes splits bytes into k near-equal pieces; it is the engine's
+// view of the shared SplitChunks partition helper.
 func chunkSizes(bytes float64, k int) []float64 {
-	if k < 1 {
-		k = 1
-	}
-	base := bytes / float64(k)
-	out := make([]float64, k)
-	var used float64
-	for i := 0; i < k-1; i++ {
-		out[i] = base
-		used += base
-	}
-	out[k-1] = bytes - used
-	return out
+	return SplitChunks(bytes, k)
 }
 
 // stagedLegs wires the three-step chunk pipeline between two streams with

@@ -96,6 +96,10 @@ type mpFeeder struct {
 	primed   bool    // second chunk issued; window now completion-driven
 	ticking  bool    // the priming timer is pending
 	dead     bool
+	// graph is the feeder-private compiled transfer graph (nil unless
+	// Config.GraphsEnable): patched per chunk when only sizes changed,
+	// recompiled when the chunk structure changed. See Context.execChunk.
+	graph *pipeline.CompiledPlan
 }
 
 // initSegments decides whether the transfer runs in chunk-pool mode.
@@ -139,9 +143,10 @@ func (r *mpRun) begin(pl *core.Plan) {
 	r.startAttempt(pl)
 }
 
-// startAttempt executes one whole-residual attempt on the shared engine.
+// startAttempt executes one whole-residual attempt on the shared engine
+// (through the compiled-graph cache when graphs are enabled).
 func (r *mpRun) startAttempt(pl *core.Plan) {
-	res, err := r.c.engine.Execute(pl)
+	res, err := r.c.execPlan(pl)
 	if err != nil {
 		r.finish(err)
 		return
@@ -247,6 +252,9 @@ func (r *mpRun) noteFailover(newExcl int) {
 	// the old capacities); drop them all so the re-plan — and any other
 	// transfer planning after this instant — sees live link state.
 	r.c.model.InvalidateCache()
+	// Compiled graphs routing over the excluded paths are equally stale;
+	// graphs that avoid them keep their instantiation.
+	r.c.invalidateGraphsFor(r.excluded)
 }
 
 // backoffThen schedules fn after the capped exponential backoff for the
@@ -386,7 +394,7 @@ func (f *mpFeeder) pump() {
 			pp.Chunks = 1
 		}
 		pl := &core.Plan{Src: r.src, Dst: r.dst, Bytes: n, Paths: []core.PathPlan{pp}}
-		res, err := r.c.engine.Execute(pl)
+		res, err := r.c.execChunk(f, pl)
 		if err != nil {
 			r.finish(err)
 			return
@@ -426,6 +434,7 @@ func (f *mpFeeder) onChunk(n float64, res *pipeline.Result) {
 	r.lastErr = err
 	if !f.dead {
 		f.dead = true
+		f.releaseGraph()
 		if !r.c.cfg.FailoverEnable {
 			r.finish(err)
 			return
@@ -536,6 +545,9 @@ func (r *mpRun) finish(err error) {
 	}
 	r.done = true
 	r.c.untrackRun(r)
+	for _, f := range r.feeders {
+		f.releaseGraph()
+	}
 	if r.release != nil {
 		r.release()
 	}

@@ -1,0 +1,149 @@
+package ucx
+
+// Compiled-graph execution: when Config.GraphsEnable is set, whole-plan
+// transfers run through the graph cache (hash → replay on the warm path)
+// and adaptive chunk-pool feeders keep a private compiled graph that is
+// patched in place when only byte counts changed. With graphs disabled
+// every transfer takes the eager engine path, byte-identical to the
+// paper-figure behaviour.
+
+import (
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+)
+
+// GraphStats snapshots the compiled-graph cache counters (zero value when
+// graphs are disabled).
+func (c *Context) GraphStats() GraphStats {
+	if c.graphs == nil {
+		return GraphStats{}
+	}
+	return c.graphs.stats()
+}
+
+// GraphCount reports how many compiled graphs the cache retains.
+func (c *Context) GraphCount() int {
+	if c.graphs == nil {
+		return 0
+	}
+	return c.graphs.len()
+}
+
+// execPlan executes one whole-plan attempt, through the compiled-graph
+// cache when enabled. Graph failures fall back to eager execution — the
+// graph path is an optimization, never a correctness dependency.
+func (c *Context) execPlan(pl *core.Plan) (*pipeline.Result, error) {
+	if c.graphs == nil {
+		return c.engine.Execute(pl)
+	}
+	cp, err := c.compiledFor(pl)
+	if err != nil {
+		return c.engine.Execute(pl)
+	}
+	res, err := c.engine.ExecuteCompiled(cp)
+	if err != nil {
+		return c.engine.Execute(pl)
+	}
+	c.graphs.replays.Add(1)
+	return res, nil
+}
+
+// compiledFor resolves a plan to an instantiated graph: cache hit on the
+// plan's key, singleflight compile on a miss. A hit whose cached graph was
+// compiled from a different plan object (the planner re-planned after an
+// invalidation) is patched in place when structurally compatible —
+// GraphExecUpdate, not re-instantiation — and recompiled only when the
+// path structure itself changed.
+func (c *Context) compiledFor(pl *core.Plan) (*pipeline.CompiledPlan, error) {
+	key := pl.Key()
+	cp, err := c.graphs.get(key, func() (*pipeline.CompiledPlan, error) {
+		c.graphs.compiles.Add(1)
+		return c.engine.Compile(pl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cp.Plan() == pl {
+		return cp, nil
+	}
+	if pipeline.Patchable(cp.Plan(), pl) {
+		if err := cp.UpdateTo(pl); err != nil {
+			return nil, err
+		}
+		c.graphs.patches.Add(1)
+		return cp, nil
+	}
+	nc, err := c.engine.Compile(pl)
+	if err != nil {
+		return nil, err
+	}
+	c.graphs.compiles.Add(1)
+	c.graphs.replace(key, nc)
+	return nc, nil
+}
+
+// execChunk executes one adaptive-executor chunk. Feeders keep a private
+// compiled graph rather than going through the shared cache (pool chunk
+// sizes vary chunk to chunk, so cache keys would never repeat): when the
+// new chunk is structurally compatible — same path, same inner chunk
+// count, only sizes or rates changed — the graph is patched and replayed;
+// otherwise it is recompiled.
+func (c *Context) execChunk(f *mpFeeder, pl *core.Plan) (*pipeline.Result, error) {
+	if c.graphs == nil {
+		return c.engine.Execute(pl)
+	}
+	if f.graph != nil && pipeline.Patchable(f.graph.Plan(), pl) {
+		if err := f.graph.UpdateTo(pl); err == nil {
+			if res, err := c.engine.ExecuteCompiled(f.graph); err == nil {
+				c.graphs.patches.Add(1)
+				c.graphs.replays.Add(1)
+				return res, nil
+			}
+		}
+	}
+	f.releaseGraph()
+	cp, err := c.engine.Compile(pl)
+	if err != nil {
+		return c.engine.Execute(pl)
+	}
+	c.graphs.compiles.Add(1)
+	f.graph = cp
+	res, err := c.engine.ExecuteCompiled(cp)
+	if err != nil {
+		return c.engine.Execute(pl)
+	}
+	c.graphs.replays.Add(1)
+	return res, nil
+}
+
+// releaseGraph drops a feeder's private compiled graph, freeing its
+// staging ring.
+func (f *mpFeeder) releaseGraph() {
+	if f.graph != nil {
+		f.graph.Release()
+		f.graph = nil
+	}
+}
+
+// invalidateGraphsFor drops exactly the cached graphs that route bytes
+// over any of the given excluded paths — a failover exclusion makes those
+// topologies stale, but graphs avoiding the failed paths stay warm.
+func (c *Context) invalidateGraphsFor(excluded map[hw.Path]bool) {
+	if c.graphs == nil || len(excluded) == 0 {
+		return
+	}
+	c.graphs.invalidateMatching(func(cp *pipeline.CompiledPlan) bool {
+		return planUsesAny(cp.Plan(), excluded)
+	})
+}
+
+// planUsesAny reports whether any active path of the plan is in the set.
+func planUsesAny(pl *core.Plan, set map[hw.Path]bool) bool {
+	for i := range pl.Paths {
+		if pl.Paths[i].Bytes > 0 && set[pl.Paths[i].Path] {
+			return true
+		}
+	}
+	return false
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// AdaptMinBytes gates segmented planning: smaller transfers are
 	// planned whole (segment overheads would dominate).
 	AdaptMinBytes float64
+	// GraphsEnable routes transfers through compiled transfer graphs: a
+	// plan is lowered once into a cuda.Graph, cached by the plan's key,
+	// and warm transfers replay it with a single O(1) launch instead of
+	// re-enqueuing every chunk. Off by default — eager execution is the
+	// paper-figure baseline.
+	GraphsEnable bool
 	// Recalibrate attaches an online recalibration observer to the
 	// planner: achieved path times are compared against predictions and
 	// the model's β parameters are corrected when drift exceeds
@@ -144,6 +150,7 @@ func DefaultConfig() Config {
 //	UCX_MP_MAX_RETRIES   integer ≥ 0
 //	UCX_MP_ADAPT_SEGMENTS integer ≥ 1
 //	UCX_MP_ADAPT_MIN_BYTES bytes (integer)
+//	UCX_MP_GRAPHS        y|n
 //	UCX_MP_RECALIBRATE   y|n
 func ParseConfig(env map[string]string) (Config, error) {
 	cfg := DefaultConfig()
@@ -228,6 +235,12 @@ func ParseConfig(env map[string]string) (Config, error) {
 				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
 			}
 			cfg.AdaptMinBytes = f
+		case "UCX_MP_GRAPHS":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.GraphsEnable = b
 		case "UCX_MP_RECALIBRATE":
 			b, err := parseBool(v)
 			if err != nil {
@@ -239,6 +252,21 @@ func ParseConfig(env map[string]string) (Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// newPlannerModel builds a planner over the source, adjusted for the
+// execution mode: compiled-graph execution pays no per-chunk ε and does
+// not serialize path initiations, so with graphs enabled the planner
+// models that cost structure (staged paths become viable at smaller sizes
+// and chunk counts are no longer ε-limited). The one ε a replay does pay —
+// once per launch — is charged by the pipeline engine from the topology.
+func newPlannerModel(cfg Config, source core.ParamSource) *core.Model {
+	mo := cfg.ModelOptions
+	if cfg.GraphsEnable {
+		source = core.GraphAwareSource{Inner: source}
+		mo.AccumulateLaunch = false
+	}
+	return core.NewModel(source, mo)
 }
 
 func parseBool(v string) (bool, error) {
@@ -290,6 +318,10 @@ type Context struct {
 	// Config.Recalibrate is set).
 	observer *core.Observer
 
+	// graphs is the compiled-graph cache (nil unless Config.GraphsEnable
+	// is set). Keyed like the plan cache; see graphcache.go.
+	graphs *graphCache
+
 	ipcMu     sync.Mutex
 	ipcOpened map[[2]int]bool
 	ipcOpens  atomic.Int64
@@ -323,7 +355,7 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	model := core.NewModel(core.SpecSource{Node: rt.Node()}, cfg.ModelOptions)
+	model := newPlannerModel(cfg, core.SpecSource{Node: rt.Node()})
 	var observer *core.Observer
 	if cfg.Recalibrate {
 		observer = core.NewObserver(cfg.RecalOptions)
@@ -333,6 +365,10 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 	if cfg.Planner != nil {
 		planner = cfg.Planner
 	}
+	var graphs *graphCache
+	if cfg.GraphsEnable {
+		graphs = newGraphCache()
+	}
 	return &Context{
 		cfg:           cfg,
 		rt:            rt,
@@ -341,6 +377,7 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 		planner:       planner,
 		sel:           sel,
 		observer:      observer,
+		graphs:        graphs,
 		ipcOpened:     make(map[[2]int]bool),
 		bidirModels:   make(map[[2]int]*core.Model),
 		patternModels: make(map[string]*core.Model),
@@ -401,6 +438,11 @@ func (c *Context) untrackRun(r *mpRun) {
 // (no notification) are still caught, later, by recalibration and failover.
 func (c *Context) NotifyFault() {
 	c.model.InvalidateCache()
+	if c.graphs != nil {
+		// Every compiled graph baked its byte split against the old link
+		// state; drop them all so warm transfers recompile against the new.
+		c.graphs.invalidateAll()
+	}
 	c.runsMu.Lock()
 	runs := append([]*mpRun(nil), c.runs...)
 	c.runsMu.Unlock()
@@ -695,7 +737,7 @@ func (c *Context) patternModel(src, dst int, concurrent [][2]int) (*core.Model, 
 	if err != nil {
 		return nil, err
 	}
-	m := core.NewModel(source, c.cfg.ModelOptions)
+	m := newPlannerModel(c.cfg, source)
 	c.patternModels[key] = m
 	return m, nil
 }
@@ -713,7 +755,7 @@ func (c *Context) bidirModel(src, dst int, paths []hw.Path) (*core.Model, error)
 	if err != nil {
 		return nil, err
 	}
-	m := core.NewModel(source, c.cfg.ModelOptions)
+	m := newPlannerModel(c.cfg, source)
 	c.bidirModels[key] = m
 	return m, nil
 }

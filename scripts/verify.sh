@@ -32,7 +32,7 @@ go test -race ./...
 # show up under repetition get a chance to fire.
 echo "==> go test -race -count=3 (plan-cache + shared-planner stress)"
 go test -race -count=3 \
-	-run 'TestPlanCacheConcurrentStress|TestPlanCacheSingleflight|TestContextConcurrentPlanning|TestStaticPlannerConcurrentReplay' \
+	-run 'TestPlanCacheConcurrentStress|TestPlanCacheSingleflight|TestContextConcurrentPlanning|TestStaticPlannerConcurrentReplay|TestGraphCacheSingleflightRace' \
 	./internal/core/ ./internal/ucx/ ./internal/tuner/
 
 # The fault-adaptive runtime (failover, chunk-pool feeders, fault
@@ -42,5 +42,11 @@ echo "==> go test -race -count=3 (fault / failover stress)"
 go test -race -count=3 \
 	-run 'TestFailover|TestFault|TestAdaptiveSegments|TestTransferSurvives' \
 	./internal/ucx/ ./internal/fluid/ ./internal/hw/ ./internal/exp/ .
+
+# Compiled-graph smoke: one size on one cluster through both engines plus
+# the launch ladder, proving the graphs experiment runs end to end without
+# regenerating the full BENCH_graphs.json grid.
+echo "==> mpbench -exp graphs smoke (1 size x 1 cluster)"
+go run ./cmd/mpbench -exp graphs -quick -graphs-json ""
 
 echo "verify: OK"
