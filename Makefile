@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs verify
+.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs verify
 
 build:
 	$(GO) build ./...
@@ -53,3 +53,11 @@ bench-faults:
 # BENCH_graphs.json, including the O(1) launch-cost ladder.
 bench-graphs:
 	$(GO) run ./cmd/mpbench -exp graphs -clusters beluga,narval -windows 1,16 -iters 3 -graphs-json BENCH_graphs.json
+
+# bench-obs measures the observability layer's cost (the same Put workload
+# with UCX_MP_TRACE off vs on) and regenerates BENCH_obs.json, plus the
+# hot-path microbenchmarks the disabled-overhead budget is gated on.
+bench-obs:
+	$(GO) test -bench 'BenchmarkPlanCacheHit$$' -benchmem -run xxx .
+	$(GO) test -bench 'BenchmarkFluidChurn' -benchmem -run xxx ./internal/fluid/
+	$(GO) run ./cmd/mpbench -exp obs -clusters beluga,narval -obs-json BENCH_obs.json

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs2|plancache|faults|graphs|all")
+		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs|obs2|plancache|faults|graphs|all")
 		clusters = flag.String("clusters", "beluga,narval", "comma-separated cluster presets")
 		pathSets = flag.String("paths", "2gpus,3gpus,3gpus_host", "comma-separated path sets")
 		windows  = flag.String("windows", "1,16", "comma-separated OSU window sizes")
@@ -45,6 +45,10 @@ func main() {
 			"output path for -exp faults results (empty = don't write)")
 		graphsJSON = flag.String("graphs-json", "BENCH_graphs.json",
 			"output path for -exp graphs results (empty = don't write)")
+		obsJSON = flag.String("obs-json", "BENCH_obs.json",
+			"output path for -exp obs overhead results (empty = don't write)")
+		tracePath = flag.String("trace", "",
+			"write a Perfetto trace of a fault-rich adaptive transfer (first cluster) to this file")
 	)
 	flag.Parse()
 
@@ -163,6 +167,24 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote compiled-graph results to %s\n", *graphsJSON)
 		}
+	case "obs":
+		if *quick {
+			opts.Sizes = []float64{4 * hw.MiB}
+		}
+		fig, points, err := exp.ObsBench(opts)
+		if err != nil {
+			fatal("obs: %v", err)
+		}
+		if err := exp.RenderText(os.Stdout, fig); err != nil {
+			fatal("render obs: %v", err)
+		}
+		figures = append(figures, fig)
+		if *obsJSON != "" {
+			if err := writeObsJSON(*obsJSON, points); err != nil {
+				fatal("write %s: %v", *obsJSON, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote observability overhead to %s\n", *obsJSON)
+		}
 	case "headline":
 		h, f5, f6, f7, err := exp.RunHeadline(opts)
 		if err != nil {
@@ -198,6 +220,59 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote CSV to %s\n", *csvPath)
 	}
+
+	if *tracePath != "" {
+		cluster := "beluga"
+		if len(opts.Clusters) > 0 {
+			cluster = opts.Clusters[0]
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("create %s: %v", *tracePath, err)
+		}
+		info, err := exp.ObsTrace(cluster, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Perfetto trace (%d spans, %d instants) to %s\n",
+			info.Spans, info.Instants, *tracePath)
+		// Run footer: the traced run's unified stats snapshot.
+		fmt.Println("traced run stats:")
+		if err := info.Stats.WriteJSON(os.Stdout); err != nil {
+			fatal("stats: %v", err)
+		}
+	}
+}
+
+// writeObsJSON records the observability overhead sweep: wall-clock ns per
+// Put with tracing off and on, plus the enabled run's event volume.
+func writeObsJSON(path string, points []exp.ObsPoint) error {
+	doc := struct {
+		Description string         `json:"description"`
+		Host        string         `json:"host"`
+		Date        string         `json:"date"`
+		Points      []exp.ObsPoint `json:"points"`
+	}{
+		Description: "Observability overhead (mpbench -exp obs): the same Put-window " +
+			"workload per (cluster, size) cell with UCX_MP_TRACE off vs on, " +
+			"wall-clock timed. disabled_ns_per_op is the hook cost with tracing " +
+			"off (every hook is one nil pointer check; must sit within noise of " +
+			"the untouched seed), enabled_ns_per_op adds span/instant recording " +
+			"and metric updates, and spans/instants give the enabled run's event " +
+			"volume. ns/op fields are host-dependent wall clock; counts are " +
+			"deterministic simulation.",
+		Host:   fmt.Sprintf("GOMAXPROCS=%d, %s %s/%s", runtime.GOMAXPROCS(0), runtime.Version(), runtime.GOOS, runtime.GOARCH),
+		Date:   time.Now().Format("2006-01-02"),
+		Points: points,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writePlannerJSON records the planning-throughput sweep (ops/sec and hit

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -28,14 +29,15 @@ import (
 
 func main() {
 	var (
-		topo     = flag.String("topo", "beluga", "topology preset")
-		file     = flag.String("file", "", "load topology from JSON instead of a preset")
-		src      = flag.Int("src", 0, "source GPU")
-		dst      = flag.Int("dst", 1, "destination GPU")
-		sizeStr  = flag.String("size", "64MiB", "message size (bytes or KiB/MiB/GiB suffix)")
-		psName   = flag.String("paths", "all", "path set: direct|2gpus|3gpus|3gpus_host|all")
-		adaptive = flag.Bool("adaptive", false, "use the adaptive-phi planner")
-		window   = flag.Int("window", 1, "concurrent copies of the transfer")
+		topo      = flag.String("topo", "beluga", "topology preset")
+		file      = flag.String("file", "", "load topology from JSON instead of a preset")
+		src       = flag.Int("src", 0, "source GPU")
+		dst       = flag.Int("dst", 1, "destination GPU")
+		sizeStr   = flag.String("size", "64MiB", "message size (bytes or KiB/MiB/GiB suffix)")
+		psName    = flag.String("paths", "all", "path set: direct|2gpus|3gpus|3gpus_host|all")
+		adaptive  = flag.Bool("adaptive", false, "use the adaptive-phi planner")
+		window    = flag.Int("window", 1, "concurrent copies of the transfer")
+		tracePath = flag.String("trace", "", "write a Perfetto trace of the run to this file")
 	)
 	flag.Parse()
 
@@ -75,9 +77,15 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer(s.Now)
+	}
+
 	opts := core.DefaultOptions()
 	opts.AdaptivePhi = *adaptive
 	model := core.NewModel(core.SpecSource{Node: node}, opts)
+	model.AttachTracer(tr)
 	plan, err := model.PlanTransfer(paths, n)
 	if err != nil {
 		fatal("plan: %v", err)
@@ -90,13 +98,19 @@ func main() {
 		fmt.Printf("%-10s  %8.4f  %12.0f  %6d\n", pp.Path.String(), pp.Theta, pp.Bytes, pp.Chunks)
 	}
 
-	eng := pipeline.New(cuda.NewRuntime(node), pipeline.DefaultConfig())
+	rt := cuda.NewRuntime(node)
+	rt.AttachTracer(tr)
+	eng := pipeline.New(rt, pipeline.DefaultConfig())
+	eng.AttachTracer(tr)
 	results := make([]*pipeline.Result, *window)
 	for i := 0; i < *window; i++ {
-		res, err := eng.Execute(plan)
+		root := tr.Begin(fmt.Sprintf("xfer:%d->%d", *src, *dst), "xfer", "transfer",
+			obs.NoSpan, obs.KVf("bytes", n))
+		res, err := eng.ExecuteSpan(plan, root)
 		if err != nil {
 			fatal("execute: %v", err)
 		}
+		res.Done.OnFire(func() { tr.End(root) })
 		results[i] = res
 	}
 	if err := s.Run(); err != nil {
@@ -120,6 +134,22 @@ func main() {
 	fmt.Println("\nlink utilization:")
 	if err := trace.Render(os.Stdout, trace.SnapshotLinks(node)); err != nil {
 		fatal("trace: %v", err)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("create %s: %v", *tracePath, err)
+		}
+		werr := tr.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal("trace: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Perfetto trace (%d spans, %d instants) to %s\n",
+			tr.Len(), tr.InstantCount(), *tracePath)
 	}
 }
 

@@ -47,6 +47,9 @@ var restrictedBases = map[string]bool{
 	"hw":        true,
 	"stats":     true,
 	"trace":     true,
+	// obs records span/instant timestamps that land in exported traces:
+	// they must come from the sim clock, never the host clock.
+	"obs": true,
 }
 
 // wallClock are the time-package functions whose result or behaviour

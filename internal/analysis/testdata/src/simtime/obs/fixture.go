@@ -1,0 +1,46 @@
+// Package obs is a simtime fixture for the observability layer: trace
+// timestamps feed exported Perfetto files that must be byte-identical
+// run-to-run, so every clock read must come from the simulator, never the
+// host. The path base "obs" is inside the determinism boundary.
+package obs
+
+import (
+	"time"
+)
+
+// Clock mirrors the real obs.Clock: a sim-time source injected by the
+// caller. Reading it is the sanctioned way to timestamp events.
+type Clock func() float64
+
+// Span mirrors the real span shape enough for the fixture.
+type Span struct {
+	Name  string
+	Start float64
+}
+
+// beginWall is the violation this fixture pins: stamping a span from the
+// host clock would make exported traces differ run-to-run.
+func beginWall(name string) Span {
+	return Span{
+		Name:  name,
+		Start: float64(time.Now().UnixNano()) / 1e9, // want "time.Now reads the wall clock"
+	}
+}
+
+// beginSim is the correct form: the injected sim clock is the only
+// timestamp source.
+func beginSim(clock Clock, name string) Span {
+	return Span{Name: name, Start: clock()}
+}
+
+// ageWall measures a span's age against the wall clock — equally illegal,
+// and via a different restricted function.
+func ageWall(s Span) float64 {
+	return time.Since(time.Unix(0, int64(s.Start*1e9))).Seconds() // want "time.Since reads the wall clock"
+}
+
+// Sanctioned exception: a debug helper may deliberately compare sim time
+// to host time, but only behind an explicit, justified allow.
+//
+//lint:allow simtime debug-only sim-vs-host clock skew probe, never in exported traces
+var debugEpoch = time.Now()

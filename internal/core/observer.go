@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // Online recalibration (the adaptive runtime's feedback loop): the planner's
@@ -127,6 +128,9 @@ type Observer struct {
 
 	samples atomic.Int64
 	refits  atomic.Int64
+
+	// tr, when set, records an instant per re-fit on the recal track.
+	tr atomic.Pointer[obs.Tracer]
 }
 
 // NewObserver creates a recalibration observer. Zero-valued options fields
@@ -169,6 +173,7 @@ func (o *Observer) Record(kind hw.PathKind, predicted, achieved float64) {
 	o.samples.Add(1)
 
 	var invalidate []*Model
+	refitScale, refitSlope := 0.0, 0.0
 	if cl.n >= o.opts.MinSamples {
 		if m, ok := cl.slope(); ok && math.Abs(m-1) > o.opts.DriftThreshold {
 			// Achieved ≫ predicted (m > 1) means the class is slower than
@@ -186,18 +191,30 @@ func (o *Observer) Record(kind hw.PathKind, predicted, achieved float64) {
 			o.scale[kind] = cur
 			cl.reset()
 			o.refits.Add(1)
+			refitScale, refitSlope = cur, m
 			invalidate = append(invalidate, o.models...)
 		}
 	}
 	o.mu.Unlock()
 
-	// Invalidate outside the observer lock: cache invalidation takes shard
-	// locks, and plan() calls adjust() which takes o.mu — holding both here
-	// would order the locks both ways.
+	// Invalidate (and trace) outside the observer lock: cache invalidation
+	// takes shard locks, and plan() calls adjust() which takes o.mu —
+	// holding both here would order the locks both ways.
 	for _, m := range invalidate {
 		m.InvalidateCache()
 	}
+	if refitScale != 0 {
+		o.tr.Load().Instant("recal", "recal", "refit",
+			obs.KV("kind", kind.String()),
+			obs.KVf("slope", refitSlope),
+			obs.KVf("beta_scale", refitScale))
+	}
 }
+
+// AttachTracer wires span tracing into the recalibration loop: each re-fit
+// records an instant on the recal track with the fitted slope and the new β
+// scale. Attaching nil detaches.
+func (o *Observer) AttachTracer(tr *obs.Tracer) { o.tr.Store(tr) }
 
 // BetaScale returns the current β correction for a path kind (1 = none).
 func (o *Observer) BetaScale(kind hw.PathKind) float64 {

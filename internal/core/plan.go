@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
 // ChunkRule selects how per-path chunk counts are computed.
@@ -155,6 +156,10 @@ type Model struct {
 	// obs, when set, applies online β corrections to path parameters at
 	// planning time (see Observer).
 	obs atomic.Pointer[Observer]
+	// tr, when set, records a span per plan lookup with the cache outcome
+	// (hit / miss / merge). Loaded once per lookup; nil costs one pointer
+	// check on the hot path.
+	tr atomic.Pointer[obs.Tracer]
 }
 
 // NewModel creates a planner.
@@ -213,6 +218,15 @@ func (m *Model) AttachObserver(o *Observer) {
 // Observer returns the attached recalibration observer, or nil.
 func (m *Model) Observer() *Observer { return m.obs.Load() }
 
+// AttachTracer wires span tracing into the planner: every PlanTransfer
+// records a "solve" span on the planner track annotated with the cache
+// outcome. Attaching nil detaches; with no tracer attached the lookup path
+// pays a single atomic pointer load.
+func (m *Model) AttachTracer(tr *obs.Tracer) { m.tr.Store(tr) }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Model) Tracer() *obs.Tracer { return m.tr.Load() }
+
 // planScratch holds the per-computation working set of Model.plan so a
 // cache miss performs no allocations beyond the returned Plan itself.
 type planScratch struct {
@@ -244,15 +258,51 @@ func (sc *planScratch) resize(p int) {
 // (path set, size) — or per (path set, size class) with QuantizeSizes on —
 // and the cached fast path is allocation-free.
 func (m *Model) PlanTransfer(paths []hw.Path, n float64) (*Plan, error) {
+	return m.PlanTransferSpan(paths, n, obs.NoSpan)
+}
+
+// PlanTransferSpan is PlanTransfer with an explicit trace parent: when a
+// tracer is attached, the lookup records a "solve" span on the planner
+// track parented under the caller's span (typically a transfer), annotated
+// with the cache outcome. With no tracer attached the extra cost is one
+// atomic pointer load.
+func (m *Model) PlanTransferSpan(paths []hw.Path, n float64, parent obs.SpanID) (*Plan, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no candidate paths")
 	}
 	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
 		return nil, fmt.Errorf("core: invalid message size %v", n)
 	}
+	tr := m.tr.Load()
+	if tr == nil {
+		return m.lookup(paths, n, nil)
+	}
+	sp := tr.Begin("planner", "plan", "solve", parent,
+		obs.KVi("paths", int64(len(paths))), obs.KVf("bytes", n))
+	var computed bool
+	pl, err := m.lookup(paths, n, &computed)
+	outcome := "hit"
+	if computed {
+		outcome = "miss"
+	}
+	if err != nil {
+		tr.EndWith(sp, obs.KV("cache", outcome), obs.KV("error", err.Error()))
+		return nil, err
+	}
+	tr.EndWith(sp, obs.KV("cache", outcome), obs.KVf("predicted_s", pl.PredictedTime))
+	return pl, nil
+}
+
+// lookup serves a validated plan request from the configuration cache.
+// When computed is non-nil it is set to true iff this call ran the solver
+// (a cache miss; hits and in-flight merges leave it false).
+func (m *Model) lookup(paths []hw.Path, n float64, computed *bool) (*Plan, error) {
 	if m.opts.QuantizeSizes {
 		if nq := quantizeSize(n); nq != n {
 			base, err := m.cache.get(planKey(paths, nq), func() (*Plan, error) {
+				if computed != nil {
+					*computed = true
+				}
 				return m.plan(paths, nq)
 			})
 			if err != nil {
@@ -262,6 +312,9 @@ func (m *Model) PlanTransfer(paths []hw.Path, n float64) (*Plan, error) {
 		}
 	}
 	return m.cache.get(planKey(paths, n), func() (*Plan, error) {
+		if computed != nil {
+			*computed = true
+		}
 		return m.plan(paths, n)
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,9 @@ type Runtime struct {
 	hosts   []*HostAllocator
 	nextIpc uint64
 	ipc     map[uint64]*DeviceBuffer
+	// tr, when set, records graph launch/replay instants. Attach before
+	// launching work; nil costs one pointer check per graph launch.
+	tr *obs.Tracer
 }
 
 // NewRuntime creates a runtime over the given realized topology.
@@ -53,6 +57,14 @@ func NewRuntime(node *hw.Node) *Runtime {
 	}
 	return rt
 }
+
+// AttachTracer wires span tracing into the runtime: every graph launch
+// records an instant on the graph track with its node count and launch
+// overhead. Attaching nil detaches.
+func (rt *Runtime) AttachTracer(tr *obs.Tracer) { rt.tr = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tr }
 
 // Sim returns the simulator the runtime is bound to.
 func (rt *Runtime) Sim() *sim.Simulator { return rt.sim }

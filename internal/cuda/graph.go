@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -271,6 +272,12 @@ func (x *GraphExec) Launch() *Replay {
 		groupSigs: make([]*sim.Signal, len(x.groupSize)),
 	}
 	x.launches.Add(1)
+	if tr := x.g.rt.tr; tr != nil {
+		tr.Instant("graph", "graph", "launch",
+			obs.KVi("nodes", int64(len(x.g.nodes))),
+			obs.KVf("overhead_s", rep.params.overhead),
+			obs.KVi("launches", x.launches.Load()))
+	}
 	s.Schedule(rep.params.overhead, rep.start)
 	return rep
 }

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// The obs experiment quantifies the observability layer's cost: the same
+// Put-window workload is run per (cluster, size) cell with UCX_MP_TRACE
+// off and on, wall-clock timed, giving disabled/enabled nanoseconds per
+// transfer and the enabled run's span and instant volume. The disabled
+// number is the one the acceptance gate cares about — every hook is a nil
+// pointer check when tracing is off, so it must sit within noise of the
+// seed. Like plancache and the graphs launch ladder, the ns/op fields are
+// host wall-clock and not byte-reproducible; counts are deterministic.
+
+// ObsPoint is one (cluster, size) overhead comparison.
+type ObsPoint struct {
+	Cluster string  `json:"cluster"`
+	Bytes   float64 `json:"bytes"`
+	Window  int     `json:"window"`
+	// DisabledNsPerOp / EnabledNsPerOp are wall-clock nanoseconds per Put
+	// (issue + simulated completion) with tracing off and on.
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+	// OverheadPct is 100 * (enabled/disabled - 1).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Spans / Instants are the enabled run's recorded event counts.
+	Spans    int `json:"spans"`
+	Instants int `json:"instants"`
+}
+
+// obsSizes is the default message sweep: one rendezvous size below the
+// adaptive threshold (whole-plan attempts) and one above it (chunk-pool
+// feeders), so both execution modes are costed.
+var obsSizes = []float64{4 * hw.MiB, 32 * hw.MiB}
+
+// obsWorkload runs reps windows of Puts 0→1 on a fresh stack and reports
+// wall-clock ns per Put plus the tracer's event counts (0/0 untraced).
+// The configuration exercises the full lifecycle: segmentation and
+// recalibration on, so traced runs produce chunk, refit, and solve events.
+func obsWorkload(cluster string, bytes float64, window, reps int, trace bool) (float64, int, int, error) {
+	spec, err := specFor(cluster)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cfg := adaptiveFaultConfig()
+	cfg.Trace = trace
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ep, err := ctx.NewWorker(0).Connect(1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	run := func(n int) error {
+		for i := 0; i < n; i++ {
+			for j := 0; j < window; j++ {
+				if _, err := ep.Put(bytes); err != nil {
+					return err
+				}
+			}
+			if err := s.Run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(1); err != nil { // warmup: heat plan cache and IPC handles
+		return 0, 0, 0, err
+	}
+	t0 := time.Now()
+	if err := run(reps); err != nil {
+		return 0, 0, 0, err
+	}
+	ns := float64(time.Since(t0).Nanoseconds()) / float64(reps*window)
+	spans, instants := 0, 0
+	if tr := ctx.Tracer(); tr != nil {
+		spans, instants = tr.Len(), tr.InstantCount()
+	}
+	return ns, spans, instants, nil
+}
+
+// ObsBench measures tracing overhead over the cluster × size grid.
+func ObsBench(opts Options) (*Figure, []ObsPoint, error) {
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = obsSizes
+	}
+	window := 16
+	if len(opts.Windows) > 0 {
+		window = opts.Windows[len(opts.Windows)-1]
+	}
+	reps := 20 * opts.Iters
+	if reps < 20 {
+		reps = 20
+	}
+	clusters := opts.Clusters
+	if len(clusters) == 0 {
+		clusters = []string{"beluga", "narval"}
+	}
+	fig := &Figure{
+		ID:      "obs",
+		Caption: "Observability overhead: Put wall-clock cost with tracing off vs on",
+	}
+	var points []ObsPoint
+	for _, cluster := range clusters {
+		panel := Panel{
+			Title:  fmt.Sprintf("obs overhead on %s; win=%d", cluster, window),
+			YLabel: "ns/op",
+		}
+		var sd, se, so Series
+		sd.Name, se.Name, so.Name = "disabled", "enabled", "overhead_%"
+		for _, n := range sizes {
+			dis, _, _, err := obsWorkload(cluster, n, window, reps, false)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp: obs disabled (%s, %v): %w", cluster, n, err)
+			}
+			en, spans, instants, err := obsWorkload(cluster, n, window, reps, true)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp: obs enabled (%s, %v): %w", cluster, n, err)
+			}
+			pct := 0.0
+			if dis > 0 {
+				pct = 100 * (en/dis - 1)
+			}
+			sd.Points = append(sd.Points, Point{Bytes: n, Value: dis})
+			se.Points = append(se.Points, Point{Bytes: n, Value: en})
+			so.Points = append(so.Points, Point{Bytes: n, Value: pct})
+			points = append(points, ObsPoint{
+				Cluster: cluster, Bytes: n, Window: window,
+				DisabledNsPerOp: dis, EnabledNsPerOp: en, OverheadPct: pct,
+				Spans: spans, Instants: instants,
+			})
+		}
+		panel.Series = []Series{sd, se, so}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, points, nil
+}
+
+// ObsTraceInfo summarizes one ObsTrace run.
+type ObsTraceInfo struct {
+	Spans    int
+	Instants int
+	Stats    ucx.StatsSnapshot
+}
+
+// ObsTrace runs a fault-rich traced transfer — the fig7-class adaptive
+// runtime (chunk-pool segmentation, recalibration, failover) with the
+// direct link degraded mid-transfer — and writes the Perfetto trace JSON
+// to w. The run is fully deterministic: two calls produce byte-identical
+// traces. It backs the -trace flags of mpbench and mpsim.
+func ObsTrace(cluster string, w io.Writer) (*ObsTraceInfo, error) {
+	tFree, err := faultFreeTime(cluster, faultRefBytes)
+	if err != nil {
+		return nil, err
+	}
+	var fp hw.FaultPlan
+	fp.Degrade(0.5*tFree, hw.NVLinkRef(0, 1), 0.5)
+
+	spec, err := specFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := adaptiveFaultConfig()
+	cfg.Trace = true
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), cfg)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := fp.Arm(node)
+	if err != nil {
+		return nil, err
+	}
+	inj.OnEvent(func(ev hw.FaultEvent) {
+		ctx.Tracer().Instant("faults", "fault", ev.Kind.String(),
+			obs.KV("link", ev.Link.String()), obs.KVf("factor", ev.Factor))
+		ctx.NotifyFault()
+	})
+	req, err := ctx.StartTransfer(0, 1, faultRefBytes, hw.AllPaths)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if err := req.Done.Err(); err != nil {
+		return nil, err
+	}
+	tr := ctx.Tracer()
+	if err := tr.WritePerfetto(w); err != nil {
+		return nil, err
+	}
+	return &ObsTraceInfo{
+		Spans:    tr.Len(),
+		Instants: tr.InstantCount(),
+		Stats:    ctx.StatsSnapshot(),
+	}, nil
+}

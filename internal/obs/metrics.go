@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry is the aggregate half of the observability layer:
+// named atomic counters, gauges, and fixed-boundary histograms that any
+// component can record into from the hot path, with one deterministic JSON
+// Snapshot at the end of a run. Like the tracer, every method is nil-safe,
+// and recording is lock-free (atomics only) so a -race stress over
+// concurrent recorders is clean.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one. Safe on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter. Safe on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value (set or adjusted atomically).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta via CAS. Safe on a nil gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge. Safe on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed, monotonically increasing
+// bucket boundaries chosen at registration. An observation lands in the
+// first bucket whose upper bound is >= the value; values beyond the last
+// bound land in the implicit overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// Observe records one value. Safe on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations. Safe on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observed values. Safe on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry holds named metrics. Registration takes a lock; recording
+// through the returned metric pointers is lock-free. Components should
+// register once at attach time and cache the pointers.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe on a nil registry (returns nil, whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Safe on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (bounds must be sorted ascending;
+// later calls reuse the existing bounds). Safe on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported state of one histogram: per-bucket
+// counts keyed by upper bound, plus the overflow bucket, count, and sum.
+type HistogramSnapshot struct {
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"` // len(Bounds)+1; last is overflow
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Mean     float64   `json:"mean"`
+	Overflow int64     `json:"overflow"`
+}
+
+// Snapshot is a point-in-time JSON-ready view of every registered metric,
+// with deterministically ordered keys (encoding/json sorts map keys).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. Safe on
+// a nil registry (returns a zero Snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds: h.bounds,
+				Counts: make([]int64, len(h.buckets)),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+			for i := range h.buckets {
+				hs.Counts[i] = h.buckets[i].Load()
+			}
+			hs.Overflow = hs.Counts[len(hs.Counts)-1]
+			if hs.Count > 0 {
+				hs.Mean = hs.Sum / float64(hs.Count)
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Output is deterministic:
+// encoding/json emits map keys in sorted order.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

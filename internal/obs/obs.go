@@ -1,0 +1,227 @@
+// Package obs is the repo's deterministic observability layer: structured
+// span tracing, a metrics registry, and a Chrome/Perfetto trace exporter.
+//
+// Everything in this package is driven by the *simulated* clock — spans and
+// instants are stamped with sim seconds, never wall time — so a traced run
+// is bit-reproducible: two identical runs produce byte-identical trace
+// files. The package sits below every execution layer (core, pipeline,
+// cuda, ucx) and imports none of them; components receive a *Tracer and a
+// Clock at attach time.
+//
+// All Tracer and Registry methods are nil-safe: calling them on a nil
+// receiver is a no-op, so instrumented code can hold a possibly-nil pointer
+// and call through it unconditionally. Hot paths should still guard with an
+// explicit nil check so the disabled cost is a single pointer comparison.
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Clock reads the current simulated time in seconds. sim.Time is a float64
+// alias, so a Simulator's Now method is directly assignable.
+type Clock func() float64
+
+// SpanID identifies one span within a Tracer. IDs are assigned sequentially
+// from 1; NoSpan (zero) means "no parent" / "no span".
+type SpanID uint64
+
+// NoSpan is the zero SpanID: the absent parent of a root span, and the
+// value nil-tracer Begin calls return.
+const NoSpan SpanID = 0
+
+// Attr is one key/value annotation on a span or instant. Values are
+// pre-rendered strings so the tracer never holds live references into the
+// simulation.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// KV builds a string attribute.
+func KV(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// KVf builds a float attribute, rendered with strconv ('g', shortest).
+func KVf(key string, val float64) Attr {
+	return Attr{Key: key, Val: strconv.FormatFloat(val, 'g', -1, 64)}
+}
+
+// KVi builds an integer attribute.
+func KVi(key string, val int64) Attr {
+	return Attr{Key: key, Val: strconv.FormatInt(val, 10)}
+}
+
+// Span is one completed (or still-open) interval in the trace. Start and
+// End are sim seconds; End < Start marks a span still open when the trace
+// was exported.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	// Track groups spans onto one timeline row in the exported trace
+	// (rendered as a Perfetto thread). Examples: "planner", "xfer:0->1",
+	// "path:Direct", "graph".
+	Track string
+	// Cat is the span category ("plan", "xfer", "graph", ...), exported as
+	// the Perfetto event category.
+	Cat   string
+	Name  string
+	Start float64
+	End   float64
+	Attrs []Attr
+}
+
+// Instant is one zero-duration event: a fault firing, a failover decision,
+// a recalibration refit, a chunk completion.
+type Instant struct {
+	Track string
+	Cat   string
+	Name  string
+	At    float64
+	Attrs []Attr
+}
+
+// Tracer records spans and instants stamped with sim time. A Tracer is
+// safe for concurrent use; in the single-threaded simulation loop (where
+// all instrumented code runs) recording order — and therefore span-ID
+// assignment — is deterministic.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    Clock
+	next     uint64
+	spans    []Span
+	open     map[SpanID]int // span ID -> index in spans, while open
+	instants []Instant
+}
+
+// NewTracer builds a tracer reading timestamps from clock. A nil clock
+// stamps everything at 0 (useful only in tests).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock, open: make(map[SpanID]int)}
+}
+
+func (t *Tracer) now() float64 {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Begin opens a span on track with the given category, name, and parent
+// (NoSpan for a root span), stamped at the current sim time. Safe on a nil
+// tracer (returns NoSpan).
+func (t *Tracer) Begin(track, cat, name string, parent SpanID, attrs ...Attr) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := SpanID(t.next)
+	t.open[id] = len(t.spans)
+	t.spans = append(t.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Track:  track,
+		Cat:    cat,
+		Name:   name,
+		Start:  t.now(),
+		End:    -1,
+		Attrs:  attrs,
+	})
+	return id
+}
+
+// End closes an open span at the current sim time. Unknown or already
+// closed IDs (and NoSpan) are ignored. Safe on a nil tracer.
+func (t *Tracer) End(id SpanID) { t.EndWith(id) }
+
+// EndWith closes an open span, appending extra attributes recorded at end
+// time (outcome, bytes moved, error class). Safe on a nil tracer.
+func (t *Tracer) EndWith(id SpanID, attrs ...Attr) {
+	if t == nil || id == NoSpan {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	sp := &t.spans[i]
+	sp.End = t.now()
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Instant records a zero-duration event at the current sim time. Safe on a
+// nil tracer.
+func (t *Tracer) Instant(track, cat, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.instants = append(t.instants, Instant{
+		Track: track,
+		Cat:   cat,
+		Name:  name,
+		At:    t.now(),
+		Attrs: attrs,
+	})
+}
+
+// Spans returns a copy of all recorded spans, open ones included (End < 0),
+// ordered by (Start, ID). Safe on a nil tracer (returns nil).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Instants returns a copy of all recorded instants ordered by (At, record
+// order). Safe on a nil tracer (returns nil).
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Instant, len(t.instants))
+	copy(out, t.instants)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+// Len reports the number of recorded spans. Safe on a nil tracer.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// InstantCount reports the number of recorded instants. Safe on a nil
+// tracer.
+func (t *Tracer) InstantCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.instants)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"testing"
+)
+
+// manualClock is a test clock advanced by hand.
+type manualClock struct{ now float64 }
+
+func (c *manualClock) read() float64 { return c.now }
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	clk := &manualClock{}
+	tr := NewTracer(clk.read)
+
+	root := tr.Begin("xfer:0->1", "xfer", "put", NoSpan, KVi("bytes", 1024))
+	if root == NoSpan {
+		t.Fatal("Begin returned NoSpan on a live tracer")
+	}
+	clk.now = 1.5
+	child := tr.Begin("path:Direct", "path", "direct", root)
+	clk.now = 2.0
+	tr.EndWith(child, KV("outcome", "ok"))
+	clk.now = 3.0
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].ID != root || spans[0].Start != 0 || spans[0].End != 3.0 {
+		t.Fatalf("root span wrong: %+v", spans[0])
+	}
+	if spans[1].Parent != root {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if spans[1].Start != 1.5 || spans[1].End != 2.0 {
+		t.Fatalf("child interval [%v,%v], want [1.5,2]", spans[1].Start, spans[1].End)
+	}
+	found := false
+	for _, a := range spans[1].Attrs {
+		if a.Key == "outcome" && a.Val == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EndWith attr missing: %+v", spans[1].Attrs)
+	}
+}
+
+func TestTracerSequentialIDs(t *testing.T) {
+	tr := NewTracer(nil)
+	var prev SpanID
+	for i := 0; i < 10; i++ {
+		id := tr.Begin("t", "c", "n", NoSpan)
+		if id != prev+1 {
+			t.Fatalf("span ID %d after %d; want sequential", id, prev)
+		}
+		prev = id
+		tr.End(id)
+	}
+}
+
+func TestTracerOpenSpanAndDoubleEnd(t *testing.T) {
+	clk := &manualClock{}
+	tr := NewTracer(clk.read)
+	id := tr.Begin("t", "c", "open", NoSpan)
+	clk.now = 5
+	sp := tr.Spans()
+	if len(sp) != 1 || sp[0].End >= sp[0].Start {
+		t.Fatalf("open span should report End < Start: %+v", sp)
+	}
+	tr.End(id)
+	tr.End(id) // second End is a no-op
+	tr.End(SpanID(999))
+	tr.End(NoSpan)
+	sp = tr.Spans()
+	if sp[0].End != 5 {
+		t.Fatalf("End = %v, want 5", sp[0].End)
+	}
+}
+
+func TestTracerInstants(t *testing.T) {
+	clk := &manualClock{}
+	tr := NewTracer(clk.read)
+	clk.now = 2
+	tr.Instant("faults", "fault", "degrade", KV("link", "nvlink:0->1"))
+	clk.now = 1
+	tr.Instant("faults", "fault", "flap")
+	ins := tr.Instants()
+	if len(ins) != 2 {
+		t.Fatalf("got %d instants, want 2", len(ins))
+	}
+	if ins[0].At != 1 || ins[1].At != 2 {
+		t.Fatalf("instants not time-ordered: %+v", ins)
+	}
+	if tr.InstantCount() != 2 || tr.Len() != 0 {
+		t.Fatalf("counts wrong: instants=%d spans=%d", tr.InstantCount(), tr.Len())
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	id := tr.Begin("t", "c", "n", NoSpan, KV("k", "v"))
+	if id != NoSpan {
+		t.Fatalf("nil Begin returned %d, want NoSpan", id)
+	}
+	tr.End(id)
+	tr.EndWith(id, KVf("x", 1))
+	tr.Instant("t", "c", "n")
+	if tr.Spans() != nil || tr.Instants() != nil || tr.Len() != 0 || tr.InstantCount() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	if a := KV("k", "v"); a.Key != "k" || a.Val != "v" {
+		t.Fatalf("KV: %+v", a)
+	}
+	if a := KVf("f", 0.5); a.Val != "0.5" {
+		t.Fatalf("KVf: %+v", a)
+	}
+	if a := KVi("i", -3); a.Val != "-3" {
+		t.Fatalf("KVi: %+v", a)
+	}
+}

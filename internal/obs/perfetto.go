@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto export: the tracer's spans and instants are serialized in the
+// Chrome trace-event JSON format ("X" complete events, "i" instants, "M"
+// thread-name metadata), which ui.perfetto.dev and chrome://tracing open
+// directly. Each tracer track becomes one Perfetto thread under a single
+// process; sim seconds map to trace microseconds.
+//
+// The writer is deterministic end to end — tracks are tid-assigned in
+// sorted name order, events are emitted in a fixed order, and args maps are
+// marshalled by encoding/json (sorted keys) — so two identical runs produce
+// byte-identical trace files.
+
+// perfettoPid is the single synthetic process all tracks live under.
+const perfettoPid = 1
+
+// metaEvent is a Perfetto "M" metadata record (process/thread names).
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// completeEvent is a Perfetto "X" event: one span with ts and dur in
+// microseconds.
+type completeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// instantEvent is a Perfetto "i" event; scope "t" pins it to its thread.
+type instantEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace-event JSON object.
+type traceFile struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+}
+
+// usec converts sim seconds to trace microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+// WritePerfetto serializes the tracer's recorded spans and instants as
+// Chrome trace-event JSON. Safe on a nil tracer (writes an empty trace).
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	spans := t.Spans()
+	instants := t.Instants()
+
+	// Assign tids: tracks in sorted name order, starting at 1.
+	trackSet := make(map[string]bool)
+	for _, sp := range spans {
+		trackSet[sp.Track] = true
+	}
+	for _, in := range instants {
+		trackSet[in.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for name := range trackSet {
+		tracks = append(tracks, name)
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	for i, name := range tracks {
+		tid[name] = i + 1
+	}
+
+	// Open spans (End < Start) are clamped to the latest timestamp in the
+	// trace and flagged, so an aborted run still renders.
+	horizon := 0.0
+	for _, sp := range spans {
+		if sp.End > horizon {
+			horizon = sp.End
+		}
+		if sp.Start > horizon {
+			horizon = sp.Start
+		}
+	}
+	for _, in := range instants {
+		if in.At > horizon {
+			horizon = in.At
+		}
+	}
+
+	events := make([]json.RawMessage, 0, len(spans)+len(instants)+len(tracks)+1)
+	push := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+		return nil
+	}
+
+	if err := push(metaEvent{
+		Name: "process_name", Ph: "M", Pid: perfettoPid, Tid: 0,
+		Args: map[string]string{"name": "multipath-sim"},
+	}); err != nil {
+		return err
+	}
+	for _, name := range tracks {
+		if err := push(metaEvent{
+			Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: tid[name],
+			Args: map[string]string{"name": name},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, sp := range spans {
+		args := make(map[string]string, len(sp.Attrs)+2)
+		args["span"] = fmt.Sprintf("%d", sp.ID)
+		if sp.Parent != NoSpan {
+			args["parent"] = fmt.Sprintf("%d", sp.Parent)
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Val
+		}
+		end := sp.End
+		if end < sp.Start {
+			end = horizon
+			args["open"] = "true"
+		}
+		if err := push(completeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			Ts: usec(sp.Start), Dur: usec(end - sp.Start),
+			Pid: perfettoPid, Tid: tid[sp.Track], Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, in := range instants {
+		var args map[string]string
+		if len(in.Attrs) > 0 {
+			args = make(map[string]string, len(in.Attrs))
+			for _, a := range in.Attrs {
+				args[a.Key] = a.Val
+			}
+		}
+		if err := push(instantEvent{
+			Name: in.Name, Cat: in.Cat, Ph: "i",
+			Ts: usec(in.At), Pid: perfettoPid, Tid: tid[in.Track],
+			Scope: "t", Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// ValidateTraceJSON checks that data is a structurally sound Chrome
+// trace-event file: a traceEvents array whose entries all carry ph, pid,
+// and tid, with ts and dur present on every "X" event, and every parent
+// span interval containing its children. It is the schema gate the golden
+// and integration tests share.
+func ValidateTraceJSON(data []byte) error {
+	var tf struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	type spanIval struct{ start, end float64 }
+	intervals := make(map[string]spanIval)
+	parents := make(map[string]string)
+	for i, ev := range tf.TraceEvents {
+		var ph string
+		if err := unmarshalField(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("obs: event %d: %w", i, err)
+		}
+		var pid, tidv int
+		if err := unmarshalField(ev, "pid", &pid); err != nil {
+			return fmt.Errorf("obs: event %d (%s): %w", i, ph, err)
+		}
+		if err := unmarshalField(ev, "tid", &tidv); err != nil {
+			return fmt.Errorf("obs: event %d (%s): %w", i, ph, err)
+		}
+		switch ph {
+		case "X":
+			var ts, dur float64
+			if err := unmarshalField(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("obs: event %d: %w", i, err)
+			}
+			if err := unmarshalField(ev, "dur", &dur); err != nil {
+				return fmt.Errorf("obs: event %d: %w", i, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("obs: event %d: negative dur %v", i, dur)
+			}
+			var args struct {
+				Span   string `json:"span"`
+				Parent string `json:"parent"`
+			}
+			if raw, ok := ev["args"]; ok {
+				if err := json.Unmarshal(raw, &args); err != nil {
+					return fmt.Errorf("obs: event %d: bad args: %w", i, err)
+				}
+			}
+			if args.Span != "" {
+				intervals[args.Span] = spanIval{start: ts, end: ts + dur}
+				if args.Parent != "" {
+					parents[args.Span] = args.Parent
+				}
+			}
+		case "M", "i":
+			// No further required fields.
+		default:
+			return fmt.Errorf("obs: event %d: unexpected ph %q", i, ph)
+		}
+	}
+	// Nesting: every child span must lie within its parent's interval.
+	const slack = 1e-6 // µs; float round-trip tolerance
+	ids := make([]string, 0, len(parents))
+	for id := range parents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pid := parents[id]
+		child, ok := intervals[id]
+		if !ok {
+			continue
+		}
+		parent, ok := intervals[pid]
+		if !ok {
+			return fmt.Errorf("obs: span %s references missing parent %s", id, pid)
+		}
+		if child.start < parent.start-slack || child.end > parent.end+slack {
+			return fmt.Errorf("obs: span %s [%v,%v] escapes parent %s [%v,%v]",
+				id, child.start, child.end, pid, parent.start, parent.end)
+		}
+	}
+	return nil
+}
+
+// unmarshalField decodes one required field of a raw event.
+func unmarshalField(ev map[string]json.RawMessage, key string, dst any) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q field", key)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("bad %q field: %w", key, err)
+	}
+	return nil
+}

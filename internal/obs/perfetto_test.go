@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer replays a fixed instrumentation sequence — a transfer with a
+// planner solve, two path spans, chunk instants, a fault, and one span left
+// open — against a manual clock. It is the input of both the golden-file
+// and the byte-identity tests.
+func goldenTracer() *Tracer {
+	clk := &manualClock{}
+	tr := NewTracer(clk.read)
+
+	xfer := tr.Begin("xfer:0->1", "xfer", "put", NoSpan, KVi("bytes", 1<<20))
+	solve := tr.Begin("planner", "plan", "solve", xfer, KV("cache", "miss"))
+	clk.now = 0.001
+	tr.EndWith(solve, KVi("paths", 2))
+	direct := tr.Begin("path:Direct", "path", "direct", xfer, KVi("chunks", 2))
+	staged := tr.Begin("path:GPUStaged", "path", "gpu-staged", xfer, KVi("chunks", 1))
+	clk.now = 0.002
+	tr.Instant("path:Direct", "chunk", "chunk-done", KVi("index", 0))
+	clk.now = 0.0025
+	tr.Instant("faults", "fault", "degrade", KV("link", "nvlink:0->1"), KVf("factor", 0.5))
+	clk.now = 0.003
+	tr.Instant("path:Direct", "chunk", "chunk-done", KVi("index", 1))
+	tr.End(direct)
+	clk.now = 0.004
+	tr.End(staged)
+	tr.EndWith(xfer, KV("outcome", "ok"))
+	clk.now = 0.005
+	tr.Begin("xfer:0->1", "xfer", "put", NoSpan, KVi("bytes", 4096)) // left open
+	return tr
+}
+
+// TestPerfettoGolden validates the exporter against a checked-in golden
+// file and the schema gate. Regenerate with: go test ./internal/obs -run
+// Golden -update
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("golden trace fails schema validation: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output drifted from golden file\ngot:\n%s", buf.String())
+	}
+}
+
+// TestPerfettoByteIdentical asserts the acceptance criterion directly: two
+// identical runs produce byte-identical trace files.
+func TestPerfettoByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenTracer().WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTracer().WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical runs produced different trace bytes")
+	}
+}
+
+func TestPerfettoSchemaFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	var xCount, iCount, mCount int
+	for i, ev := range tf.TraceEvents {
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatalf("event %d has no ph: %v", i, err)
+		}
+		for _, key := range []string{"pid", "tid", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d (%s) missing %q", i, ph, key)
+			}
+		}
+		switch ph {
+		case "X":
+			xCount++
+			for _, key := range []string{"ts", "dur", "cat"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("X event %d missing %q", i, key)
+				}
+			}
+		case "i":
+			iCount++
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("i event %d missing ts", i)
+			}
+		case "M":
+			mCount++
+		default:
+			t.Fatalf("unexpected ph %q", ph)
+		}
+	}
+	if xCount != 5 || iCount != 3 {
+		t.Fatalf("got %d X and %d i events, want 5 and 3", xCount, iCount)
+	}
+	// process_name + one thread_name per track (planner, xfer, 2 paths, faults).
+	if mCount != 6 {
+		t.Fatalf("got %d metadata events, want 6", mCount)
+	}
+}
+
+func TestValidateTraceJSONRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no events array": `{"foo": 1}`,
+		"missing pid":     `{"traceEvents":[{"ph":"X","tid":1,"ts":0,"dur":1,"name":"x"}]}`,
+		"missing dur":     `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0,"name":"x"}]}`,
+		"negative dur":    `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0,"dur":-1,"name":"x"}]}`,
+		"bad ph":          `{"traceEvents":[{"ph":"Q","pid":1,"tid":1,"name":"x"}]}`,
+		"orphan parent":   `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1,"name":"x","args":{"span":"2","parent":"1"}}]}`,
+		"child escapes parent": `{"traceEvents":[` +
+			`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":10,"name":"p","args":{"span":"1"}},` +
+			`{"ph":"X","pid":1,"tid":1,"ts":5,"dur":10,"name":"c","args":{"span":"2","parent":"1"}}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateTraceJSON([]byte(data)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	if err := ValidateTraceJSON([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace should validate: %v", err)
+	}
+}
+
+func TestNilTracerWritesEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("nil-tracer trace invalid: %v", err)
+	}
+}

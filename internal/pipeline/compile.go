@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,12 @@ func (e *Engine) Compile(plan *core.Plan) (*CompiledPlan, error) {
 		return nil, err
 	}
 	cp.exec = exec
+	if e.tr != nil {
+		e.tr.Instant("graph", "graph", "compile",
+			obs.KVi("nodes", int64(g.NodeCount())),
+			obs.KVi("paths", int64(len(cp.paths))),
+			obs.KVf("bytes", plan.Bytes))
+	}
 	return cp, nil
 }
 
@@ -223,6 +230,12 @@ func (e *Engine) lowerStaged(
 // itself is O(1) in the chunk and window count — the DAG unrolls inside
 // simulator events.
 func (e *Engine) ExecuteCompiled(cp *CompiledPlan) (*Result, error) {
+	return e.ExecuteCompiledSpan(cp, obs.NoSpan)
+}
+
+// ExecuteCompiledSpan is ExecuteCompiled with an explicit trace parent:
+// the replay records a span on the graph track from launch to completion.
+func (e *Engine) ExecuteCompiledSpan(cp *CompiledPlan, parent obs.SpanID) (*Result, error) {
 	if cp.released {
 		return nil, fmt.Errorf("pipeline: ExecuteCompiled on a released compiled plan")
 	}
@@ -246,6 +259,17 @@ func (e *Engine) ExecuteCompiled(cp *CompiledPlan) (*Result, error) {
 		})
 	}
 	res.Done = rep.Done()
+	if e.tr != nil {
+		sp := e.tr.Begin("graph", "graph", "replay", parent,
+			obs.KVf("bytes", cp.plan.Bytes), obs.KVi("paths", int64(len(cp.paths))))
+		res.Done.OnFire(func() {
+			if err := res.Done.Err(); err != nil {
+				e.tr.EndWith(sp, obs.KV("outcome", "error"), obs.KV("error", err.Error()))
+				return
+			}
+			e.tr.EndWith(sp, obs.KV("outcome", "ok"))
+		})
+	}
 	return res, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,10 @@ func DefaultConfig() Config {
 type Engine struct {
 	rt  *cuda.Runtime
 	cfg Config
+	// tr, when set, records per-path execution spans and per-chunk
+	// completion instants. Attach before executing; nil costs one pointer
+	// check per path launch.
+	tr *obs.Tracer
 }
 
 // New creates an engine.
@@ -69,6 +74,15 @@ func New(rt *cuda.Runtime, cfg Config) *Engine {
 
 // Runtime returns the engine's CUDA runtime.
 func (e *Engine) Runtime() *cuda.Runtime { return e.rt }
+
+// AttachTracer wires span tracing into the engine: each active path of an
+// executed plan records a span on its "path:<name>" track, and staged
+// chunk completions record instants. Attach before issuing transfers (the
+// field is read from simulation callbacks); attaching nil detaches.
+func (e *Engine) AttachTracer(tr *obs.Tracer) { e.tr = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
 
 // Result tracks one executed transfer.
 type Result struct {
@@ -121,6 +135,13 @@ func validatePlan(plan *core.Plan) error {
 // Execute runs the plan. The returned result's Done signal fires when the
 // last byte of the last path arrives at the destination.
 func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
+	return e.ExecuteSpan(plan, obs.NoSpan)
+}
+
+// ExecuteSpan is Execute with an explicit trace parent: per-path execution
+// spans are parented under the caller's span (typically a transfer or
+// attempt span). With no tracer attached it behaves exactly like Execute.
+func (e *Engine) ExecuteSpan(plan *core.Plan, parent obs.SpanID) (*Result, error) {
 	if err := validatePlan(plan); err != nil {
 		return nil, err
 	}
@@ -152,6 +173,17 @@ func (e *Engine) Execute(plan *core.Plan) (*Result, error) {
 
 		start := func(pp *core.PathPlan, final *sim.Signal) func() {
 			return func() {
+				if e.tr != nil {
+					sp := e.tr.Begin("path:"+pp.Path.String(), "path", pp.Path.Kind.String(), parent,
+						obs.KVf("bytes", pp.Bytes), obs.KVi("chunks", int64(pp.Chunks)))
+					final.OnFire(func() {
+						if err := final.Err(); err != nil {
+							e.tr.EndWith(sp, obs.KV("outcome", "error"), obs.KV("error", err.Error()))
+							return
+						}
+						e.tr.EndWith(sp, obs.KV("outcome", "ok"))
+					})
+				}
 				if err := e.startPath(pp, final); err != nil {
 					final.Fail(err)
 				}
@@ -231,6 +263,7 @@ func (e *Engine) stagedLegs(
 			}
 		})
 	}
+	trk := "path:" + pp.Path.String()
 	var last *sim.Signal
 	for c, sz := range sizes {
 		// Ring buffer: reuse slot c mod slots — wait until the chunk that
@@ -247,6 +280,14 @@ func (e *Engine) stagedLegs(
 		down := leg2(s2, sz)
 		if c < len(sizes)-1 {
 			watch(down)
+		}
+		if e.tr != nil {
+			down.OnFire(func() {
+				if down.Err() == nil {
+					e.tr.Instant(trk, "chunk", "chunk-done",
+						obs.KVi("index", int64(c)), obs.KVf("bytes", sz))
+				}
+			})
 		}
 		drained[c] = s2.RecordEvent()
 		last = down

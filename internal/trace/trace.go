@@ -22,13 +22,18 @@ type LinkUsage struct {
 	// Utilization is Bytes / (Capacity · BusyTime): the mean fraction of
 	// capacity used while the link was busy (0 if never busy).
 	Utilization float64
+	// Share is this link's fraction of all bytes carried node-wide
+	// (0 when the whole node carried nothing).
+	Share float64
 }
 
 // SnapshotLinks collects usage for every link of the node, sorted by
-// carried bytes (descending).
+// carried bytes (descending) with ties broken by name — equal-byte links
+// (common under symmetric splits) always report in the same order.
 func SnapshotLinks(node *hw.Node) []LinkUsage {
 	links := node.Net.Links()
 	out := make([]LinkUsage, 0, len(links))
+	total := 0.0
 	for _, l := range links {
 		u := LinkUsage{
 			Name:     l.Name(),
@@ -39,9 +44,20 @@ func SnapshotLinks(node *hw.Node) []LinkUsage {
 		if u.BusyTime > 0 && u.Capacity > 0 {
 			u.Utilization = u.Bytes / (u.Capacity * u.BusyTime)
 		}
+		total += u.Bytes
 		out = append(out, u)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	if total > 0 {
+		for i := range out {
+			out[i].Share = out[i].Bytes / total
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
@@ -57,18 +73,40 @@ func TotalBytes(usages []LinkUsage) float64 {
 
 // Render writes the usage table, skipping idle links.
 func Render(w io.Writer, usages []LinkUsage) error {
-	if _, err := fmt.Fprintf(w, "%-18s  %10s  %12s  %10s  %6s\n",
-		"link", "cap GB/s", "bytes", "busy ms", "util"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-18s  %10s  %12s  %10s  %6s  %6s\n",
+		"link", "cap GB/s", "bytes", "busy ms", "util", "share"); err != nil {
 		return err
 	}
 	for _, u := range usages {
 		if u.Bytes == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%-18s  %10.1f  %12.0f  %10.4f  %5.1f%%\n",
-			u.Name, u.Capacity/1e9, u.Bytes, u.BusyTime*1e3, u.Utilization*100); err != nil {
+		if _, err := fmt.Fprintf(w, "%-18s  %10.1f  %12.0f  %10.4f  %5.1f%%  %5.1f%%\n",
+			u.Name, u.Capacity/1e9, u.Bytes, u.BusyTime*1e3, u.Utilization*100, u.Share*100); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Report wraps a usage slice as an io.WriterTo over the rendered table.
+type Report []LinkUsage
+
+// WriteTo renders the table to w. The byte count satisfies io.WriterTo;
+// it is the rendered length on success.
+func (r Report) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	err := Render(cw, r)
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }

@@ -77,6 +77,65 @@ func TestSnapshotMultiPathUsesStagedLinks(t *testing.T) {
 	}
 }
 
+func TestSnapshotTieBreakByName(t *testing.T) {
+	// A staged transfer pushes identical byte counts over both hops of each
+	// staged path; those equal-byte links must report in name order, and
+	// two snapshots of the same node must agree exactly.
+	node := runTransfer(t, hw.ThreeGPUs, 64*hw.MiB)
+	usages := SnapshotLinks(node)
+	for i := 1; i < len(usages); i++ {
+		a, b := usages[i-1], usages[i]
+		if a.Bytes == b.Bytes && a.Name >= b.Name {
+			t.Errorf("equal-byte links out of name order: %q before %q", a.Name, b.Name)
+		}
+	}
+	again := SnapshotLinks(node)
+	for i := range usages {
+		if usages[i] != again[i] {
+			t.Fatalf("snapshot not stable at %d: %+v vs %+v", i, usages[i], again[i])
+		}
+	}
+}
+
+func TestSnapshotShareSumsToOne(t *testing.T) {
+	node := runTransfer(t, hw.ThreeGPUs, 64*hw.MiB)
+	usages := SnapshotLinks(node)
+	sum := 0.0
+	for _, u := range usages {
+		sum += u.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestWriteToGolden(t *testing.T) {
+	// Fixed usage values give a byte-exact golden table; the usage slice
+	// encodes a tie (both staged hops) to pin the rendered tie order too.
+	rep := Report{
+		{Name: "nvlink:0->1", Capacity: 46.4e9, Bytes: 33554432, BusyTime: 723.0e-6, Utilization: 1.0, Share: 0.5},
+		{Name: "nvlink:0->2", Capacity: 46.4e9, Bytes: 16777216, BusyTime: 362.0e-6, Utilization: 0.999, Share: 0.25},
+		{Name: "nvlink:2->1", Capacity: 46.4e9, Bytes: 16777216, BusyTime: 362.0e-6, Utilization: 0.999, Share: 0.25},
+		{Name: "pcie-up:0", Capacity: 12.3e9, Bytes: 0},
+	}
+	var buf bytes.Buffer
+	n, err := rep.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	want := "" +
+		"link                  cap GB/s         bytes     busy ms    util   share\n" +
+		"nvlink:0->1               46.4      33554432      0.7230  100.0%   50.0%\n" +
+		"nvlink:0->2               46.4      16777216      0.3620   99.9%   25.0%\n" +
+		"nvlink:2->1               46.4      16777216      0.3620   99.9%   25.0%\n"
+	if buf.String() != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
 func TestRender(t *testing.T) {
 	node := runTransfer(t, hw.TwoGPUs, 32*hw.MiB)
 	var buf bytes.Buffer

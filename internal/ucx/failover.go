@@ -9,6 +9,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/fluid"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -82,6 +83,12 @@ type mpRun struct {
 
 	release func()           // inflight accounting; called exactly once, before Done fires
 	onPlan  func(*core.Plan) // observes each attempt's plan (diagnostics)
+
+	// span is the transfer's root trace span and trk its trace track
+	// (NoSpan/"" when tracing is off); attempt, backoff, and failover
+	// events nest under it.
+	span obs.SpanID
+	trk  string
 }
 
 // mpFeeder pulls chunks from the pool onto one path.
@@ -123,7 +130,7 @@ func (r *mpRun) pool() float64 {
 // plan computes the configuration for an n-byte attempt against current
 // link state and the exclusion set.
 func (r *mpRun) plan(n float64) (*core.Plan, error) {
-	pl, err := r.c.planWith(r.src, r.dst, n, r.sel, r.concurrent, r.excluded)
+	pl, err := r.c.planWith(r.src, r.dst, n, r.sel, r.concurrent, r.excluded, r.span)
 	if err != nil {
 		return nil, err
 	}
@@ -146,13 +153,28 @@ func (r *mpRun) begin(pl *core.Plan) {
 // startAttempt executes one whole-residual attempt on the shared engine
 // (through the compiled-graph cache when graphs are enabled).
 func (r *mpRun) startAttempt(pl *core.Plan) {
-	res, err := r.c.execPlan(pl)
+	sp := obs.NoSpan
+	if tr := r.c.tracer; tr != nil {
+		sp = tr.Begin(r.trk, "xfer", "attempt", r.span,
+			obs.KVf("bytes", pl.Bytes), obs.KVi("attempt", int64(r.attempt)))
+	}
+	res, err := r.c.execPlan(pl, sp)
 	if err != nil {
+		r.c.tracer.EndWith(sp, obs.KV("outcome", "error"), obs.KV("error", err.Error()))
 		r.finish(err)
 		return
 	}
 	r.outstanding += pl.Bytes
-	res.Done.OnFire(func() { r.onAttemptResult(pl, res) })
+	res.Done.OnFire(func() {
+		if tr := r.c.tracer; tr != nil {
+			if aerr := res.Done.Err(); aerr != nil {
+				tr.EndWith(sp, obs.KV("outcome", "error"), obs.KV("error", aerr.Error()))
+			} else {
+				tr.EndWith(sp, obs.KV("outcome", "ok"))
+			}
+		}
+		r.onAttemptResult(pl, res)
+	})
 }
 
 // onAttemptResult handles a whole-residual attempt's outcome: feed the
@@ -239,6 +261,7 @@ func (r *mpRun) exclude(p hw.Path) bool {
 		return false
 	}
 	r.excluded[p] = true
+	r.c.tracer.Instant(r.trk, "failover", "path-excluded", obs.KV("path", p.String()))
 	return true
 }
 
@@ -248,6 +271,10 @@ func (r *mpRun) noteFailover(newExcl int) {
 	r.c.retries.Add(1)
 	r.req.Failovers += newExcl
 	r.c.failovers.Add(int64(newExcl))
+	r.c.met.retries.Inc()
+	r.c.met.failovers.Add(int64(newExcl))
+	r.c.tracer.Instant(r.trk, "failover", "failover",
+		obs.KVi("attempt", int64(r.attempt)), obs.KVi("excluded", int64(newExcl)))
 	// Plans computed before the fault are stale (they were solved against
 	// the old capacities); drop them all so the re-plan — and any other
 	// transfer planning after this instant — sees live link state.
@@ -268,8 +295,14 @@ func (r *mpRun) backoffThen(fn func()) {
 	if cap := c.cfg.FailoverBackoffCap; cap > 0 && backoff > cap {
 		backoff = cap
 	}
+	sp := obs.NoSpan
+	if tr := c.tracer; tr != nil {
+		sp = tr.Begin(r.trk, "failover", "backoff", r.span,
+			obs.KVf("delay_s", backoff), obs.KVi("attempt", int64(r.attempt)))
+	}
 	r.paused = true
 	c.rt.Sim().Schedule(backoff, func() {
+		c.tracer.End(sp)
 		r.paused = false
 		if !r.done {
 			fn()
@@ -394,7 +427,7 @@ func (f *mpFeeder) pump() {
 			pp.Chunks = 1
 		}
 		pl := &core.Plan{Src: r.src, Dst: r.dst, Bytes: n, Paths: []core.PathPlan{pp}}
-		res, err := r.c.execChunk(f, pl)
+		res, err := r.c.execChunk(f, pl, r.span)
 		if err != nil {
 			r.finish(err)
 			return
@@ -569,9 +602,13 @@ func (c *Context) StartTransfer(src, dst int, bytes float64, sel hw.PathSet) (*R
 	}
 	s := c.rt.Sim()
 	req := &Request{Done: s.NewSignal(), Bytes: bytes, start: s.Now(), Multipath: true}
+	c.beginTransferSpan(req, src, dst, "transfer")
 	run := &mpRun{
 		c: c, src: src, dst: dst, sel: sel, req: req, total: bytes,
 		onPlan: func(pl *core.Plan) { req.Plan = pl },
+	}
+	if c.tracer != nil {
+		run.span, run.trk = req.span, xferTrack(src, dst)
 	}
 	run.initSegments(bytes)
 	pl, err := run.plan(bytes)

@@ -10,6 +10,7 @@ package ucx
 import (
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -32,18 +33,20 @@ func (c *Context) GraphCount() int {
 
 // execPlan executes one whole-plan attempt, through the compiled-graph
 // cache when enabled. Graph failures fall back to eager execution — the
-// graph path is an optimization, never a correctness dependency.
-func (c *Context) execPlan(pl *core.Plan) (*pipeline.Result, error) {
+// graph path is an optimization, never a correctness dependency. The
+// parent span (NoSpan when tracing is off) becomes the parent of the
+// per-path and replay spans the engine emits.
+func (c *Context) execPlan(pl *core.Plan, parent obs.SpanID) (*pipeline.Result, error) {
 	if c.graphs == nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
 	cp, err := c.compiledFor(pl)
 	if err != nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
-	res, err := c.engine.ExecuteCompiled(cp)
+	res, err := c.engine.ExecuteCompiledSpan(cp, parent)
 	if err != nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
 	c.graphs.replays.Add(1)
 	return res, nil
@@ -89,13 +92,13 @@ func (c *Context) compiledFor(pl *core.Plan) (*pipeline.CompiledPlan, error) {
 // new chunk is structurally compatible — same path, same inner chunk
 // count, only sizes or rates changed — the graph is patched and replayed;
 // otherwise it is recompiled.
-func (c *Context) execChunk(f *mpFeeder, pl *core.Plan) (*pipeline.Result, error) {
+func (c *Context) execChunk(f *mpFeeder, pl *core.Plan, parent obs.SpanID) (*pipeline.Result, error) {
 	if c.graphs == nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
 	if f.graph != nil && pipeline.Patchable(f.graph.Plan(), pl) {
 		if err := f.graph.UpdateTo(pl); err == nil {
-			if res, err := c.engine.ExecuteCompiled(f.graph); err == nil {
+			if res, err := c.engine.ExecuteCompiledSpan(f.graph, parent); err == nil {
 				c.graphs.patches.Add(1)
 				c.graphs.replays.Add(1)
 				return res, nil
@@ -105,13 +108,13 @@ func (c *Context) execChunk(f *mpFeeder, pl *core.Plan) (*pipeline.Result, error
 	f.releaseGraph()
 	cp, err := c.engine.Compile(pl)
 	if err != nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
 	c.graphs.compiles.Add(1)
 	f.graph = cp
-	res, err := c.engine.ExecuteCompiled(cp)
+	res, err := c.engine.ExecuteCompiledSpan(cp, parent)
 	if err != nil {
-		return c.engine.Execute(pl)
+		return c.engine.ExecuteSpan(pl, parent)
 	}
 	c.graphs.replays.Add(1)
 	return res, nil

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -105,6 +106,12 @@ type Config struct {
 	Recalibrate bool
 	// RecalOptions tune the observer; zero-valued fields take defaults.
 	RecalOptions core.ObserverOptions
+	// Trace attaches the sim-time observability layer: a span tracer over
+	// the full transfer lifecycle (solve, cache outcome, graph
+	// compile/patch/replay, per-path execution, failover, recalibration)
+	// plus a metrics registry, exportable as a Perfetto trace and a JSON
+	// snapshot. Off by default; disabled cost is one nil check per hook.
+	Trace bool
 }
 
 // Planner produces a multi-path configuration for a transfer. core.Model
@@ -152,6 +159,7 @@ func DefaultConfig() Config {
 //	UCX_MP_ADAPT_MIN_BYTES bytes (integer)
 //	UCX_MP_GRAPHS        y|n
 //	UCX_MP_RECALIBRATE   y|n
+//	UCX_MP_TRACE         y|n
 func ParseConfig(env map[string]string) (Config, error) {
 	cfg := DefaultConfig()
 	// Walk variables in sorted order so that with several invalid entries
@@ -247,6 +255,12 @@ func ParseConfig(env map[string]string) (Config, error) {
 				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
 			}
 			cfg.Recalibrate = b
+		case "UCX_MP_TRACE":
+			b, err := parseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
+			}
+			cfg.Trace = b
 		default:
 			return cfg, fmt.Errorf("ucx: unknown variable %q", k)
 		}
@@ -322,6 +336,12 @@ type Context struct {
 	// is set). Keyed like the plan cache; see graphcache.go.
 	graphs *graphCache
 
+	// tracer/metrics are the observability layer (nil unless Config.Trace
+	// is set); met caches the registry's hot metric pointers. See obs.go.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+	met     ctxMetrics
+
 	ipcMu     sync.Mutex
 	ipcOpened map[[2]int]bool
 	ipcOpens  atomic.Int64
@@ -369,7 +389,7 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 	if cfg.GraphsEnable {
 		graphs = newGraphCache()
 	}
-	return &Context{
+	c := &Context{
 		cfg:           cfg,
 		rt:            rt,
 		engine:        pipeline.New(rt, cfg.EngineConfig),
@@ -382,7 +402,11 @@ func NewContext(rt *cuda.Runtime, cfg Config) (*Context, error) {
 		bidirModels:   make(map[[2]int]*core.Model),
 		patternModels: make(map[string]*core.Model),
 		inflight:      make(map[[2]int]int),
-	}, nil
+	}
+	if cfg.Trace {
+		c.initObs()
+	}
+	return c, nil
 }
 
 // Model exposes the planner (experiments query predictions through it).
@@ -437,6 +461,8 @@ func (c *Context) untrackRun(r *mpRun) {
 // degraded links immediately instead of at the next transfer. Silent faults
 // (no notification) are still caught, later, by recalibration and failover.
 func (c *Context) NotifyFault() {
+	c.met.faults.Inc()
+	c.tracer.Instant("faults", "fault", "notify")
 	c.model.InvalidateCache()
 	if c.graphs != nil {
 		// Every compiled graph baked its byte split against the old link
@@ -498,6 +524,8 @@ type Request struct {
 	// and re-executed; Failovers counts paths those re-plans excluded.
 	Retries   int
 	Failovers int
+	// span is the transfer's root trace span (NoSpan when tracing is off).
+	span obs.SpanID
 }
 
 // Elapsed returns the operation duration once Done has fired.
@@ -536,6 +564,7 @@ func (ep *Endpoint) put(bytes float64, concurrent [][2]int) (*Request, error) {
 	c.puts.Add(1)
 	s := c.rt.Sim()
 	req := &Request{Done: s.NewSignal(), Bytes: bytes, start: s.Now()}
+	c.beginTransferSpan(req, ep.src, ep.dst, "put")
 
 	// cuda_ipc handle translation: first transfer to a peer opens the
 	// remote memory handle; later transfers hit the cache.
@@ -590,14 +619,15 @@ func (ep *Endpoint) singlePath(req *Request, bytes, setup float64) (*Request, er
 // the shared model's cache is concurrent and derived planners are built
 // once per pair/pattern.
 func (c *Context) PlanFor(src, dst int, bytes float64, concurrent [][2]int) (*core.Plan, error) {
-	return c.planWith(src, dst, bytes, c.sel, concurrent, nil)
+	return c.planWith(src, dst, bytes, c.sel, concurrent, nil, obs.NoSpan)
 }
 
-// planWith is PlanFor with an explicit path-set selection and an exclusion
-// set (paths ruled out by failover). Excluded paths are filtered after
-// enumeration, so the plan cache keys the filtered list and healthy-state
-// plans are never clobbered by degraded-state ones.
-func (c *Context) planWith(src, dst int, bytes float64, sel hw.PathSet, concurrent [][2]int, excluded map[hw.Path]bool) (*core.Plan, error) {
+// planWith is PlanFor with an explicit path-set selection, an exclusion
+// set (paths ruled out by failover), and a parent trace span for the solve
+// span (NoSpan outside a traced transfer). Excluded paths are filtered
+// after enumeration, so the plan cache keys the filtered list and
+// healthy-state plans are never clobbered by degraded-state ones.
+func (c *Context) planWith(src, dst int, bytes float64, sel hw.PathSet, concurrent [][2]int, excluded map[hw.Path]bool, parent obs.SpanID) (*core.Plan, error) {
 	paths, err := c.rt.Node().Spec.EnumeratePaths(src, dst, sel)
 	if err != nil {
 		return nil, err
@@ -629,7 +659,17 @@ func (c *Context) planWith(src, dst int, bytes float64, sel hw.PathSet, concurre
 			return nil, err
 		}
 	}
-	return planner.PlanTransfer(paths, bytes)
+	var pl *core.Plan
+	if m, ok := planner.(*core.Model); ok {
+		pl, err = m.PlanTransferSpan(paths, bytes, parent)
+	} else {
+		pl, err = planner.PlanTransfer(paths, bytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.met.predicted.Observe(pl.PredictedTime)
+	return pl, nil
 }
 
 // multiPath plans and executes the transfer across the configured paths,
@@ -641,6 +681,10 @@ func (ep *Endpoint) multiPath(req *Request, bytes, setup float64, concurrent [][
 		c: c, src: ep.src, dst: ep.dst, sel: c.sel,
 		concurrent: concurrent, req: req, total: bytes,
 		onPlan: func(pl *core.Plan) { ep.plan = pl; req.Plan = pl },
+	}
+	if c.tracer != nil {
+		// put() already opened the transfer's root span on req.
+		run.span, run.trk = req.span, xferTrack(ep.src, ep.dst)
 	}
 	run.initSegments(bytes)
 	pl, err := run.plan(bytes)
@@ -738,6 +782,9 @@ func (c *Context) patternModel(src, dst int, concurrent [][2]int) (*core.Model, 
 		return nil, err
 	}
 	m := newPlannerModel(c.cfg, source)
+	if c.tracer != nil {
+		m.AttachTracer(c.tracer)
+	}
 	c.patternModels[key] = m
 	return m, nil
 }
@@ -756,6 +803,9 @@ func (c *Context) bidirModel(src, dst int, paths []hw.Path) (*core.Model, error)
 		return nil, err
 	}
 	m := newPlannerModel(c.cfg, source)
+	if c.tracer != nil {
+		m.AttachTracer(c.tracer)
+	}
 	c.bidirModels[key] = m
 	return m, nil
 }

@@ -77,6 +77,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/internode"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ucx"
 )
@@ -242,6 +243,15 @@ func NewSystem(spec *Spec, opts ...Option) (*System, error) {
 		inj, err := sc.Faults.Arm(node)
 		if err != nil {
 			return nil, err
+		}
+		if tr := ctx.Tracer(); tr != nil {
+			// Every injected fault lands on the trace's fault track at its
+			// sim-time instant, alongside the runtime's reactions to it.
+			inj.OnEvent(func(ev FaultEvent) {
+				tr.Instant("faults", "fault", ev.Kind.String(),
+					obs.KV("link", ev.Link.String()),
+					obs.KVf("factor", ev.Factor))
+			})
 		}
 		sys.Faults = inj
 	}

@@ -43,10 +43,24 @@ go test -race -count=3 \
 	-run 'TestFailover|TestFault|TestAdaptiveSegments|TestTransferSurvives' \
 	./internal/ucx/ ./internal/fluid/ ./internal/hw/ ./internal/exp/ .
 
+# The observability layer records metrics from concurrent planners; rerun
+# its concurrent-recording stress under the race detector like the others.
+echo "==> go test -race -count=3 (obs metrics stress)"
+go test -race -count=3 \
+	-run 'TestMetricsConcurrentRecording|TestTracer' \
+	./internal/obs/
+
 # Compiled-graph smoke: one size on one cluster through both engines plus
 # the launch ladder, proving the graphs experiment runs end to end without
 # regenerating the full BENCH_graphs.json grid.
 echo "==> mpbench -exp graphs smoke (1 size x 1 cluster)"
 go run ./cmd/mpbench -exp graphs -quick -graphs-json ""
+
+# Observability smoke: the overhead probe on one size plus a traced
+# fault-rich run validated for schema and byte-determinism by the exp
+# tests; here just prove the experiment and exporter run end to end.
+echo "==> mpbench -exp obs smoke (1 size, trace export)"
+go run ./cmd/mpbench -exp obs -quick -obs-json "" -trace /tmp/mp_verify_trace.json >/dev/null
+rm -f /tmp/mp_verify_trace.json
 
 echo "verify: OK"
