@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs verify
+.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs bench-shard verify
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,11 @@ bench-obs:
 	$(GO) test -bench 'BenchmarkPlanCacheHit$$' -benchmem -run xxx .
 	$(GO) test -bench 'BenchmarkFluidChurn' -benchmem -run xxx ./internal/fluid/
 	$(GO) run ./cmd/mpbench -exp obs -clusters beluga,narval -obs-json BENCH_obs.json
+
+# bench-shard measures the sharded parallel engine against the fused
+# sequential baseline on an 8-node fleet, plus the single-component
+# overhead ladder (shards 1/2/8 vs the plain engine), and regenerates
+# BENCH_shard.json. Checksums across all configurations are asserted
+# equal — the run fails on any determinism violation.
+bench-shard:
+	$(GO) run ./cmd/mpbench -exp shard -shard-json BENCH_shard.json

@@ -32,10 +32,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // schedulers are method names that enqueue simulator work; calling one
-// per map entry interleaves same-timestamp events in map order.
+// per map entry interleaves same-timestamp events in map order. At and
+// Post are the shard engine's entry points: At is absolute-time
+// scheduling (the epoch router's delivery call) and Post routes an event
+// to another shard — both assign sequence numbers in call order, so map
+// order would leak straight into the deterministic-merge tie-break.
 var schedulers = map[string]bool{
 	"Schedule":   true,
 	"ScheduleAt": true,
+	"At":         true,
+	"Post":       true,
 }
 
 func run(pass *analysis.Pass) error {

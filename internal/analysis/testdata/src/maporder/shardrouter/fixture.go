@@ -1,0 +1,93 @@
+// Package shardrouter is a maporder fixture modeled on the cluster shard
+// router: cross-shard events buffered in outboxes and released at the
+// epoch barrier. The release order is the engine's determinism contract
+// — (time, source shard, sequence) — so any map-ordered traversal while
+// merging, delivering, or accounting would silently re-randomize the
+// merged schedule the whole design exists to pin down.
+package shardrouter
+
+import "sort"
+
+type remoteEvent struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type shard struct{}
+
+func (s *shard) At(t float64, fn func()) {}
+
+// deliverFromMap is the bug the slice-outbox design avoids: draining a
+// map-keyed outbox schedules same-instant events in Go's randomized map
+// order, so two runs release them differently.
+func deliverFromMap(dst *shard, outbox map[uint64]remoteEvent) {
+	for _, re := range outbox {
+		re := re
+		dst.At(re.at, re.fn) // want "At called while ranging over a map"
+	}
+}
+
+// mergeFromMap collects per-shard outboxes from a map keyed by shard ID:
+// even though the slice is sorted afterwards, entries with equal
+// (at, seq) from different shards would tie-break on insertion order —
+// which here is map order.
+func mergeFromMap(outboxes map[int][]remoteEvent) []remoteEvent {
+	var merge []remoteEvent
+	for _, ob := range outboxes {
+		merge = append(merge, ob...) // want "append to merge"
+	}
+	sort.Slice(merge, func(i, j int) bool { return merge[i].at < merge[j].at })
+	return merge
+}
+
+// lookaheadFromMap folds channel latencies in map order: min is
+// commutative, but the float accumulation pattern is how the subtle
+// variants start, and the analyzer flags the general shape.
+func lookaheadFromMap(latencies map[int]float64) float64 {
+	var total float64
+	for _, l := range latencies {
+		total += l // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+// deliverSorted is the idiom shard.go actually uses and the analyzer
+// must NOT flag: outboxes are slices indexed by shard ID, the merge is a
+// slice append in shard order, and the sort key includes the source
+// shard and sequence so same-instant events have one legal order.
+func deliverSorted(dst *shard, outboxes [][]remoteEvent) {
+	type merged struct {
+		remoteEvent
+		src int
+	}
+	var merge []merged
+	for src, ob := range outboxes {
+		for _, re := range ob {
+			merge = append(merge, merged{remoteEvent: re, src: src})
+		}
+	}
+	sort.Slice(merge, func(i, j int) bool {
+		a, b := merge[i], merge[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range merge {
+		dst.At(merge[i].at, merge[i].fn)
+	}
+}
+
+// epochStats ranges a map for a commutative integer count, which is
+// deterministic and must stay unflagged.
+func epochStats(delivered map[int]int) int {
+	n := 0
+	for _, d := range delivered {
+		n += d
+	}
+	return n
+}

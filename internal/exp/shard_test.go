@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardBenchQuick runs the shard benchmark at quick settings and
+// checks the structural contract: both scenarios present, checksums
+// identical across worker and shard counts, and speedup/overhead fields
+// populated. The ≥3× / ≤5% acceptance numbers are asserted by the bench
+// target on a quiet host, not here — CI wall-clock is too noisy.
+func TestShardBenchQuick(t *testing.T) {
+	fig, points, err := ShardBench(Options{Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 2 {
+		t.Fatalf("figure has %d panels, want 2", len(fig.Panels))
+	}
+	var fleet, single []ShardPoint
+	for _, p := range points {
+		switch p.Scenario {
+		case "fleet8":
+			fleet = append(fleet, p)
+		case "single":
+			single = append(single, p)
+		default:
+			t.Fatalf("unknown scenario %q", p.Scenario)
+		}
+	}
+	if len(fleet) != 4 || len(single) != 3 {
+		t.Fatalf("got %d fleet8 and %d single points, want 4 and 3", len(fleet), len(single))
+	}
+	for _, p := range fleet {
+		if p.Checksum != fleet[0].Checksum {
+			t.Fatalf("fleet8 checksum varies: %s vs %s", p.Checksum, fleet[0].Checksum)
+		}
+		if p.Speedup <= 0 || p.WallNs <= 0 || p.BaselineNs <= 0 {
+			t.Fatalf("fleet8 point not populated: %+v", p)
+		}
+		if p.Shards != 8 || p.Nodes != 8 {
+			t.Fatalf("fleet8 point shape: %+v", p)
+		}
+	}
+	for _, p := range single {
+		if p.Checksum != single[0].Checksum {
+			t.Fatalf("single checksum varies: %s vs %s", p.Checksum, single[0].Checksum)
+		}
+		if p.WallNs <= 0 || p.BaselineNs <= 0 {
+			t.Fatalf("single point not populated: %+v", p)
+		}
+	}
+	wantShards := []int{1, 2, 8}
+	for i, p := range single {
+		if p.Shards != wantShards[i] {
+			t.Fatalf("single ladder shard counts: %+v", single)
+		}
+	}
+}
+
+// TestShardTraceDeterministic renders the shard trace twice and requires
+// byte-identical output with per-shard tracks and epoch instants.
+func TestShardTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	infoA, err := ShardTrace(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := ShardTrace(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two ShardTrace runs produced different bytes")
+	}
+	if infoA.Spans == 0 || infoA.Instants == 0 || infoA.Epochs == 0 {
+		t.Fatalf("trace empty: %+v", infoA)
+	}
+	if *infoA != *infoB {
+		t.Fatalf("trace infos differ: %+v vs %+v", infoA, infoB)
+	}
+	for _, track := range []string{`"shard:0"`, `"shard:1"`, `"epochs"`} {
+		if !bytes.Contains(a.Bytes(), []byte(track)) {
+			t.Fatalf("trace missing track %s", track)
+		}
+	}
+}

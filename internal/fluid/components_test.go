@@ -1,0 +1,96 @@
+package fluid
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestComponents checks union-find grouping under declared routes:
+// transitive coupling, singletons for unused links, and deterministic
+// (creation-order) output.
+func TestComponents(t *testing.T) {
+	s := sim.New()
+	n := NewNetwork(s)
+	l := make([]*Link, 7)
+	for i := range l {
+		l[i] = n.AddLink("l", 100)
+	}
+	// Routes: {0,1}, {1,2} couple 0-1-2; {4,5} couple; 3 and 6 untouched.
+	comps := n.Components([]*Link{l[0], l[1]}, []*Link{l[1], l[2]}, []*Link{l[4], l[5]})
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d components, want %d", len(comps), len(want))
+	}
+	for ci, wc := range want {
+		if len(comps[ci]) != len(wc) {
+			t.Fatalf("component %d has %d links, want %d", ci, len(comps[ci]), len(wc))
+		}
+		for j, li := range wc {
+			if comps[ci][j] != l[li] {
+				t.Fatalf("component %d entry %d is not link %d", ci, j, li)
+			}
+		}
+	}
+	// No routes: every link is its own component, in creation order.
+	solo := n.Components()
+	if len(solo) != len(l) {
+		t.Fatalf("no-route components = %d, want %d", len(solo), len(l))
+	}
+	for i, c := range solo {
+		if len(c) != 1 || c[0] != l[i] {
+			t.Fatalf("no-route component %d = %v", i, c)
+		}
+	}
+}
+
+// TestComponentsForeignLinkPanics: coupling across networks is exactly
+// what the component split rules out.
+func TestComponentsForeignLinkPanics(t *testing.T) {
+	s := sim.New()
+	n1, n2 := NewNetwork(s), NewNetwork(s)
+	a := n1.AddLink("a", 1)
+	b := n2.AddLink("b", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Components accepted a foreign-network link")
+		}
+	}()
+	n1.Components([]*Link{a, b})
+}
+
+// TestNetworkLabelInCrossNetworkPanic checks the boundary-violation
+// message names both networks, the hint shard debuggers need.
+func TestNetworkLabelInCrossNetworkPanic(t *testing.T) {
+	s := sim.New()
+	n1, n2 := NewNetwork(s), NewNetwork(s)
+	n1.SetLabel("shard0")
+	n2.SetLabel("shard1")
+	if n1.Label() != "shard0" {
+		t.Fatalf("Label() = %q", n1.Label())
+	}
+	foreign := n2.AddLink("x", 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("StartFlow accepted a foreign-network link")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, wantSub := range []string{"shard0", "shard1", "boundary"} {
+			found := false
+			for i := 0; i+len(wantSub) <= len(msg); i++ {
+				if msg[i:i+len(wantSub)] == wantSub {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("panic %q does not mention %q", msg, wantSub)
+			}
+		}
+	}()
+	n1.StartFlow(10, foreign)
+}

@@ -56,6 +56,8 @@ type Link struct {
 	residual  float64 // capacity not yet claimed by frozen flows
 	unfrozen  int     // active flows not yet frozen
 	markRound int     // round at which the link was last a bottleneck
+
+	idx int // position in net.links; union-find key for Components
 }
 
 // Name returns the link's diagnostic name.
@@ -191,6 +193,7 @@ type Network struct {
 	flows     []*Flow // active flows in start (seq) order
 	flowSeq   uint64
 	settledAt sim.Time
+	label     string // diagnostic label (shard/node name in fleet builds)
 
 	// reusable scratch for maxMinRates.
 	activeLinks []*Link
@@ -210,7 +213,7 @@ func (n *Network) AddLink(name string, capacity float64) *Link {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		panic(fmt.Sprintf("fluid: link %q capacity must be positive and finite, got %v", name, capacity))
 	}
-	l := &Link{name: name, base: capacity, scale: 1, capacity: capacity, net: n}
+	l := &Link{name: name, base: capacity, scale: 1, capacity: capacity, net: n, idx: len(n.links)}
 	n.links = append(n.links, l)
 	return l
 }
@@ -234,7 +237,12 @@ func (n *Network) StartFlow(bytes float64, route ...*Link) *Flow {
 	}
 	for i, l := range route {
 		if l.net != n {
-			panic("fluid: route link belongs to a different network")
+			// Boundary handling for sharded fleets: a route may never span
+			// two networks (rate allocation is a per-network fixpoint).
+			// Cross-shard transfers must be split at the boundary and the
+			// halves stitched with sim.(*Simulator).Post.
+			panic(fmt.Sprintf("fluid: route link %q belongs to a different network (network %q, link's %q); split cross-shard routes at the boundary",
+				l.name, n.label, l.net.label))
 		}
 		for _, prev := range route[:i] {
 			if prev == l {

@@ -1,0 +1,114 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBuildFleetPlacement checks round-robin default placement, the
+// 1-based ShardHint override, and per-node link-name prefixes.
+func TestBuildFleetPlacement(t *testing.T) {
+	c := sim.NewCluster(4, 1)
+	defer c.Close()
+	specs := make([]*Spec, 6)
+	for i := range specs {
+		specs[i] = Synthetic()
+	}
+	specs[5].ShardHint = 2 // pin node 5 to shard 1
+	f, err := BuildFleet(c, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShards := []int{0, 1, 2, 3, 0, 1}
+	for i, want := range wantShards {
+		if f.ShardOf(i) != want {
+			t.Fatalf("node %d on shard %d, want %d", i, f.ShardOf(i), want)
+		}
+		if f.Sim(i) != c.Shard(want) {
+			t.Fatalf("node %d Sim() is not shard %d's simulator", i, want)
+		}
+		if got := f.Node(i).Net.Sim(); got != c.Shard(want) {
+			t.Fatalf("node %d network bound to wrong simulator", i)
+		}
+	}
+	// Hints beyond the shard count wrap instead of failing.
+	hinted := Synthetic()
+	hinted.ShardHint = 7 // (7-1) mod 4 = 2
+	f2, err := BuildFleet(c, []*Spec{hinted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.ShardOf(0) != 2 {
+		t.Fatalf("wrapped hint placed node on shard %d, want 2", f2.ShardOf(0))
+	}
+	// Link names carry the node prefix; networks are labeled.
+	for _, l := range f.Node(3).Net.Links() {
+		if !strings.HasPrefix(l.Name(), "node3/") {
+			t.Fatalf("node 3 link %q missing prefix", l.Name())
+		}
+	}
+	if lbl := f.Node(3).Net.Label(); !strings.Contains(lbl, "node3") || !strings.Contains(lbl, "shard3") {
+		t.Fatalf("node 3 network label %q", lbl)
+	}
+}
+
+// TestBuildFleetRuns drives one flow per node across a 2-shard fleet and
+// checks each completes on its own shard's clock.
+func TestBuildFleetRuns(t *testing.T) {
+	c := sim.NewCluster(2, 2)
+	defer c.Close()
+	f, err := BuildFleet(c, []*Spec{Synthetic(), Synthetic(), Synthetic(), Synthetic()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make([]float64, 4)
+	for i := range done {
+		i := i
+		s := f.Sim(i)
+		node := f.Node(i)
+		s.Schedule(0, func() {
+			r, ok := node.GPUToGPU(0, 1)
+			if !ok {
+				t.Errorf("node %d: no direct route", i)
+				return
+			}
+			fl := node.Net.StartFlow(float64(1+i)*MiB, r.Links...)
+			fl.Done().OnFire(func() { done[i] = s.Now() })
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range done {
+		if at <= 0 {
+			t.Fatalf("node %d flow never completed", i)
+		}
+	}
+	// Larger transfers over identical hardware take proportionally longer.
+	for i := 1; i < 4; i++ {
+		if done[i] <= done[i-1] {
+			t.Fatalf("completion times not increasing with size: %v", done)
+		}
+	}
+}
+
+// TestBuildFleetErrors: empty spec list and invalid specs are rejected.
+func TestBuildFleetErrors(t *testing.T) {
+	c := sim.NewCluster(2, 1)
+	defer c.Close()
+	if _, err := BuildFleet(c, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	bad := Synthetic()
+	bad.GPUs = 1 // fails Validate
+	if _, err := BuildFleet(c, []*Spec{bad}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	neg := Synthetic()
+	neg.ShardHint = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative shard hint accepted")
+	}
+}

@@ -73,6 +73,11 @@ type Spec struct {
 	GPUSyncOverhead float64
 	// HostSyncOverhead is epsilon for synchronizing a host-staged chunk.
 	HostSyncOverhead float64
+	// ShardHint is the 1-based preferred shard for BuildFleet: a node built
+	// from this spec lands on shard (ShardHint-1) mod shards. The zero value
+	// means no preference (round-robin by node index). It does not affect
+	// single-node builds.
+	ShardHint int
 }
 
 // Validate checks internal consistency of the spec.
@@ -127,6 +132,9 @@ func (sp *Spec) Validate() error {
 	}
 	if sp.GPUSyncOverhead < 0 || sp.HostSyncOverhead < 0 {
 		return fmt.Errorf("hw: topology %q has negative sync overhead", sp.Name)
+	}
+	if sp.ShardHint < 0 {
+		return fmt.Errorf("hw: topology %q has negative shard hint %d (0 = no preference, k = shard k-1)", sp.Name, sp.ShardHint)
 	}
 	return nil
 }

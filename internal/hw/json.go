@@ -25,6 +25,9 @@ type specJSON struct {
 
 	GPUSyncOverheadUs  float64 `json:"gpu_sync_overhead_us"`
 	HostSyncOverheadUs float64 `json:"host_sync_overhead_us"`
+	// ShardHint is the 1-based preferred shard for fleet builds
+	// (0 / omitted = no preference).
+	ShardHint int `json:"shard_hint,omitempty"`
 }
 
 type linkJSON struct {
@@ -61,6 +64,7 @@ func SpecFromJSON(r io.Reader) (*Spec, error) {
 		Inter:            make(map[Pair]LinkProps, len(sj.Inter)),
 		GPUSyncOverhead:  sj.GPUSyncOverheadUs * 1e-6,
 		HostSyncOverhead: sj.HostSyncOverheadUs * 1e-6,
+		ShardHint:        sj.ShardHint,
 	}
 	for _, l := range sj.NVLink {
 		sp.NVLink[MakePair(l.A, l.B)] = l.toProps()
@@ -107,6 +111,7 @@ func (sp *Spec) WriteJSON(w io.Writer) error {
 		GPUNuma:            sp.GPUNuma,
 		GPUSyncOverheadUs:  sp.GPUSyncOverhead * 1e6,
 		HostSyncOverheadUs: sp.HostSyncOverhead * 1e6,
+		ShardHint:          sp.ShardHint,
 	}
 	for _, p := range nvlinkPairs(sp) {
 		lp := sp.NVLink[p]

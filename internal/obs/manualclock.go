@@ -1,0 +1,34 @@
+package obs
+
+import "strconv"
+
+// ManualClock is a settable Clock source for recorders that stamp events
+// on behalf of other timelines — e.g. the cluster epoch coordinator,
+// which records each shard's window spans between epochs: it rewinds the
+// clock to the window start, opens the per-shard spans, advances to each
+// shard's end-of-window clock, and closes them. All of that happens on
+// one goroutine, so ManualClock needs no locking of its own (the Tracer
+// serializes concurrent recorders; a shared ManualClock must only be Set
+// from one goroutine at a time).
+type ManualClock struct {
+	t float64
+}
+
+// NewManualClock returns a clock reading 0.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// Set moves the clock to t. Unlike real clocks it may move backwards —
+// the epoch recorder replays per-shard windows that overlap in sim time.
+func (c *ManualClock) Set(t float64) { c.t = t }
+
+// Read returns the current reading; assign it to a Tracer's Clock.
+func (c *ManualClock) Read() float64 { return c.t }
+
+// ShardTrack returns the canonical span track name for a shard's
+// timeline ("shard:3"), keeping exporters and viewers consistent.
+func ShardTrack(shard int) string {
+	return "shard:" + strconv.Itoa(shard)
+}
+
+// EpochTrack is the track carrying cluster epoch-barrier instants.
+const EpochTrack = "epochs"

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// TestManualClock checks Set/Read round-trips, including backwards moves
+// (the epoch recorder replays overlapping per-shard windows).
+func TestManualClock(t *testing.T) {
+	c := NewManualClock()
+	if c.Read() != 0 {
+		t.Fatalf("fresh clock reads %v", c.Read())
+	}
+	c.Set(2.5)
+	if c.Read() != 2.5 {
+		t.Fatalf("Read() = %v after Set(2.5)", c.Read())
+	}
+	c.Set(1.0) // rewind is allowed
+	if c.Read() != 1.0 {
+		t.Fatalf("Read() = %v after rewind", c.Read())
+	}
+}
+
+// TestManualClockDrivesTracer records a replayed pair of overlapping
+// shard windows and checks the stamped span boundaries.
+func TestManualClockDrivesTracer(t *testing.T) {
+	c := NewManualClock()
+	tr := NewTracer(c.Read)
+	c.Set(1.0)
+	s0 := tr.Begin(ShardTrack(0), "epoch", "w", NoSpan)
+	c.Set(3.0)
+	tr.End(s0)
+	c.Set(1.0) // rewind to record shard 1's window of the same epoch
+	s1 := tr.Begin(ShardTrack(1), "epoch", "w", NoSpan)
+	c.Set(2.0)
+	tr.End(s1)
+	c.Set(3.0)
+	tr.Instant(EpochTrack, "epoch", "barrier")
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Start != 1.0 {
+			t.Fatalf("span on %s starts at %v, want 1.0", sp.Track, sp.Start)
+		}
+	}
+	if spans[0].Track != "shard:0" || spans[1].Track != "shard:1" {
+		t.Fatalf("tracks %q, %q", spans[0].Track, spans[1].Track)
+	}
+	if spans[0].End != 3.0 || spans[1].End != 2.0 {
+		t.Fatalf("ends %v, %v", spans[0].End, spans[1].End)
+	}
+	ins := tr.Instants()
+	if len(ins) != 1 || ins[0].At != 3.0 || ins[0].Track != EpochTrack {
+		t.Fatalf("instants %+v", ins)
+	}
+}

@@ -1,0 +1,95 @@
+package par
+
+import "sync"
+
+// EpochPool is a reusable barrier-synchronized worker pool: a fixed set
+// of goroutines that repeatedly execute synchronized rounds. It exists
+// for the sharded event engine, whose epoch loop runs thousands of short
+// rounds — spawning fresh goroutines (or even WaitGroup churn across a
+// changing set) per epoch would dominate the window's useful work.
+//
+// Round(fn) runs fn(worker) on every worker concurrently and returns when
+// all calls have finished — a full barrier. The caller owns the interval
+// between rounds: no worker runs outside a Round, so state touched only
+// inside rounds needs no locks as long as workers partition it.
+//
+// A panic in any worker is captured and re-raised from Round after the
+// barrier (all other workers finish their round first), so the pool is
+// never left with a wedged round in flight.
+type EpochPool struct {
+	workers int
+	// start is one channel per worker: each worker consumes exactly one
+	// round function per round. (A single shared channel would let a fast
+	// worker steal a second copy and run another worker's partition.)
+	start []chan func(int)
+	done  chan any // one per worker per round; nil = clean finish
+
+	closeOnce sync.Once
+}
+
+// NewEpochPool starts workers goroutines waiting for rounds. workers must
+// be at least 1. Callers should Close the pool when done with it;
+// goroutines are otherwise reclaimed at process exit.
+func NewEpochPool(workers int) *EpochPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &EpochPool{
+		workers: workers,
+		start:   make([]chan func(int), workers),
+		done:    make(chan any, workers),
+	}
+	for w := 0; w < workers; w++ {
+		w := w
+		p.start[w] = make(chan func(int))
+		go func() {
+			for fn := range p.start[w] {
+				p.done <- p.call(fn, w)
+			}
+		}()
+	}
+	return p
+}
+
+// call runs fn(worker), converting a panic into a value for re-raising.
+func (p *EpochPool) call(fn func(int), worker int) (recovered any) {
+	defer func() {
+		if r := recover(); r != nil {
+			recovered = r
+		}
+	}()
+	fn(worker)
+	return nil
+}
+
+// Workers returns the pool's degree.
+func (p *EpochPool) Workers() int { return p.workers }
+
+// Round executes fn(worker) for worker in [0, Workers()) concurrently and
+// blocks until every call returns. If any call panicked, the first panic
+// value (by completion order) is re-raised after the barrier.
+func (p *EpochPool) Round(fn func(worker int)) {
+	for w := 0; w < p.workers; w++ {
+		p.start[w] <- fn
+	}
+	var panicked any
+	for w := 0; w < p.workers; w++ {
+		if r := <-p.done; r != nil && panicked == nil {
+			panicked = r
+		}
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Close terminates the worker goroutines. The pool must not be used after
+// Close; Close is safe to call more than once and must not overlap a
+// Round in flight.
+func (p *EpochPool) Close() {
+	p.closeOnce.Do(func() {
+		for _, ch := range p.start {
+			close(ch)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestEpochPoolEveryWorkerRunsOncePerRound verifies the barrier contract:
+// each round runs fn exactly once per worker, with distinct worker IDs,
+// and Round does not return before all calls finish.
+func TestEpochPoolEveryWorkerRunsOncePerRound(t *testing.T) {
+	const workers, rounds = 4, 200
+	p := NewEpochPool(workers)
+	defer p.Close()
+	counts := make([]int, workers) // written only inside rounds, by worker ID
+	for r := 0; r < rounds; r++ {
+		p.Round(func(w int) { counts[w]++ })
+		// Between rounds the coordinator owns all state: every worker must
+		// have run exactly once per completed round.
+		for w := 0; w < workers; w++ {
+			if counts[w] != r+1 {
+				t.Fatalf("round %d: worker %d ran %d times", r, w, counts[w])
+			}
+		}
+	}
+}
+
+// TestEpochPoolBarrier checks that Round is a true barrier: no worker's
+// effects from round r+1 are visible while the coordinator inspects round
+// r's results. Run with -race this also exercises the happens-before
+// edges between workers and coordinator.
+func TestEpochPoolBarrier(t *testing.T) {
+	const workers, rounds = 8, 500
+	p := NewEpochPool(workers)
+	defer p.Close()
+	var inRound atomic.Int32
+	shared := make([]uint64, workers) // partitioned by worker ID
+	for r := 0; r < rounds; r++ {
+		p.Round(func(w int) {
+			if n := inRound.Add(1); n > int32(workers) {
+				t.Errorf("round %d: %d concurrent workers, cap %d", r, n, workers)
+			}
+			shared[w] += uint64(r)
+			inRound.Add(-1)
+		})
+		if n := inRound.Load(); n != 0 {
+			t.Fatalf("round %d: %d workers still running after barrier", r, n)
+		}
+		// Coordinator reads and writes the same slots between rounds —
+		// only safe if Round establishes the barrier.
+		for w := range shared {
+			shared[w]++
+		}
+	}
+	want := uint64(rounds) + uint64(rounds)*uint64(rounds-1)/2
+	for w, got := range shared {
+		if got != want {
+			t.Fatalf("worker %d slot = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestEpochPoolPanicPropagates checks a worker panic is re-raised from
+// Round after the barrier and that the pool stays usable afterwards.
+func TestEpochPoolPanicPropagates(t *testing.T) {
+	p := NewEpochPool(3)
+	defer p.Close()
+	var ran atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want boom", r)
+			}
+		}()
+		p.Round(func(w int) {
+			ran.Add(1)
+			if w == 1 {
+				panic("boom")
+			}
+		})
+		t.Error("Round returned normally despite panic")
+	}()
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d workers before re-raise, want all 3 (barrier must complete)", ran.Load())
+	}
+	// The pool must survive a panicked round.
+	ran.Store(0)
+	p.Round(func(int) { ran.Add(1) })
+	if ran.Load() != 3 {
+		t.Fatalf("post-panic round ran %d workers, want 3", ran.Load())
+	}
+}
+
+// TestEpochPoolMinWorkers: a degenerate pool still rounds correctly.
+func TestEpochPoolMinWorkers(t *testing.T) {
+	p := NewEpochPool(0) // clamped to 1
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		p.Round(func(w int) {
+			if w != 0 {
+				t.Errorf("worker ID %d in 1-worker pool", w)
+			}
+			n++
+		})
+	}
+	if n != 10 {
+		t.Fatalf("ran %d rounds, want 10", n)
+	}
+}
+
+// TestEpochPoolCloseIdempotent: Close twice must not panic.
+func TestEpochPoolCloseIdempotent(t *testing.T) {
+	p := NewEpochPool(2)
+	p.Round(func(int) {})
+	p.Close()
+	p.Close()
+}

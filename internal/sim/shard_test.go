@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// traceLog records (shard, time, tag) triples in execution order within
+// one shard; per-shard logs compose into a deterministic observable.
+type traceEntry struct {
+	shard int
+	at    Time
+	tag   int
+}
+
+// runClusterWorkload drives a seeded multi-shard workload — local event
+// churn plus cross-shard posts at the lookahead bound — and returns each
+// shard's execution log. The workload is a pure function of (shards,
+// seed), so logs must be identical for every worker count.
+func runClusterWorkload(t *testing.T, shards, workers int, seed int64) [][]traceEntry {
+	t.Helper()
+	const lookahead = 0.5
+	c := NewCluster(shards, workers)
+	defer c.Close()
+	for i := 0; i < shards; i++ {
+		c.Connect(i, (i+1)%shards, lookahead)
+	}
+	logs := make([][]traceEntry, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		s := c.Shard(i)
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		// Each shard: a chain of local events, each of which sometimes
+		// forwards work to the next shard.
+		var step func(depth, tag int) func()
+		step = func(depth, tag int) func() {
+			return func() {
+				logs[i] = append(logs[i], traceEntry{shard: i, at: s.Now(), tag: tag})
+				if depth <= 0 {
+					return
+				}
+				s.Schedule(rng.Float64(), step(depth-1, tag+1))
+				if rng.Float64() < 0.4 {
+					dst := c.Shard((i + 1) % shards)
+					s.Post(dst, lookahead+rng.Float64(), func() {
+						logs[(i+1)%shards] = append(logs[(i+1)%shards],
+							traceEntry{shard: (i + 1) % shards, at: dst.Now(), tag: -tag})
+					})
+				}
+			}
+		}
+		s.Schedule(rng.Float64(), step(12, 1000*i))
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("cluster run (shards=%d workers=%d): %v", shards, workers, err)
+	}
+	return logs
+}
+
+// TestClusterParallelByteIdentity checks the headline determinism claim:
+// the same workload produces identical per-shard execution logs whether
+// epochs run on one goroutine or many, across seeds and shard counts.
+func TestClusterParallelByteIdentity(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		for _, seed := range []int64{1, 42} {
+			want := runClusterWorkload(t, shards, 1, seed)
+			for _, workers := range []int{2, 4, 8} {
+				got := runClusterWorkload(t, shards, workers, seed)
+				for i := range want {
+					if len(got[i]) != len(want[i]) {
+						t.Fatalf("shards=%d seed=%d workers=%d: shard %d ran %d events, want %d",
+							shards, seed, workers, i, len(got[i]), len(want[i]))
+					}
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("shards=%d seed=%d workers=%d: shard %d event %d = %+v, want %+v",
+								shards, seed, workers, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterSameInstantMergeOrder pins the deterministic release order
+// for same-instant cross-shard events: (time, source shard, sequence).
+func TestClusterSameInstantMergeOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := NewCluster(4, workers)
+		const L = 1.0
+		for src := 1; src < 4; src++ {
+			c.Connect(src, 0, L)
+		}
+		var order []int
+		// Shards 3, 2, 1 all post two events to shard 0 arriving at the
+		// same instant (t=1). Release order must be shard 1's posts (in
+		// post order), then shard 2's, then shard 3's — regardless of the
+		// order the posting shards were set up or executed in.
+		for _, src := range []int{3, 2, 1} {
+			src := src
+			s := c.Shard(src)
+			s.Schedule(0, func() {
+				s.Post(c.Shard(0), L, func() { order = append(order, 10*src) })
+				s.Post(c.Shard(0), L, func() { order = append(order, 10*src+1) })
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := []int{10, 11, 20, 21, 30, 31}
+		if len(order) != len(want) {
+			t.Fatalf("workers=%d: ran %d events, want %d", workers, len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("workers=%d: release order %v, want %v", workers, order, want)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestClusterSingleShardMatchesSimulator checks the degenerate cluster
+// reproduces the plain engine exactly, including RunUntil clock behavior.
+func TestClusterSingleShardMatchesSimulator(t *testing.T) {
+	build := func(schedule func(delay float64, fn func()), now func() Time, log *[]float64) {
+		for i := 0; i < 5; i++ {
+			d := float64(i) * 1.5
+			schedule(d, func() { *log = append(*log, now()) })
+		}
+	}
+	var wantLog []float64
+	s := New()
+	build(func(d float64, fn func()) { s.Schedule(d, fn) }, s.Now, &wantLog)
+	if err := s.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	wantMid := s.Now()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotLog []float64
+	c := NewCluster(1, 1)
+	cs := c.Shard(0)
+	build(func(d float64, fn func()) { cs.Schedule(d, fn) }, cs.Now, &gotLog)
+	if err := c.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Now() != wantMid {
+		t.Fatalf("clock after RunUntil(4): cluster %v, simulator %v", cs.Now(), wantMid)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("cluster ran %d events, want %d", len(gotLog), len(wantLog))
+	}
+	for i := range wantLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("event %d at %v, want %v", i, gotLog[i], wantLog[i])
+		}
+	}
+}
+
+// TestClusterPingPong runs a two-shard request/response exchange through
+// processes and checks virtual times against the closed-form schedule.
+func TestClusterPingPong(t *testing.T) {
+	const L = 0.25
+	c := NewCluster(2, 2)
+	defer c.Close()
+	c.Connect(0, 1, L)
+	c.Connect(1, 0, L)
+	a, b := c.Shard(0), c.Shard(1)
+	const rounds = 8
+	var times []Time
+	var ping func(i int)
+	pong := func(i int) {
+		times = append(times, b.Now())
+		if i < rounds {
+			b.Post(a, L, func() { ping(i + 1) })
+		}
+	}
+	ping = func(i int) {
+		times = append(times, a.Now())
+		a.Post(b, L, func() { pong(i) })
+	}
+	a.Schedule(0, func() { ping(0) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2*rounds+2 {
+		t.Fatalf("ran %d hops, want %d", len(times), 2*rounds+2)
+	}
+	for i, at := range times {
+		if want := float64(i) * L; math.Abs(at-want) > 1e-12 {
+			t.Fatalf("hop %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestClusterDeadlock: a process blocked on a signal nobody fires must be
+// reported as a deadlock by the cluster-wide check (the shard-local check
+// is suppressed inside a cluster).
+func TestClusterDeadlock(t *testing.T) {
+	c := NewCluster(2, 1)
+	s := c.Shard(0)
+	g := s.NewSignal()
+	s.Spawn("waiter", func(p *Proc) { _ = p.Wait(g) })
+	err := c.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestPostLookaheadViolationPanics pins the conservative contract: a
+// cross-shard post below the declared lookahead must panic rather than
+// silently corrupt another shard's past.
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Connect(0, 1, 1.0)
+	s := c.Shard(0)
+	s.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post below lookahead did not panic")
+			}
+		}()
+		s.Post(c.Shard(1), 0.5, func() {})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With no channels declared at all, any finite post is a violation.
+	c2 := NewCluster(2, 1)
+	s2 := c2.Shard(0)
+	s2.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post without channels did not panic")
+			}
+		}()
+		s2.Post(c2.Shard(1), 1e9, func() {})
+	})
+	if err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterEpochHook checks the OnEpoch reporting is identical across
+// worker counts: same windows, same delivery counts, same per-shard event
+// totals.
+func TestClusterEpochHook(t *testing.T) {
+	type epochSummary struct {
+		start, horizon Time
+		delivered      int
+		events         string
+	}
+	run := func(workers int) []epochSummary {
+		c := NewCluster(3, workers)
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			c.Connect(i, (i+1)%3, 0.5)
+		}
+		var out []epochSummary
+		c.OnEpoch(func(ep Epoch) {
+			sum := epochSummary{start: ep.Start, horizon: ep.Horizon, delivered: ep.Delivered}
+			for _, n := range ep.ShardEvents {
+				sum.events += fmt.Sprintf("%d,", n)
+			}
+			out = append(out, sum)
+		})
+		for i := 0; i < 3; i++ {
+			i := i
+			s := c.Shard(i)
+			s.Schedule(float64(i)*0.2, func() {
+				s.Post(c.Shard((i+1)%3), 0.7, func() {})
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("no epochs reported")
+	}
+	for _, workers := range []int{2, 3} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d epochs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: epoch %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestClusterShardErrorDeterministic: with several shards failing in one
+// epoch, the reported error must be the lowest shard's, not a race.
+func TestClusterShardErrorDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := NewCluster(4, workers)
+		for i := 1; i <= 2; i++ {
+			i := i
+			s := c.Shard(i)
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(1)
+				panic(fmt.Sprintf("boom %d", i))
+			})
+		}
+		err := c.Run()
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		// Both shards panic at the same instant in the same epoch; the
+		// cluster must surface shard 1's.
+		if want := `process "p1" panicked`; !containsStr(err.Error(), want) {
+			t.Fatalf("workers=%d: err = %v, want mention of %q", workers, err, want)
+		}
+		c.Close()
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

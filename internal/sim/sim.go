@@ -50,15 +50,24 @@ type event struct {
 
 // EventHandle allows a scheduled event to be canceled before it fires.
 // The zero EventHandle is valid and canceling it is a no-op.
+//
+// Handles are shard-local: a handle may only be canceled from the
+// goroutine currently running its simulator (an event callback or process
+// of the same shard, or the coordinator between epochs). Event structs
+// are pooled per shard, so the generation check below stays single-shard
+// and lock-free.
 type EventHandle struct {
 	ev  *event
 	gen uint64
 }
 
 // Cancel prevents the event from running. Canceling an already-executed or
-// already-canceled event is a no-op (the underlying struct may since have
-// been recycled for an unrelated event; the generation check makes stale
-// handles inert).
+// already-canceled event is a no-op. Pooled-event reuse cannot be
+// mis-canceled (the ABA case): every recycle bumps the struct's
+// generation, each handle pins the generation it was issued against, and
+// a mismatch makes the stale handle inert — even when the struct has been
+// recycled several times, e.g. across cluster epochs where the shard
+// router delivers cross-shard events into the same pool.
 func (h EventHandle) Cancel() {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.canceled {
@@ -115,6 +124,9 @@ func (q *eventQueue) Pop() any {
 // Simulator owns the virtual clock and the pending event queue.
 // A Simulator must not be shared between OS threads while running;
 // all interaction during a run happens from event callbacks and processes.
+// (A Cluster runs several Simulators on several threads, but each
+// Simulator is still only ever touched by one goroutine at a time — see
+// shard.go.)
 type Simulator struct {
 	now     Time
 	queue   eventQueue
@@ -129,6 +141,18 @@ type Simulator struct {
 
 	canceled int      // canceled events still sitting in the heap
 	free     []*event // recycled event structs
+
+	// executed counts events run so far (diagnostics; epoch accounting).
+	executed uint64
+
+	// Cluster membership (nil/0 for a standalone simulator). The shard ID
+	// participates in the cluster's global (time, shard, seq) event-order
+	// tie-break; the outbox buffers conservatively-scheduled cross-shard
+	// events until the next epoch barrier.
+	cluster *Cluster
+	shard   int
+	xseq    uint64 // per-shard sequence for outbox entries
+	outbox  []remoteEvent
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -143,6 +167,30 @@ func (s *Simulator) Now() Time { return s.now }
 // It is O(1): the simulator tracks cancellations with a live counter.
 func (s *Simulator) Pending() int {
 	return len(s.queue) - s.canceled
+}
+
+// Executed returns the number of events run since creation (diagnostics;
+// the cluster epoch reporter differences it per epoch).
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Shard returns the simulator's shard ID within its cluster (0 for a
+// standalone simulator).
+func (s *Simulator) Shard() int { return s.shard }
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// ok=false when none remain. Canceled events found at the head of the
+// queue are retired on the way (they would be skipped by Run anyway).
+func (s *Simulator) NextEventTime() (Time, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev.at, true
+		}
+		heap.Pop(&s.queue)
+		s.canceled--
+		s.recycle(ev)
+	}
+	return 0, false
 }
 
 // newEvent takes an event struct from the free list or allocates one.
@@ -236,6 +284,15 @@ func (s *Simulator) Run() error {
 // RunUntil executes events with timestamps <= limit. The clock is left at
 // the time of the last executed event (or at limit if nothing remained).
 func (s *Simulator) RunUntil(limit Time) error {
+	return s.runLimit(limit, true)
+}
+
+// runLimit is the core event loop. With inclusive=true events at exactly
+// limit run (RunUntil semantics); with inclusive=false they stay queued —
+// the cluster epoch scheduler uses the exclusive form so that an event at
+// the epoch horizon is ordered against cross-shard events arriving at that
+// same instant instead of racing ahead of them.
+func (s *Simulator) runLimit(limit Time, inclusive bool) error {
 	if s.running {
 		return errors.New("sim: Run called re-entrantly")
 	}
@@ -246,13 +303,16 @@ func (s *Simulator) RunUntil(limit Time) error {
 	for !s.stopped {
 		ev := s.popRunnable()
 		if ev == nil {
-			if s.procs > 0 && s.err == nil {
+			// A clustered shard with a drained queue may still receive
+			// cross-shard events at the next epoch barrier; the cluster
+			// performs the global deadlock check instead.
+			if s.procs > 0 && s.err == nil && s.cluster == nil {
 				s.err = fmt.Errorf("%w (%d live processes)", ErrDeadlock, s.procs)
 			}
 			break
 		}
-		if ev.at > limit {
-			// Put it back for a later RunUntil call.
+		if ev.at > limit || (!inclusive && ev.at == limit) {
+			// Put it back for a later run.
 			heap.Push(&s.queue, ev)
 			if s.now < limit {
 				s.now = limit
@@ -265,6 +325,7 @@ func (s *Simulator) RunUntil(limit Time) error {
 		// which can then reuse this struct. The handle to this event is
 		// already invalidated by the generation bump.
 		s.recycle(ev)
+		s.executed++
 		fn()
 	}
 	return s.err

@@ -112,6 +112,12 @@ type Config struct {
 	// plus a metrics registry, exportable as a Perfetto trace and a JSON
 	// snapshot. Off by default; disabled cost is one nil check per hook.
 	Trace bool
+	// Shards is the default shard count for embedders running fleet-scale
+	// simulations on the sharded event engine (sim.Cluster): 0 or 1 keeps
+	// the sequential engine, N > 1 partitions connected components across
+	// N shards. Single-node transfer stacks ignore it — one node is one
+	// component and always simulates sequentially.
+	Shards int
 }
 
 // Planner produces a multi-path configuration for a transfer. core.Model
@@ -160,6 +166,7 @@ func DefaultConfig() Config {
 //	UCX_MP_GRAPHS        y|n
 //	UCX_MP_RECALIBRATE   y|n
 //	UCX_MP_TRACE         y|n
+//	UCX_MP_SHARDS        integer ≥ 0 (0/1 = sequential engine)
 func ParseConfig(env map[string]string) (Config, error) {
 	cfg := DefaultConfig()
 	// Walk variables in sorted order so that with several invalid entries
@@ -261,6 +268,12 @@ func ParseConfig(env map[string]string) (Config, error) {
 				return cfg, fmt.Errorf("ucx: %s: %w", k, err)
 			}
 			cfg.Trace = b
+		case "UCX_MP_SHARDS":
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 {
+				return cfg, fmt.Errorf("ucx: bad %s=%q", k, v)
+			}
+			cfg.Shards = i
 		default:
 			return cfg, fmt.Errorf("ucx: unknown variable %q", k)
 		}

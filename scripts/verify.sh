@@ -50,6 +50,21 @@ go test -race -count=3 \
 	-run 'TestMetricsConcurrentRecording|TestTracer' \
 	./internal/obs/
 
+# The sharded parallel engine's whole value is that worker count is
+# unobservable: rerun the epoch-barrier stress, the cluster determinism
+# suites, and the sharded-vs-sequential churn identity under the race
+# detector with extra repetitions.
+echo "==> go test -race -count=3 (shard engine / epoch barrier stress)"
+go test -race -count=3 \
+	-run 'TestEpochPool|TestCluster|TestShardedChurnIdentity' \
+	./internal/par/ ./internal/sim/ ./internal/fluid/
+
+# Shard smoke: one reduced repetition of the fleet + single-component
+# ladders, proving the sharded experiment (and its checksum-equality
+# enforcement across worker and shard counts) runs end to end.
+echo "==> mpbench -exp shard smoke (quick ladders)"
+go run ./cmd/mpbench -exp shard -quick -shard-json ""
+
 # Compiled-graph smoke: one size on one cluster through both engines plus
 # the launch ladder, proving the graphs experiment runs end to end without
 # regenerating the full BENCH_graphs.json grid.
