@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs bench-shard verify
+.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs bench-shard bench-serve verify
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,11 @@ bench-obs:
 # equal — the run fails on any determinism violation.
 bench-shard:
 	$(GO) run ./cmd/mpbench -exp shard -shard-json BENCH_shard.json
+
+# bench-serve load-tests the mpserve daemon stack (registry + v1 HTTP API
+# + TCP fast path) over real loopback sockets — >=1M mixed-size plan
+# queries across two registered clusters — and regenerates
+# BENCH_serve.json with plans/sec and latency percentiles per wire
+# series, including the batch-vs-single speedup at batch size 1024.
+bench-serve:
+	$(GO) run ./cmd/mpbench -exp serve -serve-json BENCH_serve.json

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs|obs2|plancache|faults|graphs|shard|all")
+		expName  = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|headline|ext|obs|obs2|plancache|faults|graphs|shard|serve|all")
 		clusters = flag.String("clusters", "beluga,narval", "comma-separated cluster presets")
 		pathSets = flag.String("paths", "2gpus,3gpus,3gpus_host", "comma-separated path sets")
 		windows  = flag.String("windows", "1,16", "comma-separated OSU window sizes")
@@ -50,6 +50,8 @@ func main() {
 			"output path for -exp obs overhead results (empty = don't write)")
 		shardJSON = flag.String("shard-json", "BENCH_shard.json",
 			"output path for -exp shard engine results (empty = don't write)")
+		serveJSON = flag.String("serve-json", "BENCH_serve.json",
+			"output path for -exp serve daemon results (empty = don't write)")
 		shards = flag.Int("shards", envShards(),
 			"fleet shard count for -exp shard (0 = one shard per node; default honors UCX_MP_SHARDS)")
 		tracePath = flag.String("trace", "",
@@ -206,6 +208,26 @@ func main() {
 				fatal("write %s: %v", *shardJSON, err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote shard engine results to %s\n", *shardJSON)
+		}
+	case "serve":
+		if *quick {
+			// Smoke shape: a few batches per series, still end-to-end over
+			// real sockets.
+			opts.ServePlans = 8 * exp.ServeBatchSize
+		}
+		fig, points, err := exp.ServeBench(opts)
+		if err != nil {
+			fatal("serve: %v", err)
+		}
+		if err := exp.RenderText(os.Stdout, fig); err != nil {
+			fatal("render serve: %v", err)
+		}
+		figures = append(figures, fig)
+		if *serveJSON != "" {
+			if err := writeServeJSON(*serveJSON, points); err != nil {
+				fatal("write %s: %v", *serveJSON, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote plan-serving results to %s\n", *serveJSON)
 		}
 	case "headline":
 		h, f5, f6, f7, err := exp.RunHeadline(opts)
@@ -452,6 +474,37 @@ func writeGraphsJSON(path string, points []exp.GraphPoint, launch []exp.GraphLau
 		Date:   time.Now().Format("2006-01-02"),
 		Points: points,
 		Launch: launch,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeServeJSON records the plan-serving load test: plans/sec and request
+// latency percentiles per wire series, plus the batch-vs-single speedup.
+func writeServeJSON(path string, points []exp.ServePoint) error {
+	doc := struct {
+		Description string           `json:"description"`
+		Host        string           `json:"host"`
+		Date        string           `json:"date"`
+		BatchSize   int              `json:"batch_size"`
+		Points      []exp.ServePoint `json:"points"`
+	}{
+		Description: "Plan serving (mpbench -exp serve): the mpserve daemon stack " +
+			"in-process behind real loopback sockets, replaying a deterministic " +
+			"mixed-size plan workload across two registered clusters. " +
+			"'http_single' round-trips one POST /v1/plan per query, 'http_batch' " +
+			"amortizes one POST /v1/batch over 1024 queries, 'tcp_batch' sends the " +
+			"same batches over the length-prefixed TCP fast path. plans_per_sec " +
+			"and the latency percentiles are wall clock and host-dependent; " +
+			"speedup_vs_single is each batch series' plans_per_sec over " +
+			"http_single's and must stay >= 5 at batch size 1024.",
+		Host:      fmt.Sprintf("GOMAXPROCS=%d, %s %s/%s", runtime.GOMAXPROCS(0), runtime.Version(), runtime.GOOS, runtime.GOARCH),
+		Date:      time.Now().Format("2006-01-02"),
+		BatchSize: exp.ServeBatchSize,
+		Points:    points,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,129 @@
+// Command mpserve hosts the multi-path plan model as a daemon: a registry
+// of named cluster topologies served over the versioned v1 HTTP/JSON API,
+// with an optional length-prefixed TCP fast path for high-rate clients.
+// Topologies hot-reload through PUT /v1/clusters/{name} without a restart.
+//
+// Usage:
+//
+//	mpserve -addr 127.0.0.1:7077
+//	mpserve -addr :7077 -tcp :7078 -cluster prod=beluga -cluster lab=narval
+//	mpserve -addr 127.0.0.1:0 -cluster edge=testdata/custom-topology.json
+//
+// The bound addresses are printed on startup (one line per listener), so
+// scripts can start mpserve on port 0 and parse the port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// clusterFlags collects repeated -cluster name=source flags, where source
+// is a preset name (hw.Presets) or a topology JSON file path.
+type clusterFlags []string
+
+func (c *clusterFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *clusterFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	var clusters clusterFlags
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7077", "HTTP listen address (port 0 picks a free port)")
+		tcpAddr  = flag.String("tcp", "", "also serve the length-prefixed TCP fast path on this address")
+		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatchItems, "maximum items per batch request")
+	)
+	flag.Var(&clusters, "cluster", "register name=source at startup (source: preset name or topology JSON file); repeatable, default beluga=beluga narval=narval")
+	flag.Parse()
+
+	if len(clusters) == 0 {
+		clusters = clusterFlags{"beluga=beluga", "narval=narval"}
+	}
+	reg := serve.NewRegistry(serve.DefaultTenantConfig())
+	for _, c := range clusters {
+		name, src, ok := strings.Cut(c, "=")
+		if !ok || name == "" || src == "" {
+			fatal("bad -cluster %q: want name=preset or name=file.json", c)
+		}
+		spec, err := loadSpec(src)
+		if err != nil {
+			fatal("cluster %s: %v", name, err)
+		}
+		if _, err := reg.Register(name, spec); err != nil {
+			fatal("register %s: %v", name, err)
+		}
+		fmt.Printf("mpserve: registered cluster %s (%s, %d GPUs)\n", name, spec.Name, spec.GPUs)
+	}
+
+	srv := serve.NewServer(reg, serve.Options{MaxBatchItems: *maxBatch})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen %s: %v", *addr, err)
+	}
+	fmt.Printf("mpserve: http listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 2)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	var tcpSrv *serve.TCPServer
+	if *tcpAddr != "" {
+		tln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fatal("listen %s: %v", *tcpAddr, err)
+		}
+		fmt.Printf("mpserve: tcp fast path listening on %s\n", tln.Addr())
+		tcpSrv = serve.NewTCPServer(srv)
+		go func() { errc <- tcpSrv.Serve(tln) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("mpserve: %v, shutting down\n", sig)
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal("serve: %v", err)
+		}
+	}
+	if tcpSrv != nil {
+		if err := tcpSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpserve: tcp close: %v\n", err)
+		}
+	}
+	if err := httpSrv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mpserve: http close: %v\n", err)
+	}
+}
+
+// loadSpec resolves a -cluster source: a preset name first, else a file.
+func loadSpec(src string) (*hw.Spec, error) {
+	if mk, ok := hw.Presets[src]; ok {
+		return mk(), nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, fmt.Errorf("source %q is neither a preset nor a readable file: %w", src, err)
+	}
+	defer f.Close()
+	return hw.SpecFromJSON(f)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpserve: "+format+"\n", args...)
+	os.Exit(1)
+}

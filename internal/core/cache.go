@@ -27,16 +27,18 @@ const (
 
 // CacheStats counts configuration-cache behaviour (Algorithm 1 lines 4-6).
 // Counters are cumulative across InvalidateCache; ResetStats zeroes them.
+// The JSON tags are part of the serving wire contract (the snapshot served
+// by mpserve's /v1/stats embeds this struct).
 type CacheStats struct {
 	// Hits are lookups served from a completed cached plan.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses are lookups that computed a new plan.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Evictions counts plans dropped by the CLOCK bound.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// InflightMerges counts lookups that joined an in-flight computation
 	// of the same key instead of recomputing it (singleflight).
-	InflightMerges int64
+	InflightMerges int64 `json:"inflight_merges"`
 }
 
 // cacheEntry is one cached plan. Before the computation finishes, waiters

@@ -105,15 +105,18 @@ func (cl *obsClass) reset() {
 	cl.n = 0
 }
 
-// ObserverStats is a snapshot of the recalibration loop's activity.
+// ObserverStats is a snapshot of the recalibration loop's activity. The
+// JSON tags are part of the serving wire contract (/v1/stats embeds this
+// struct; Scale keys serialize as path-kind names via hw.PathKind's
+// TextMarshaler).
 type ObserverStats struct {
 	// Samples counts Record calls accepted.
-	Samples int64
+	Samples int64 `json:"samples"`
 	// Refits counts threshold crossings that re-fit a class scale (and
 	// invalidated the attached models' caches).
-	Refits int64
+	Refits int64 `json:"refits"`
 	// Scale is the current β correction per path kind (1 = no correction).
-	Scale map[hw.PathKind]float64
+	Scale map[hw.PathKind]float64 `json:"beta_scale,omitempty"`
 }
 
 // Observer accumulates prediction error per path class and re-fits a β

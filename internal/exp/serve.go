@@ -1,0 +1,457 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	v1 "repro/internal/serve/v1"
+	"repro/internal/ucx"
+)
+
+// The serve experiment load-tests the mpserve daemon end to end: real HTTP
+// (and TCP fast-path) round trips against an in-process server hosting two
+// registered clusters, replaying a mixed-size plan workload. It answers the
+// service-boundary question the daemon exists for — what request rate the
+// wire adds on top of the ~µs planner, and how much the batch endpoint
+// recovers by amortizing one round trip (and one registry pass) over many
+// queries. Like plancache, it reports wall-clock throughput and is not
+// byte-reproducible.
+
+// ServePoint is one measured series of the serving benchmark.
+type ServePoint struct {
+	// Series is http_single, http_batch, or tcp_batch.
+	Series string `json:"series"`
+	// Clients is the number of concurrent client connections.
+	Clients int `json:"clients"`
+	// BatchSize is items per request (1 for the single-plan series).
+	BatchSize int `json:"batch_size"`
+	// Requests is the wire round trips performed; Plans the plan queries
+	// answered (Requests × BatchSize).
+	Requests int64 `json:"requests"`
+	Plans    int64 `json:"plans"`
+	// ElapsedSec is the series' wall-clock duration.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// PlansPerSec is Plans / ElapsedSec.
+	PlansPerSec float64 `json:"plans_per_sec"`
+	// P50Ms / P99Ms / MeanMs summarize per-request latency in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// SpeedupVsSingle is this series' PlansPerSec over the http_single
+	// series' (1 for http_single itself).
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// ServeBatchSize is the batch shape of the batch series — the acceptance
+// shape the batch-vs-single speedup is quoted at.
+const ServeBatchSize = 1024
+
+// serveFullPlans is the full per-series plan volume (≥1M plans per batch
+// series, and the same request budget spread thinner for the single
+// series).
+const serveFullPlans = 1 << 20
+
+// serveWorkload generates the deterministic mixed workload: items cycle
+// clusters, GPU pairs, the size grid, and path sets with co-prime strides
+// so consecutive items differ in every coordinate.
+type serveWorkload struct {
+	clusters []string
+	pairs    map[string][][2]int
+	sizes    []float64
+	pathSets []string
+}
+
+func (w *serveWorkload) item(i int) v1.BatchItem {
+	cluster := w.clusters[i%len(w.clusters)]
+	pairs := w.pairs[cluster]
+	p := pairs[(i/len(w.clusters))%len(pairs)]
+	return v1.BatchItem{
+		Cluster: cluster,
+		Src:     p[0],
+		Dst:     p[1],
+		Bytes:   w.sizes[(i/7)%len(w.sizes)],
+		PathSet: w.pathSets[(i/3)%len(w.pathSets)],
+	}
+}
+
+// ServeBench stands up the full daemon stack in-process — registry with
+// two clusters, HTTP front end on a loopback listener, TCP fast path —
+// and measures three series: per-request single plans, 1024-item batches
+// over HTTP, and the same batches over the TCP framing.
+func ServeBench(opts Options) (*Figure, []ServePoint, error) {
+	clusters := append([]string(nil), opts.Clusters...)
+	if len(clusters) == 0 {
+		clusters = []string{"beluga"}
+	}
+	// The serving scenario is multi-tenant by design: guarantee at least
+	// two registered clusters even on reduced grids.
+	if len(clusters) < 2 {
+		alt := "narval"
+		if clusters[0] == alt {
+			alt = "beluga"
+		}
+		clusters = append(clusters, alt)
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		return nil, nil, fmt.Errorf("exp: serve needs at least one size")
+	}
+	pathSets := opts.PathSets
+	if len(pathSets) == 0 {
+		pathSets = []string{"all"}
+	}
+
+	reg := serve.NewRegistry(serve.DefaultTenantConfig())
+	w := &serveWorkload{clusters: clusters, sizes: sizes, pathSets: pathSets, pairs: map[string][][2]int{}}
+	for _, name := range clusters {
+		spec, err := specFor(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := reg.Register(name, spec); err != nil {
+			return nil, nil, err
+		}
+		var pairs [][2]int
+		for a := 0; a < spec.GPUs; a++ {
+			for b := 0; b < spec.GPUs; b++ {
+				if a != b {
+					pairs = append(pairs, [2]int{a, b})
+				}
+			}
+		}
+		w.pairs[name] = pairs
+	}
+	srv := serve.NewServer(reg, serve.Options{})
+
+	// Warm every (cluster, pair, size, path set) cell in-process so the
+	// measured series exercise the steady-state cache-hit path — the wire
+	// is what's under test, not cold planning.
+	for _, name := range clusters {
+		t, _ := reg.Lookup(name)
+		for _, p := range w.pairs[name] {
+			for _, ps := range pathSets {
+				sel, err := ucx.PathSetByName(ps)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, n := range sizes {
+					if _, err := t.Context().PlanForSet(p[0], p[1], n, sel, nil); err != nil {
+						return nil, nil, fmt.Errorf("exp: warm %s %v %.0f: %w", name, p, n, err)
+					}
+				}
+			}
+		}
+	}
+
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	tcp := serve.NewTCPServer(srv)
+	go func() { _ = tcp.Serve(tln) }() // Close ends Serve with nil
+	defer tcp.Close()                  //lint:allow errchecksim benchmark teardown
+
+	clients := runtime.GOMAXPROCS(0)
+	if clients < 2 {
+		clients = 2
+	}
+	if clients > 16 {
+		clients = 16
+	}
+	httpClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+
+	batchPlans := opts.ServePlans
+	if batchPlans <= 0 {
+		batchPlans = serveFullPlans
+	}
+	batches := (batchPlans + ServeBatchSize - 1) / ServeBatchSize
+	// The single series replays 1/16 of the batch series' plan volume —
+	// enough requests (65536 at the full grid) for stable tails without
+	// making the slowest series dominate the run.
+	singles := batchPlans / 16
+	if singles < 256 {
+		singles = 256
+	}
+
+	var points []ServePoint
+	single, err := runServeSeries("http_single", clients, singles, 1, func(worker int, req int, buf *bytes.Buffer) error {
+		it := w.item(worker + req*clients)
+		return httpPlanOnce(httpClient, hts.URL, it, buf)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	single.SpeedupVsSingle = 1
+	points = append(points, single)
+
+	hb, err := runServeSeries("http_batch", clients, batches, ServeBatchSize, func(worker int, req int, buf *bytes.Buffer) error {
+		return httpBatchOnce(httpClient, hts.URL, w, worker+req*clients, buf)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	hb.SpeedupVsSingle = hb.PlansPerSec / single.PlansPerSec
+	points = append(points, hb)
+
+	tb, err := runTCPBatchSeries(tln.Addr().String(), w, clients, batches)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb.SpeedupVsSingle = tb.PlansPerSec / single.PlansPerSec
+	points = append(points, tb)
+
+	fig := &Figure{
+		ID:      "serve",
+		Caption: "Plan serving: wire throughput and latency of the mpserve daemon",
+	}
+	// Table shape: rows are batch sizes (1 and ServeBatchSize), columns the
+	// wire (http carries both rows, tcp only batches).
+	tp := Panel{Title: fmt.Sprintf("plans/sec, %d clients, clusters %v", clients, clusters), YLabel: "Mplans/s", XLabel: "batch size",
+		Series: []Series{
+			{Name: "http", Points: []Point{
+				{Bytes: 1, Value: single.PlansPerSec / 1e6},
+				{Bytes: ServeBatchSize, Value: hb.PlansPerSec / 1e6},
+			}},
+			{Name: "tcp", Points: []Point{{Bytes: ServeBatchSize, Value: tb.PlansPerSec / 1e6}}},
+		}}
+	lat := Panel{Title: "request latency p99", YLabel: "ms", XLabel: "batch size",
+		Series: []Series{
+			{Name: "http", Points: []Point{
+				{Bytes: 1, Value: single.P99Ms},
+				{Bytes: ServeBatchSize, Value: hb.P99Ms},
+			}},
+			{Name: "tcp", Points: []Point{{Bytes: ServeBatchSize, Value: tb.P99Ms}}},
+		}}
+	fig.Panels = []Panel{tp, lat}
+	return fig, points, nil
+}
+
+// runServeSeries drives one series: `clients` goroutines issue `requests`
+// round trips total (strided assignment), each recording its wall-clock
+// latency.
+func runServeSeries(name string, clients, requests, batchSize int, do func(worker, req int, buf *bytes.Buffer) error) (ServePoint, error) {
+	latencies := make([][]float64, clients)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			mine := make([]float64, 0, requests/clients+1)
+			for r := c; r < requests; r += clients {
+				t0 := time.Now()
+				if err := do(c, r, &buf); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("exp: %s request %d: %w", name, r, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				mine = append(mine, time.Since(t0).Seconds())
+			}
+			latencies[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		return ServePoint{}, firstErr
+	}
+	return summarize(name, clients, batchSize, latencies, elapsed), nil
+}
+
+// runTCPBatchSeries is the TCP analogue: each client holds one persistent
+// connection and sends length-prefixed batch frames back to back.
+func runTCPBatchSeries(addr string, w *serveWorkload, clients, requests int) (ServePoint, error) {
+	latencies := make([][]float64, clients)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fail := func(err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("exp: tcp_batch client %d: %w", c, err)
+				}
+				errMu.Unlock()
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close() //lint:allow errchecksim benchmark teardown
+			mine := make([]float64, 0, requests/clients+1)
+			for r := c; r < requests; r += clients {
+				req := v1.TCPRequest{Batch: makeBatch(w, r)}
+				t0 := time.Now()
+				resp, err := serve.RoundTripTCP(conn, &req)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if resp.Error != nil {
+					fail(resp.Error)
+					return
+				}
+				if resp.Batch == nil || resp.Batch.Failed > 0 {
+					fail(fmt.Errorf("batch response failed=%d", failedOf(resp.Batch)))
+					return
+				}
+				mine = append(mine, time.Since(t0).Seconds())
+			}
+			latencies[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		return ServePoint{}, firstErr
+	}
+	return summarize("tcp_batch", clients, ServeBatchSize, latencies, elapsed), nil
+}
+
+func failedOf(b *v1.BatchResponse) int {
+	if b == nil {
+		return -1
+	}
+	return b.Failed
+}
+
+// makeBatch builds the seq-th deterministic batch request.
+func makeBatch(w *serveWorkload, seq int) *v1.BatchRequest {
+	req := &v1.BatchRequest{Items: make([]v1.BatchItem, ServeBatchSize)}
+	base := seq * ServeBatchSize
+	for i := range req.Items {
+		req.Items[i] = w.item(base + i)
+	}
+	return req
+}
+
+// httpPlanOnce performs one POST /v1/plan round trip.
+func httpPlanOnce(client *http.Client, baseURL string, it v1.BatchItem, buf *bytes.Buffer) error {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v1.PlanRequest{
+		Cluster: it.Cluster, Src: it.Src, Dst: it.Dst, Bytes: it.Bytes, PathSet: it.PathSet,
+	}); err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/plan", "application/json", buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //lint:allow errchecksim response body drain
+	if resp.StatusCode != http.StatusOK {
+		var env v1.ErrorEnvelope
+		_ = json.NewDecoder(resp.Body).Decode(&env) //lint:allow errchecksim best-effort error detail
+		return fmt.Errorf("status %d: %s", resp.StatusCode, env.Error.Message)
+	}
+	var pr v1.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return err
+	}
+	if pr.PredictedSeconds <= 0 {
+		return fmt.Errorf("non-positive prediction %g", pr.PredictedSeconds)
+	}
+	return nil
+}
+
+// httpBatchOnce performs one POST /v1/batch round trip.
+func httpBatchOnce(client *http.Client, baseURL string, w *serveWorkload, seq int, buf *bytes.Buffer) error {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(makeBatch(w, seq)); err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/batch", "application/json", buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //lint:allow errchecksim response body drain
+	if resp.StatusCode != http.StatusOK {
+		var env v1.ErrorEnvelope
+		_ = json.NewDecoder(resp.Body).Decode(&env) //lint:allow errchecksim best-effort error detail
+		return fmt.Errorf("status %d: %s", resp.StatusCode, env.Error.Message)
+	}
+	var br v1.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return err
+	}
+	if br.Failed > 0 {
+		return fmt.Errorf("%d items failed", br.Failed)
+	}
+	if len(br.Results) != ServeBatchSize {
+		return fmt.Errorf("got %d results, want %d", len(br.Results), ServeBatchSize)
+	}
+	return nil
+}
+
+// summarize reduces per-request latencies to one ServePoint.
+func summarize(name string, clients, batchSize int, latencies [][]float64, elapsed float64) ServePoint {
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pt := ServePoint{
+		Series:     name,
+		Clients:    clients,
+		BatchSize:  batchSize,
+		Requests:   int64(len(all)),
+		Plans:      int64(len(all)) * int64(batchSize),
+		ElapsedSec: elapsed,
+	}
+	if elapsed > 0 {
+		pt.PlansPerSec = float64(pt.Plans) / elapsed
+	}
+	if len(all) > 0 {
+		pt.P50Ms = quantileOf(all, 0.50) * 1e3
+		pt.P99Ms = quantileOf(all, 0.99) * 1e3
+		sum := 0.0
+		for _, v := range all {
+			sum += v
+		}
+		pt.MeanMs = sum / float64(len(all)) * 1e3
+	}
+	return pt
+}
+
+// quantileOf reads the q-quantile from a sorted sample (nearest-rank).
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // specJSON is the serialized topology format. Bandwidths are in GB/s and
@@ -109,8 +110,8 @@ func (sp *Spec) WriteJSON(w io.Writer) error {
 		GPUs:               sp.GPUs,
 		NUMAs:              sp.NUMAs,
 		GPUNuma:            sp.GPUNuma,
-		GPUSyncOverheadUs:  sp.GPUSyncOverhead * 1e6,
-		HostSyncOverheadUs: sp.HostSyncOverhead * 1e6,
+		GPUSyncOverheadUs:  canonicalUs(sp.GPUSyncOverhead),
+		HostSyncOverheadUs: canonicalUs(sp.HostSyncOverhead),
 		ShardHint:          sp.ShardHint,
 	}
 	for _, p := range nvlinkPairs(sp) {
@@ -133,5 +134,46 @@ func (sp *Spec) WriteJSON(w io.Writer) error {
 }
 
 func fromProps(lp LinkProps) propsJSON {
-	return propsJSON{BandwidthGBps: lp.Bandwidth / GBps, LatencyUs: lp.Latency * 1e6}
+	return propsJSON{
+		BandwidthGBps: canonical(lp.Bandwidth/GBps, func(g float64) float64 { return (g * GBps) / GBps }),
+		LatencyUs:     canonicalUs(lp.Latency),
+	}
+}
+
+// canonicalUs emits a seconds value in microseconds, stabilized against
+// the parser's µs→s conversion (the same double-rounding concern as
+// fromProps; sync overheads share the latency unit convention).
+func canonicalUs(seconds float64) float64 {
+	return canonical(seconds*1e6, func(u float64) float64 { return (u * 1e-6) * 1e6 })
+}
+
+// canonical iterates a written unit value to a stable point of one
+// load/store round trip. WriteJSON emits values in display units (GB/s,
+// µs); SpecFromJSON converts them back to base units, and a later
+// WriteJSON converts to display units again. Each conversion rounds, so a
+// raw quotient like bw/1e9 is not always reproduced by ((bw/1e9)*1e9)/1e9
+// — the second write could differ in the last ulp and hot-reload files
+// would drift. Emitting a stable point of the round-trip map instead makes
+// WriteJSON → SpecFromJSON → WriteJSON byte-stable by construction: the
+// value written is exactly the value a reload writes again. Most inputs
+// reach a fixed point in one or two steps; the remaining inputs fall into
+// a period-2 orbit {a, b} (double rounding flips the last ulp back and
+// forth), where both writers deterministically pick the smaller member —
+// a reload of min(a, b) re-enters the same orbit and picks the same
+// member again. Either way the emitted value is within one ulp of the raw
+// quotient — far below link-spec precision.
+func canonical(v float64, roundTrip func(float64) float64) float64 {
+	prev := math.NaN()
+	for i := 0; i < 8; i++ {
+		next := roundTrip(v)
+		if next == v {
+			return v
+		}
+		if next == prev {
+			return math.Min(prev, v)
+		}
+		prev = v
+		v = next
+	}
+	return v
 }

@@ -2,7 +2,9 @@ package hw
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"strings"
 	"testing"
@@ -144,4 +146,84 @@ func TestSampleTopologyFileLoads(t *testing.T) {
 	if _, err := sp.EnumeratePaths(0, 1, AllPaths); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSpecJSONByteStable is the hot-reload contract of the serving
+// registry: WriteJSON → SpecFromJSON → WriteJSON must reproduce the first
+// serialization byte for byte, for every preset and for randomized specs
+// whose link properties are arbitrary floats (where naive unit
+// conversion's double rounding would drift by an ulp).
+func TestSpecJSONByteStable(t *testing.T) {
+	check := func(t *testing.T, sp *Spec) {
+		t.Helper()
+		var first bytes.Buffer
+		if err := sp.WriteJSON(&first); err != nil {
+			t.Fatal(err)
+		}
+		got, err := SpecFromJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reload: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := got.WriteJSON(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip drifted:\n-- first --\n%s\n-- second --\n%s", first.String(), second.String())
+		}
+	}
+	for name, mk := range Presets {
+		t.Run(name, func(t *testing.T) { check(t, mk()) })
+	}
+	t.Run("randomized", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			gpus := 2 + rng.Intn(4)
+			numas := 1 + rng.Intn(2)
+			props := func() LinkProps {
+				// Raw float bandwidths/latencies (not round numbers), the
+				// values where (x/1e9)*1e9/1e9 style double rounding bites.
+				return LinkProps{
+					Bandwidth: (1 + 300*rng.Float64()) * GBps * (1 + rng.Float64()*1e-12),
+					Latency:   (0.1 + 10*rng.Float64()) * 1e-6,
+				}
+			}
+			sp := &Spec{
+				Name:             fmt.Sprintf("rand%d", trial),
+				GPUs:             gpus,
+				NUMAs:            numas,
+				GPUNuma:          make([]int, gpus),
+				NVLink:           map[Pair]LinkProps{},
+				Inter:            map[Pair]LinkProps{},
+				GPUSyncOverhead:  rng.Float64() * 1e-5,
+				HostSyncOverhead: rng.Float64() * 1e-5,
+				ShardHint:        rng.Intn(3),
+			}
+			for g := 0; g < gpus; g++ {
+				sp.GPUNuma[g] = rng.Intn(numas)
+				sp.PCIe = append(sp.PCIe, props())
+			}
+			for n := 0; n < numas; n++ {
+				sp.Mem = append(sp.Mem, props())
+			}
+			for a := 0; a < gpus; a++ {
+				for b := a + 1; b < gpus; b++ {
+					if rng.Intn(3) > 0 {
+						sp.NVLink[Pair{a, b}] = props()
+					}
+				}
+			}
+			for a := 0; a < numas; a++ {
+				for b := a + 1; b < numas; b++ {
+					sp.Inter[Pair{a, b}] = props()
+				}
+			}
+			if err := sp.Validate(); err != nil {
+				// Randomized shapes can be invalid (e.g. a GPU without any
+				// path); only valid specs are subject to the contract.
+				continue
+			}
+			check(t, sp)
+		}
+	})
 }

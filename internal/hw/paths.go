@@ -28,6 +28,36 @@ func (k PathKind) String() string {
 	}
 }
 
+// ParsePathKind maps a path-class name ("direct", "gpu-staged",
+// "host-staged") back to its PathKind — the inverse of String, used by
+// wire layers that carry kinds as text.
+func ParsePathKind(s string) (PathKind, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "gpu-staged":
+		return GPUStaged, nil
+	case "host-staged":
+		return HostStaged, nil
+	}
+	return 0, fmt.Errorf("hw: unknown path kind %q", s)
+}
+
+// MarshalText makes PathKind serialize by name, so JSON maps keyed by
+// path kind read "direct"/"gpu-staged"/"host-staged" instead of raw ints
+// (encoding/json sorts such keys by their text — still deterministic).
+func (k PathKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the textual form written by MarshalText.
+func (k *PathKind) UnmarshalText(text []byte) error {
+	parsed, err := ParsePathKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // Path identifies one candidate route for a multi-path transfer from Src
 // to Dst. Via is the staging GPU index for GPUStaged paths and the staging
 // NUMA domain for HostStaged paths; it is unused for Direct.

@@ -200,6 +200,48 @@ type HistogramSnapshot struct {
 	Overflow int64     `json:"overflow"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// selected bucket (Prometheus histogram_quantile-style). The overflow
+// bucket clamps to the last finite bound; an empty histogram reports 0.
+// Buckets below the first bound interpolate from 0.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count <= 0 || len(hs.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	cum := int64(0)
+	for i, c := range hs.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(hs.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return hs.Bounds[len(hs.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = hs.Bounds[i-1]
+		}
+		hi := hs.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return hs.Bounds[len(hs.Bounds)-1]
+}
+
 // Snapshot is a point-in-time JSON-ready view of every registered metric,
 // with deterministically ordered keys (encoding/json sorts map keys).
 type Snapshot struct {

@@ -137,3 +137,44 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	// 90 observations in (0, 1ms], 9 in (1ms, 10ms], 1 in (100ms, 1s].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.5)
+	hs := r.Snapshot().Histograms["lat"]
+
+	if q := hs.Quantile(0.5); q <= 0 || q > 0.001 {
+		t.Fatalf("p50 = %v, want within first bucket (0, 0.001]", q)
+	}
+	if q := hs.Quantile(0.95); q <= 0.001 || q > 0.01 {
+		t.Fatalf("p95 = %v, want within second bucket (0.001, 0.01]", q)
+	}
+	if q := hs.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want the last bound", q)
+	}
+	if q := hs.Quantile(0); q < 0 || q > 0.001 {
+		t.Fatalf("p0 = %v", q)
+	}
+
+	// Overflow clamps to the last finite bound.
+	h2 := r.Histogram("over", []float64{1, 2})
+	h2.Observe(5)
+	o := r.Snapshot().Histograms["over"]
+	if q := o.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", q)
+	}
+
+	// Empty histogram reports 0.
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}

@@ -1,0 +1,216 @@
+// Package serve is the plan-serving daemon behind cmd/mpserve: a topology
+// registry of named clusters, each hosting a full planning stack
+// (hw.Node → cuda.Runtime → ucx.Context), served over a versioned
+// HTTP/JSON API (serve/v1) with an optional length-prefixed TCP fast
+// path. The daemon is the service boundary the ROADMAP's "millions of
+// users" goal asks for: consumers speak the v1 wire schema instead of
+// linking the Go packages, one daemon amortizes the sharded plan cache
+// across every client, and topologies hot-reload without a restart.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cuda"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/ucx"
+)
+
+// Tenant is one registered cluster's planning stack. Tenants are
+// immutable once published: a hot reload builds a replacement and swaps
+// it in atomically, so every request plans against exactly one coherent
+// (spec, planner, cache) generation. In-flight requests that resolved the
+// previous tenant finish against its snapshot.
+type Tenant struct {
+	name string
+	gen  int64
+	spec *hw.Spec
+	ctx  *ucx.Context
+	// specJSON is the canonical hw.WriteJSON serialization of the spec —
+	// byte-stable under reload round trips (see hw.Spec.WriteJSON).
+	specJSON []byte
+}
+
+// Name returns the cluster name the tenant is registered under.
+func (t *Tenant) Name() string { return t.name }
+
+// Generation reports which reload of the cluster this tenant is (1 on
+// first registration, incremented per hot reload).
+func (t *Tenant) Generation() int64 { return t.gen }
+
+// Spec returns the tenant's topology. Treat as immutable.
+func (t *Tenant) Spec() *hw.Spec { return t.spec }
+
+// Context returns the tenant's transport context; its PlanFor/PlanForSet
+// entry points are the goroutine-safe planning surface.
+func (t *Tenant) Context() *ucx.Context { return t.ctx }
+
+// SpecJSON returns the canonical topology serialization (a fresh copy).
+func (t *Tenant) SpecJSON() []byte {
+	out := make([]byte, len(t.specJSON))
+	copy(out, t.specJSON)
+	return out
+}
+
+// slot holds the live tenant of one cluster name. The pointer swap is the
+// entire reload critical section: lookups are a map read (under RLock)
+// plus one atomic load, so batch planning never contends with reloads.
+type slot struct {
+	cur atomic.Pointer[Tenant]
+	gen atomic.Int64
+}
+
+// Registry maps cluster names to live tenants, with atomic hot reload.
+// The registry is safe for concurrent use: plan requests resolve tenants
+// lock-free after a read-locked map lookup, while Register/Remove mutate
+// under the write lock.
+type Registry struct {
+	cfg ucx.Config
+
+	mu    sync.RWMutex
+	slots map[string]*slot
+}
+
+// DefaultTenantConfig is the transport configuration tenants are built
+// with by default: the standard planning defaults plus an online
+// recalibration observer per tenant, so the /v1/observe feed works out of
+// the box. Serving never executes transfers, so executor-side options are
+// irrelevant here.
+func DefaultTenantConfig() ucx.Config {
+	cfg := ucx.DefaultConfig()
+	cfg.Recalibrate = true
+	return cfg
+}
+
+// NewRegistry creates an empty registry whose tenants are built with the
+// given transport configuration (zero value: DefaultTenantConfig).
+func NewRegistry(cfg ucx.Config) *Registry {
+	return &Registry{cfg: cfg, slots: make(map[string]*slot)}
+}
+
+// buildTenant realizes a validated spec as a full planning stack on a
+// private simulator. The simulator never advances — serving only plans —
+// but the fluid network behind it supplies live link capacities to the
+// parameter source, exactly as in the embedded library.
+func (r *Registry) buildTenant(name string, spec *hw.Spec, gen int64) (*Tenant, error) {
+	s := sim.New()
+	node, err := hw.Build(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ucx.NewContext(cuda.NewRuntime(node), r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("serve: serialize spec %q: %w", name, err)
+	}
+	return &Tenant{name: name, gen: gen, spec: spec, ctx: ctx, specJSON: buf.Bytes()}, nil
+}
+
+// Register publishes a cluster under name, replacing any existing tenant
+// atomically (hot reload). The spec is validated by the build; on error
+// the previous tenant, if any, stays live. Replacement drops every cached
+// plan and compiled graph with the old tenant: the new context starts
+// with cold caches keyed against the new topology, and the old context's
+// caches are explicitly invalidated so requests still draining on the old
+// snapshot release their entries promptly.
+func (r *Registry) Register(name string, spec *hw.Spec) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty cluster name")
+	}
+	r.mu.Lock()
+	sl := r.slots[name]
+	if sl == nil {
+		sl = &slot{}
+		r.slots[name] = sl
+	}
+	r.mu.Unlock()
+
+	// Build outside any lock: tenant construction validates the spec and
+	// allocates the planning stack, and concurrent reloads of the same
+	// name are resolved by the generation counter + pointer swap below
+	// (last swap wins; both tenants are coherent).
+	gen := sl.gen.Add(1)
+	t, err := r.buildTenant(name, spec, gen)
+	if err != nil {
+		return nil, err
+	}
+	old := sl.cur.Swap(t)
+	if old != nil {
+		// The swap already routed new requests to the fresh caches; this
+		// releases the superseded generation's memory early.
+		old.ctx.Model().InvalidateCache()
+	}
+	return t, nil
+}
+
+// RegisterJSON parses a topology document (hw.SpecFromJSON format) and
+// registers it under name — the hot-reload entry point of the HTTP API.
+func (r *Registry) RegisterJSON(name string, rd io.Reader) (*Tenant, error) {
+	spec, err := hw.SpecFromJSON(rd)
+	if err != nil {
+		return nil, err
+	}
+	return r.Register(name, spec)
+}
+
+// Lookup resolves the live tenant of a cluster name.
+func (r *Registry) Lookup(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	sl := r.slots[name]
+	r.mu.RUnlock()
+	if sl == nil {
+		return nil, false
+	}
+	t := sl.cur.Load()
+	if t == nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// Remove unregisters a cluster. Requests already holding its tenant
+// finish normally; new lookups fail.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.slots[name]; !ok {
+		return false
+	}
+	delete(r.slots, name)
+	return true
+}
+
+// Names lists registered cluster names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.slots))
+	for name, sl := range r.slots {
+		if sl.cur.Load() != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tenants snapshots every live tenant in name order.
+func (r *Registry) Tenants() []*Tenant {
+	names := r.Names()
+	out := make([]*Tenant, 0, len(names))
+	for _, name := range names {
+		if t, ok := r.Lookup(name); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+	v1 "repro/internal/serve/v1"
+)
+
+func newTestServer(t *testing.T, clusters ...string) (*Server, *httptest.Server) {
+	t.Helper()
+	if len(clusters) == 0 {
+		clusters = []string{"beluga"}
+	}
+	reg := NewRegistry(DefaultTenantConfig())
+	for _, name := range clusters {
+		mk, ok := hw.Presets[name]
+		if !ok {
+			t.Fatalf("unknown preset %q", name)
+		}
+		if _, err := reg.Register(name, mk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(reg, Options{MaxBatchItems: 64})
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(hts.Close)
+	return srv, hts
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url string, hdr map[string]string, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestHandlerErrors is the wire-contract table: every failure mode must
+// return its documented status and error code in the v1 envelope.
+func TestHandlerErrors(t *testing.T) {
+	_, hts := newTestServer(t)
+	bigBatch := func() string {
+		items := make([]string, 65)
+		for i := range items {
+			items[i] = `{"src":0,"dst":1,"bytes":1048576}`
+		}
+		return fmt.Sprintf(`{"cluster":"beluga","items":[%s]}`, strings.Join(items, ","))
+	}()
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		header     map[string]string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown cluster plan", "POST", "/v1/plan", nil,
+			`{"cluster":"nope","src":0,"dst":1,"bytes":1048576}`,
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+		{"missing cluster plan", "POST", "/v1/plan", nil,
+			`{"src":0,"dst":1,"bytes":1048576}`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"malformed plan body", "POST", "/v1/plan", nil,
+			`{"cluster":`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"unknown field rejected", "POST", "/v1/plan", nil,
+			`{"cluster":"beluga","src":0,"dst":1,"bytes":1048576,"sizzle":9}`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"bad path set", "POST", "/v1/plan", nil,
+			`{"cluster":"beluga","src":0,"dst":1,"bytes":1048576,"pathset":"warp"}`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"plan src==dst", "POST", "/v1/plan", nil,
+			`{"cluster":"beluga","src":1,"dst":1,"bytes":1048576}`,
+			http.StatusUnprocessableEntity, v1.ErrCodePlanFailed},
+		{"version mismatch", "POST", "/v1/plan", map[string]string{v1.APIVersionHeader: "v9"},
+			`{"cluster":"beluga","src":0,"dst":1,"bytes":1048576}`,
+			http.StatusBadRequest, v1.ErrCodeVersionMismatch},
+		{"empty batch", "POST", "/v1/batch", nil,
+			`{"cluster":"beluga","items":[]}`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"oversized batch", "POST", "/v1/batch", nil, bigBatch,
+			http.StatusRequestEntityTooLarge, v1.ErrCodeBatchTooLarge},
+		{"batch unknown default cluster", "POST", "/v1/batch", nil,
+			`{"cluster":"nope","items":[{"src":0,"dst":1,"bytes":1048576}]}`,
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+		{"malformed spec on reload", "PUT", "/v1/clusters/bad", nil,
+			`{"name":"x","gpus":0}`,
+			http.StatusBadRequest, v1.ErrCodeMalformedSpec},
+		{"spec with unknown field", "PUT", "/v1/clusters/bad", nil,
+			`{"name":"x","gpus":2,"numas":1,"gpu_numa":[0,0],"pcie":[{"bandwidth_gbps":1}],"mem":[{"bandwidth_gbps":1}],"quantum_links":[]}`,
+			http.StatusBadRequest, v1.ErrCodeMalformedSpec},
+		{"observe unknown cluster", "POST", "/v1/observe", nil,
+			`{"cluster":"nope","samples":[]}`,
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+		{"observe bad kind", "POST", "/v1/observe", nil,
+			`{"cluster":"beluga","samples":[{"kind":"quantum","predicted_s":1,"achieved_s":2}]}`,
+			http.StatusBadRequest, v1.ErrCodeBadRequest},
+		{"stats unknown cluster", "GET", "/v1/stats?cluster=nope", nil, "",
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+		{"get unknown cluster", "GET", "/v1/clusters/nope", nil, "",
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+		{"delete unknown cluster", "DELETE", "/v1/clusters/nope", nil, "",
+			http.StatusNotFound, v1.ErrCodeUnknownCluster},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doJSON(t, hts.Client(), tc.method, hts.URL+tc.path, tc.header, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if got := resp.Header.Get(v1.APIVersionHeader); got != v1.Version {
+				t.Fatalf("version header = %q, want %q", got, v1.Version)
+			}
+			var env v1.ErrorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("not an error envelope: %s", body)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q (%s)", env.Error.Code, tc.wantCode, env.Error.Message)
+			}
+		})
+	}
+}
+
+// TestPlanAndBatchHappyPath exercises the success contract: single plans,
+// compact batches, and detail batches all agree on the prediction.
+func TestPlanAndBatchHappyPath(t *testing.T) {
+	_, hts := newTestServer(t, "beluga", "narval")
+	resp, body := doJSON(t, hts.Client(), "POST", hts.URL+"/v1/plan", nil,
+		`{"cluster":"beluga","src":0,"dst":1,"bytes":67108864}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %s", resp.StatusCode, body)
+	}
+	var pr v1.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PredictedSeconds <= 0 || len(pr.Paths) == 0 {
+		t.Fatalf("plan = %+v", pr)
+	}
+
+	resp, body = doJSON(t, hts.Client(), "POST", hts.URL+"/v1/batch", nil,
+		`{"items":[
+			{"cluster":"beluga","src":0,"dst":1,"bytes":67108864},
+			{"cluster":"narval","src":0,"dst":1,"bytes":67108864},
+			{"cluster":"beluga","src":2,"dst":2,"bytes":1}
+		],"detail":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br v1.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 || br.Failed != 1 {
+		t.Fatalf("batch = %+v", br)
+	}
+	if br.Results[0].PredictedSeconds != pr.PredictedSeconds {
+		t.Fatalf("batch item 0 prediction %g != single plan %g", br.Results[0].PredictedSeconds, pr.PredictedSeconds)
+	}
+	if br.Results[0].Plan == nil || len(br.Results[0].Plan.Paths) == 0 {
+		t.Fatal("detail batch lost the per-path assignment")
+	}
+	if br.Results[2].Error == nil || br.Results[2].Error.Code != v1.ErrCodePlanFailed {
+		t.Fatalf("item 2 error = %+v", br.Results[2].Error)
+	}
+}
+
+// TestClusterLifecycle covers register → list → get → reload → delete,
+// including the generation counter and canonical-topology round trip.
+func TestClusterLifecycle(t *testing.T) {
+	srv, hts := newTestServer(t, "beluga")
+	// GET the topology, then PUT it back verbatim: a reload from the
+	// canonical serialization must succeed and bump the generation.
+	resp, body := doJSON(t, hts.Client(), "GET", hts.URL+"/v1/clusters/beluga", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+	var info v1.ClusterInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 || len(info.Topology) == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	before, ok := srv.Registry().Lookup("beluga")
+	if !ok {
+		t.Fatal("cluster missing")
+	}
+	canonical := before.SpecJSON()
+	resp, body = doJSON(t, hts.Client(), "PUT", hts.URL+"/v1/clusters/beluga", nil, string(info.Topology))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	var reloaded v1.ClusterInfo
+	if err := json.Unmarshal(body, &reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Generation != 2 {
+		t.Fatalf("generation after reload = %d, want 2", reloaded.Generation)
+	}
+	// The reloaded tenant's canonical serialization must match the
+	// previous generation's byte for byte (the hw round-trip contract,
+	// through the API; the wire form itself is compacted by encoding/json
+	// when the RawMessage is embedded, so compare canonical to canonical).
+	tn, ok := srv.Registry().Lookup("beluga")
+	if !ok {
+		t.Fatal("cluster lost after reload")
+	}
+	if !bytes.Equal(tn.SpecJSON(), canonical) {
+		t.Fatal("canonical topology drifted across reload")
+	}
+
+	resp, body = doJSON(t, hts.Client(), "GET", hts.URL+"/v1/clusters", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	var list v1.ClustersResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Clusters) != 1 || list.Clusters[0].Name != "beluga" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	resp, _ = doJSON(t, hts.Client(), "DELETE", hts.URL+"/v1/clusters/beluga", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if _, ok := srv.Registry().Lookup("beluga"); ok {
+		t.Fatal("cluster still registered after delete")
+	}
+}
+
+// TestObserveAndStats feeds recalibration samples and reads them back from
+// the stats endpoint.
+func TestObserveAndStats(t *testing.T) {
+	_, hts := newTestServer(t, "beluga")
+	var samples []string
+	// Consistent 25% underprediction; enough volume to trigger a refit.
+	for i := 0; i < 64; i++ {
+		samples = append(samples, `{"kind":"direct","predicted_s":0.008,"achieved_s":0.010}`)
+	}
+	resp, body := doJSON(t, hts.Client(), "POST", hts.URL+"/v1/observe", nil,
+		fmt.Sprintf(`{"cluster":"beluga","samples":[%s]}`, strings.Join(samples, ",")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	var or v1.ObserveResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Accepted != 64 || or.Samples != 64 {
+		t.Fatalf("observe = %+v", or)
+	}
+	// Achieved > predicted (class slower than modelled) shrinks the β
+	// scale below 1; a constant synthetic drift refits once per window.
+	if or.Refits == 0 || or.BetaScale["direct"] >= 1 || or.BetaScale["direct"] <= 0 {
+		t.Fatalf("expected refits with 0 < beta_scale[direct] < 1, got %+v", or)
+	}
+
+	resp, body = doJSON(t, hts.Client(), "GET", hts.URL+"/v1/stats?cluster=beluga", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	var st v1.StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Clusters) != 1 || st.Clusters[0].Stats.Observer == nil {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Clusters[0].Stats.Observer.Samples != 64 {
+		t.Fatalf("observer samples = %d, want 64", st.Clusters[0].Stats.Observer.Samples)
+	}
+	if st.Server == nil || st.Server.Counters["serve.observe.requests"] != 1 {
+		t.Fatalf("server metrics = %+v", st.Server)
+	}
+}
+
+// TestTCPRoundTrip drives the fast path end to end: plan and batch frames
+// on one persistent connection, plus in-band error handling.
+func TestTCPRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t, "beluga")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTCPServer(srv)
+	go func() { _ = ts.Serve(ln) }()
+	t.Cleanup(func() { _ = ts.Close() }) //lint:allow errchecksim test teardown
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, err := RoundTripTCP(conn, &v1.TCPRequest{Plan: &v1.PlanRequest{Cluster: "beluga", Src: 0, Dst: 1, Bytes: 1 << 26}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil || resp.Plan == nil || resp.Plan.PredictedSeconds <= 0 {
+		t.Fatalf("plan frame = %+v err=%+v", resp.Plan, resp.Error)
+	}
+	resp, err = RoundTripTCP(conn, &v1.TCPRequest{Batch: &v1.BatchRequest{Cluster: "beluga", Items: []v1.BatchItem{
+		{Src: 0, Dst: 1, Bytes: 1 << 26}, {Src: 1, Dst: 2, Bytes: 1 << 22},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil || resp.Batch == nil || len(resp.Batch.Results) != 2 || resp.Batch.Failed != 0 {
+		t.Fatalf("batch frame = %+v err=%+v", resp.Batch, resp.Error)
+	}
+	// Version mismatch and malformed frames come back in-band; the
+	// connection survives both.
+	resp, err = RoundTripTCP(conn, &v1.TCPRequest{Version: "v9", Plan: &v1.PlanRequest{Cluster: "beluga", Src: 0, Dst: 1, Bytes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != v1.ErrCodeVersionMismatch {
+		t.Fatalf("version mismatch = %+v", resp.Error)
+	}
+	resp, err = RoundTripTCP(conn, &v1.TCPRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != v1.ErrCodeBadRequest {
+		t.Fatalf("empty frame = %+v", resp.Error)
+	}
+}
+
+// TestHotReloadDuringBatchPlanning is the registry's concurrency contract
+// under -race: batch planning goroutines hammer the server while another
+// goroutine hot-reloads both clusters continuously. Every batch must
+// succeed (on whichever tenant generation it resolved) and every reload
+// must bump the generation monotonically.
+func TestHotReloadDuringBatchPlanning(t *testing.T) {
+	srv, hts := newTestServer(t, "beluga", "narval")
+	var topo [2][]byte
+	for i, name := range []string{"beluga", "narval"} {
+		tn, ok := srv.Registry().Lookup(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		topo[i] = tn.SpecJSON()
+	}
+
+	const (
+		planners  = 4
+		batches   = 40
+		reloads   = 60
+		batchSize = 32
+	)
+	items := make([]string, batchSize)
+	for i := range items {
+		cluster := "beluga"
+		if i%2 == 1 {
+			cluster = "narval"
+		}
+		items[i] = fmt.Sprintf(`{"cluster":%q,"src":%d,"dst":%d,"bytes":%d}`,
+			cluster, i%4, (i+1)%4, 1<<(20+i%6))
+	}
+	batchBody := fmt.Sprintf(`{"items":[%s]}`, strings.Join(items, ","))
+
+	var wg sync.WaitGroup
+	errc := make(chan error, planners+1)
+	for p := 0; p < planners; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				req, err := http.NewRequest("POST", hts.URL+"/v1/batch", strings.NewReader(batchBody))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := hts.Client().Do(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var br v1.BatchResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || br.Failed > 0 {
+					errc <- fmt.Errorf("batch %d: status %d, failed %d", b, resp.StatusCode, br.Failed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < reloads; r++ {
+			name := "beluga"
+			body := topo[0]
+			if r%2 == 1 {
+				name = "narval"
+				body = topo[1]
+			}
+			req, err := http.NewRequest("PUT", hts.URL+"/v1/clusters/"+name, bytes.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			resp, err := hts.Client().Do(req)
+			if err != nil {
+				errc <- err
+				return
+			}
+			var info v1.ClusterInfo
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("reload %d: status %d", r, resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"beluga", "narval"} {
+		tn, ok := srv.Registry().Lookup(name)
+		if !ok {
+			t.Fatalf("%s lost", name)
+		}
+		// 1 initial registration + 30 reloads each.
+		if tn.Generation() != 31 {
+			t.Fatalf("%s generation = %d, want 31", name, tn.Generation())
+		}
+		if !bytes.Equal(tn.SpecJSON(), topo[i]) {
+			t.Fatalf("%s topology drifted across reloads", name)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	v1 "repro/internal/serve/v1"
+)
+
+// The TCP fast path serves plan and batch queries over persistent
+// connections with 4-byte big-endian length-prefixed JSON frames: no HTTP
+// parsing, no per-request connection setup, one goroutine per connection.
+// The framing is deliberately trivial so non-Go clients can speak it in a
+// few lines. Requests on one connection are answered in order.
+
+// maxFrameBytes bounds one TCP frame (same budget as the HTTP body limit's
+// default — a frame is one request document).
+const maxFrameBytes = 32 << 20
+
+// TCPServer serves the v1 fast path on a listener.
+type TCPServer struct {
+	srv *Server
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewTCPServer wraps a Server with the length-prefixed TCP front end.
+func NewTCPServer(srv *Server) *TCPServer {
+	return &TCPServer{srv: srv, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener closes (via Close). Each
+// connection gets its own goroutine; Serve itself blocks.
+func (ts *TCPServer) Serve(ln net.Listener) error {
+	ts.mu.Lock()
+	ts.ln = ln
+	ts.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-ts.done:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		ts.mu.Lock()
+		ts.conns[conn] = struct{}{}
+		ts.mu.Unlock()
+		go ts.serveConn(conn)
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (ts *TCPServer) Close() error {
+	close(ts.done)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var err error
+	if ts.ln != nil {
+		err = ts.ln.Close()
+	}
+	for conn := range ts.conns {
+		_ = conn.Close() //lint:allow errchecksim teardown of an already-abandoned connection
+	}
+	ts.conns = make(map[net.Conn]struct{})
+	return err
+}
+
+func (ts *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close() //lint:allow errchecksim connection teardown
+		ts.mu.Lock()
+		delete(ts.conns, conn)
+		ts.mu.Unlock()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			// EOF (client done) and teardown races end the loop quietly;
+			// the framing protocol has no in-band way to report them.
+			return
+		}
+		resp := ts.handleFrame(payload)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame answers one decoded frame. Errors travel inside TCPResponse
+// — the connection survives bad requests.
+func (ts *TCPServer) handleFrame(payload []byte) *v1.TCPResponse {
+	resp := &v1.TCPResponse{Version: v1.Version}
+	var req v1.TCPRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		resp.Error = &v1.ErrorBody{Code: v1.ErrCodeBadRequest, Message: "decode frame: " + err.Error()}
+		return resp
+	}
+	if req.Version != "" && req.Version != v1.Version {
+		resp.Error = &v1.ErrorBody{Code: v1.ErrCodeVersionMismatch,
+			Message: fmt.Sprintf("frame speaks API %q, this daemon serves %q", req.Version, v1.Version)}
+		return resp
+	}
+	switch {
+	case req.Plan != nil && req.Batch == nil:
+		resp.Plan, resp.Error = ts.srv.doPlan(req.Plan)
+	case req.Batch != nil && req.Plan == nil:
+		resp.Batch, resp.Error = ts.srv.doBatch(req.Batch)
+	default:
+		resp.Error = &v1.ErrorBody{Code: v1.ErrCodeBadRequest, Message: "frame must carry exactly one of plan or batch"}
+	}
+	return resp
+}
+
+// RoundTripTCP writes one request frame and reads its response — the
+// minimal client side of the fast path, used by tests and the load
+// driver. The conn must not be shared between concurrent round trips.
+func RoundTripTCP(conn net.Conn, req *v1.TCPRequest) (*v1.TCPResponse, error) {
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	var resp v1.TCPResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// readFrame reads one length-prefixed JSON payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("serve: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// writeFrame writes one length-prefixed JSON payload.
+func writeFrame(w io.Writer, doc any) error {
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("serve: response frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}

@@ -1,0 +1,270 @@
+// Package v1 defines the plan-serving daemon's versioned wire schema: the
+// request/response documents mpserve speaks over HTTP/JSON and the
+// length-prefixed TCP fast path. This package — not internal/ucx or
+// internal/core — is the public contract: field names, JSON tags, and
+// error codes are frozen per API version, and schema changes require a new
+// version package (v2) served alongside this one.
+//
+// Versioning: every HTTP response carries the APIVersionHeader. Requests
+// may send the header too; a request that names a different version is
+// rejected with ErrCodeVersionMismatch instead of being misinterpreted.
+// TCP frames carry the version inline (TCPRequest.Version).
+package v1
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/ucx"
+)
+
+// Version is the wire-schema version this package defines.
+const Version = "v1"
+
+// APIVersionHeader is the HTTP header naming the wire-schema version. The
+// daemon sets it on every response; clients may set it on requests to be
+// rejected loudly (ErrCodeVersionMismatch) rather than misread when
+// talking to an incompatible daemon.
+const APIVersionHeader = "X-MP-API-Version"
+
+// Error codes carried in ErrorBody.Code. Codes are part of the wire
+// contract; messages are human-readable and may change.
+const (
+	// ErrCodeBadRequest covers malformed JSON bodies and invalid
+	// parameter values (negative bytes, unknown path set, src == dst).
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeVersionMismatch rejects a request whose APIVersionHeader (or
+	// TCPRequest.Version) names a different schema version.
+	ErrCodeVersionMismatch = "version_mismatch"
+	// ErrCodeUnknownCluster means the named cluster is not registered.
+	ErrCodeUnknownCluster = "unknown_cluster"
+	// ErrCodeMalformedSpec means a register/update body failed topology
+	// parsing or validation (hw.SpecFromJSON).
+	ErrCodeMalformedSpec = "malformed_spec"
+	// ErrCodeBatchTooLarge rejects batches beyond the server's item limit.
+	ErrCodeBatchTooLarge = "batch_too_large"
+	// ErrCodePlanFailed means the planner rejected the query (e.g. no
+	// usable paths between the GPUs under the requested path set).
+	ErrCodePlanFailed = "plan_failed"
+	// ErrCodeRecalDisabled means the tenant was built without an online
+	// recalibration observer, so observation feeds cannot be applied.
+	ErrCodeRecalDisabled = "recalibration_disabled"
+	// ErrCodeMethodNotAllowed means the endpoint exists but not for this
+	// HTTP method.
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeNotFound means the request path matches no endpoint.
+	ErrCodeNotFound = "not_found"
+)
+
+// ErrorBody is the error half of every failing response.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so client code can return the body
+// directly.
+func (e *ErrorBody) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// ErrorEnvelope is the JSON document of every non-2xx HTTP response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// PlanRequest asks for the optimal multi-path configuration of one
+// (src, dst, bytes) transfer on a registered cluster.
+type PlanRequest struct {
+	// Cluster names the registered topology to plan against.
+	Cluster string `json:"cluster"`
+	// Src and Dst are GPU indices on that cluster.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Bytes is the message size.
+	Bytes float64 `json:"bytes"`
+	// PathSet selects candidate paths: "direct", "2gpus", "3gpus",
+	// "3gpus_host", or "all" (the default when empty).
+	PathSet string `json:"pathset,omitempty"`
+	// Concurrent optionally lists (src, dst) GPU pairs of transfers known
+	// to run concurrently (a communication-pattern hint; see
+	// ucx.Endpoint.PutHinted).
+	Concurrent [][2]int `json:"concurrent,omitempty"`
+}
+
+// PathAssignment is one path's share of a planned transfer.
+type PathAssignment struct {
+	// Path is the compact path label ("direct", "via-gpu2", "via-host").
+	Path string `json:"path"`
+	// Kind classifies the path ("direct", "gpu-staged", "host-staged").
+	Kind string `json:"kind"`
+	// Via is the staging GPU (gpu-staged) or NUMA domain (host-staged).
+	Via int `json:"via,omitempty"`
+	// Theta is the fraction of the message assigned to this path.
+	Theta float64 `json:"theta"`
+	// Bytes is the actual byte share after alignment.
+	Bytes float64 `json:"bytes"`
+	// Chunks is the pipeline chunk count k_i.
+	Chunks int `json:"chunks"`
+	// PredictedSeconds is the model's time for this path at its share.
+	PredictedSeconds float64 `json:"predicted_s"`
+}
+
+// PlanResponse is a planned multi-path configuration.
+type PlanResponse struct {
+	Cluster string  `json:"cluster"`
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Bytes   float64 `json:"bytes"`
+	// Paths lists every candidate path's assignment (zero-byte shares
+	// included, so the client sees what was considered).
+	Paths []PathAssignment `json:"paths"`
+	// PredictedSeconds is the end-to-end prediction max_i T_i.
+	PredictedSeconds float64 `json:"predicted_s"`
+	// PredictedGBps is Bytes / PredictedSeconds in decimal GB/s.
+	PredictedGBps float64 `json:"predicted_gbps"`
+}
+
+// BatchItem is one plan query inside a batch.
+type BatchItem struct {
+	// Cluster overrides the batch-level cluster for this item (empty =
+	// inherit BatchRequest.Cluster).
+	Cluster string  `json:"cluster,omitempty"`
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Bytes   float64 `json:"bytes"`
+	PathSet string  `json:"pathset,omitempty"`
+}
+
+// BatchRequest amortizes one request round trip (and one registry/cache
+// pass) over many plan queries. Items fail independently: a bad item
+// yields an error in its result slot without failing the batch.
+type BatchRequest struct {
+	// Cluster is the default cluster for items that name none.
+	Cluster string `json:"cluster,omitempty"`
+	// Items are the plan queries, answered in order.
+	Items []BatchItem `json:"items"`
+	// Detail requests full per-path assignments per result. Off (the
+	// default) returns only the headline prediction per item, which is
+	// what a transfer scheduler needs and keeps thousand-item responses
+	// small.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// BatchResult is one item's answer: exactly one of Error or the
+// prediction fields is meaningful. With BatchRequest.Detail, Plan carries
+// the full per-path assignment.
+type BatchResult struct {
+	// PredictedSeconds and PredictedGBps are the headline prediction.
+	PredictedSeconds float64 `json:"predicted_s,omitempty"`
+	PredictedGBps    float64 `json:"predicted_gbps,omitempty"`
+	// Plan is the full assignment (Detail batches only).
+	Plan *PlanResponse `json:"plan,omitempty"`
+	// Error is set when this item failed.
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch in item order.
+type BatchResponse struct {
+	Cluster string `json:"cluster,omitempty"`
+	// Results has one entry per request item, in order.
+	Results []BatchResult `json:"results"`
+	// Failed counts items that returned an error.
+	Failed int `json:"failed,omitempty"`
+}
+
+// ObserveSample feeds one completed transfer observation to a tenant's
+// recalibration observer: the model's predicted time and the achieved
+// time for one path class.
+type ObserveSample struct {
+	// Kind is the path class: "direct", "gpu-staged", or "host-staged".
+	Kind string `json:"kind"`
+	// PredictedSeconds is the model's prediction for the transfer.
+	PredictedSeconds float64 `json:"predicted_s"`
+	// AchievedSeconds is the time the transfer actually took.
+	AchievedSeconds float64 `json:"achieved_s"`
+}
+
+// ObserveRequest feeds achieved-vs-predicted samples into one cluster's
+// online recalibration loop (core.Observer). When accumulated drift
+// crosses the observer's threshold, the tenant's β correction re-fits and
+// its plan caches are invalidated — subsequent plans use corrected
+// parameters.
+type ObserveRequest struct {
+	Cluster string          `json:"cluster"`
+	Samples []ObserveSample `json:"samples"`
+}
+
+// ObserveResponse reports how many samples were accepted and the
+// observer's state after applying them.
+type ObserveResponse struct {
+	Cluster string `json:"cluster"`
+	// Accepted counts samples recorded (malformed kinds are rejected
+	// before any sample is applied; non-positive times are ignored by the
+	// observer itself and still count as accepted here).
+	Accepted int `json:"accepted"`
+	// Samples and Refits mirror core.ObserverStats after the feed.
+	Samples int64 `json:"samples"`
+	Refits  int64 `json:"refits"`
+	// BetaScale is the current β correction per path kind (1 = none).
+	BetaScale map[string]float64 `json:"beta_scale,omitempty"`
+}
+
+// ClusterInfo describes one registered cluster.
+type ClusterInfo struct {
+	Name string `json:"name"`
+	// Generation increments on every hot reload of the cluster's spec;
+	// clients can detect topology swaps between calls.
+	Generation int64 `json:"generation"`
+	GPUs       int   `json:"gpus"`
+	NUMAs      int   `json:"numas"`
+	// Topology is the cluster's canonical topology document (the
+	// hw.WriteJSON serialization, byte-stable under reload round trips).
+	// Present on single-cluster GETs, omitted from listings.
+	Topology json.RawMessage `json:"topology,omitempty"`
+}
+
+// ClustersResponse lists registered clusters in name order.
+type ClustersResponse struct {
+	Clusters []ClusterInfo `json:"clusters"`
+}
+
+// ClusterStats is one cluster's statistics document: the unified
+// ucx.StatsSnapshot (operation counters, plan/graph cache stats, observer
+// activity) plus the registry generation it was taken at. The snapshot —
+// not scattered per-counter accessors — is the one stats shape this API
+// serves.
+type ClusterStats struct {
+	Name       string            `json:"name"`
+	Generation int64             `json:"generation"`
+	Stats      ucx.StatsSnapshot `json:"stats"`
+}
+
+// StatsResponse is the daemon-wide statistics document: per-cluster
+// snapshots plus the server's own request metrics (request counters and
+// latency histograms from the internal/obs registry).
+type StatsResponse struct {
+	Version  string         `json:"version"`
+	Clusters []ClusterStats `json:"clusters"`
+	// Server is the obs metrics snapshot of the serving layer itself:
+	// request counts per endpoint and wall-clock latency histograms
+	// (serve.plan.seconds, serve.batch.seconds, serve.batch.items).
+	Server *obs.Snapshot `json:"server,omitempty"`
+}
+
+// TCPRequest is one frame of the length-prefixed TCP fast path: exactly
+// one of Plan or Batch must be set. Version must name this schema
+// ("" is accepted as the current version).
+type TCPRequest struct {
+	Version string        `json:"v,omitempty"`
+	Plan    *PlanRequest  `json:"plan,omitempty"`
+	Batch   *BatchRequest `json:"batch,omitempty"`
+}
+
+// TCPResponse answers one TCP frame: Error, or the field matching the
+// request's kind.
+type TCPResponse struct {
+	Version string         `json:"v"`
+	Plan    *PlanResponse  `json:"plan,omitempty"`
+	Batch   *BatchResponse `json:"batch,omitempty"`
+	Error   *ErrorBody     `json:"error,omitempty"`
+}

@@ -26,28 +26,30 @@ const (
 	graphCacheCapacity = 256
 )
 
-// GraphStats counts compiled-graph cache and executor behaviour.
+// GraphStats counts compiled-graph cache and executor behaviour. The JSON
+// tags are part of the serving wire contract (StatsSnapshot embeds this
+// struct and /v1/stats serves it).
 type GraphStats struct {
 	// Hits are lookups served an already-instantiated graph.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses are lookups that had to compile.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Compiles counts graph compilations (cache misses plus structural
 	// recompiles and feeder-private compiles).
-	Compiles int64
+	Compiles int64 `json:"compiles"`
 	// Replays counts graph launches (warm transfers executed by replay).
-	Replays int64
+	Replays int64 `json:"replays"`
 	// Patches counts in-place parameter updates (GraphExecUpdate-style)
 	// applied instead of recompiling.
-	Patches int64
+	Patches int64 `json:"patches"`
 	// Invalidations counts graphs dropped by fault notifications and
 	// failover exclusions.
-	Invalidations int64
+	Invalidations int64 `json:"invalidations"`
 	// Evictions counts graphs dropped by the CLOCK capacity bound.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// InflightMerges counts lookups that joined an in-flight compilation
 	// of the same key (singleflight).
-	InflightMerges int64
+	InflightMerges int64 `json:"inflight_merges"`
 }
 
 // graphEntry is one cached compiled graph. Before compilation finishes,

@@ -431,18 +431,32 @@ func (c *Context) Runtime() *cuda.Runtime { return c.rt }
 // Config returns the active configuration.
 func (c *Context) Config() Config { return c.cfg }
 
+// The per-counter accessors below are retained as thin wrappers over the
+// unified StatsSnapshot document (obs.go), which is the one statistics
+// surface: the JSON shape served by mpserve's /v1/stats and printed by
+// mpbench's run footer. New code should take one snapshot and read its
+// fields instead of polling counters one at a time.
+
 // IpcOpens reports how many IPC handle opens were performed (cache misses).
-func (c *Context) IpcOpens() int { return int(c.ipcOpens.Load()) }
+//
+// Deprecated: read StatsSnapshot().IpcOpens instead.
+func (c *Context) IpcOpens() int { return int(c.StatsSnapshot().IpcOpens) }
 
 // Puts reports the number of Put operations issued.
-func (c *Context) Puts() int { return int(c.puts.Load()) }
+//
+// Deprecated: read StatsSnapshot().Puts instead.
+func (c *Context) Puts() int { return int(c.StatsSnapshot().Puts) }
 
 // Retries reports how many failed transfer attempts were re-planned and
 // re-executed by the failover machinery.
-func (c *Context) Retries() int { return int(c.retries.Load()) }
+//
+// Deprecated: read StatsSnapshot().Retries instead.
+func (c *Context) Retries() int { return int(c.StatsSnapshot().Retries) }
 
 // Failovers reports how many paths were excluded by failover re-plans.
-func (c *Context) Failovers() int { return int(c.failovers.Load()) }
+//
+// Deprecated: read StatsSnapshot().Failovers instead.
+func (c *Context) Failovers() int { return int(c.StatsSnapshot().Failovers) }
 
 // Observer returns the online recalibration observer, or nil when
 // Config.Recalibrate is off.
@@ -633,6 +647,14 @@ func (ep *Endpoint) singlePath(req *Request, bytes, setup float64) (*Request, er
 // once per pair/pattern.
 func (c *Context) PlanFor(src, dst int, bytes float64, concurrent [][2]int) (*core.Plan, error) {
 	return c.planWith(src, dst, bytes, c.sel, concurrent, nil, obs.NoSpan)
+}
+
+// PlanForSet is PlanFor with an explicit path-set selection overriding the
+// context's configured one — the entry point of a plan-serving daemon,
+// where every request names its own candidate set. Like PlanFor it is safe
+// to call from many goroutines at once and touches no simulator state.
+func (c *Context) PlanForSet(src, dst int, bytes float64, sel hw.PathSet, concurrent [][2]int) (*core.Plan, error) {
+	return c.planWith(src, dst, bytes, sel, concurrent, nil, obs.NoSpan)
 }
 
 // planWith is PlanFor with an explicit path-set selection, an exclusion

@@ -59,6 +59,13 @@ go test -race -count=3 \
 	-run 'TestEpochPool|TestCluster|TestShardedChurnIdentity' \
 	./internal/par/ ./internal/sim/ ./internal/fluid/
 
+# Serving stress: concurrent registry hot-reload during batch planning,
+# and the metrics/histogram concurrency, under the race detector.
+echo "==> go test -race -count=3 (serve hot-reload stress)"
+go test -race -count=3 \
+	-run 'TestHotReloadDuringBatchPlanning|TestTCPRoundTrip' \
+	./internal/serve/
+
 # Shard smoke: one reduced repetition of the fleet + single-component
 # ladders, proving the sharded experiment (and its checksum-equality
 # enforcement across worker and shard counts) runs end to end.
@@ -77,5 +84,37 @@ go run ./cmd/mpbench -exp graphs -quick -graphs-json ""
 echo "==> mpbench -exp obs smoke (1 size, trace export)"
 go run ./cmd/mpbench -exp obs -quick -obs-json "" -trace /tmp/mp_verify_trace.json >/dev/null
 rm -f /tmp/mp_verify_trace.json
+
+# Serving smoke: the wire benchmark exercises the daemon stack in-process
+# (both clusters, HTTP single + batch + TCP framing) with reduced volume.
+echo "==> mpbench -exp serve smoke (reduced replay)"
+go run ./cmd/mpbench -exp serve -quick -serve-json "" >/dev/null
+
+# Daemon smoke: start mpserve on a random port, round-trip one batch over
+# the real binary's HTTP API, and check /v1/stats reports both clusters.
+echo "==> mpserve smoke (daemon round trip)"
+go build -o /tmp/mp_verify_mpserve ./cmd/mpserve
+/tmp/mp_verify_mpserve -addr 127.0.0.1:0 > /tmp/mp_verify_mpserve.log &
+MPSERVE_PID=$!
+# set -e stays active inside the trap: every command must tolerate the
+# daemon already being dead, or the trap's failure becomes the script's
+# exit status after "verify: OK".
+trap 'kill $MPSERVE_PID 2>/dev/null || true; rm -f /tmp/mp_verify_mpserve /tmp/mp_verify_mpserve.log' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's/^mpserve: http listening on //p' /tmp/mp_verify_mpserve.log)
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "mpserve did not report an address"; cat /tmp/mp_verify_mpserve.log; exit 1; }
+BATCH=$(curl -sf "http://$ADDR/v1/batch" -d \
+	'{"cluster":"beluga","items":[{"src":0,"dst":1,"bytes":67108864},{"cluster":"narval","src":1,"dst":2,"bytes":4194304}]}')
+echo "$BATCH" | grep -q '"predicted_s"' || { echo "batch response missing predictions: $BATCH"; exit 1; }
+echo "$BATCH" | grep -q '"failed"' && { echo "batch reported failures: $BATCH"; exit 1; }
+STATS=$(curl -sf "http://$ADDR/v1/stats")
+echo "$STATS" | grep -q '"beluga"' && echo "$STATS" | grep -q '"narval"' \
+	|| { echo "stats missing clusters: $STATS"; exit 1; }
+kill $MPSERVE_PID 2>/dev/null
+wait $MPSERVE_PID 2>/dev/null || true
 
 echo "verify: OK"
