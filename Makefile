@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-planner bench-faults bench-graphs bench-obs bench-shard bench-serve verify
+.PHONY: build test race vet lint lint-wire bench bench-planner bench-faults bench-graphs bench-obs bench-shard bench-serve verify
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,21 @@ vet:
 	$(GO) vet ./...
 
 # lint builds and runs mplint, the repo's own analyzer suite (determinism,
-# unit-safety, concurrency invariants). It must stay clean: suppress a
-# knowingly-safe finding with "//lint:allow <analyzer> <reason>".
+# unit-safety, wire-contract freeze, concurrency invariants). It must stay
+# clean: suppress a knowingly-safe finding with
+# "//lint:allow <analyzer> <reason>". The run also writes mplint.sarif so
+# CI can archive the machine-readable report (suppressions included).
 lint:
 	$(GO) build -o bin/mplint ./cmd/mplint
-	./bin/mplint ./...
+	./bin/mplint -sarif mplint.sarif ./...
+
+# lint-wire checks only the frozen serve/v1 wire contract against its
+# checked-in v1.lock.json. After an intentional wire change, refreeze with
+# `./bin/mplint -update-wire-lock ./internal/serve/v1` and review the lock
+# diff as part of the change.
+lint-wire:
+	$(GO) build -o bin/mplint ./cmd/mplint
+	./bin/mplint -run wirefreeze ./internal/serve/v1
 
 # verify is the gate every change should pass: vet + build + tests + the
 # race detector (the parallel experiment runner's worker pools make -race

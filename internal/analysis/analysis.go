@@ -34,6 +34,13 @@ type Analyzer struct {
 	// delivered via pass.Report/Reportf; the error return is reserved for
 	// analyzer malfunction (it aborts the whole run).
 	Run func(*Pass) error
+
+	// FactTypes lists the fact types this analyzer exports and imports
+	// (each a pointer to the zero value, e.g. (*Tainted)(nil)). An
+	// analyzer with facts participates in cross-package analysis: the
+	// checker drives packages in dependency order so that facts exported
+	// while analyzing a package are visible to every importer.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzed package to an Analyzer's Run function.
@@ -56,6 +63,19 @@ type Pass struct {
 	// Report delivers one diagnostic. The checker applies
 	// "//lint:allow" suppression before surfacing it.
 	Report func(Diagnostic)
+
+	// ExportObjectFact records a fact about a package-level object
+	// (usually one declared in this package) for consumption by later
+	// passes over importing packages. Nil when the driver runs without a
+	// fact store; analyzers must tolerate that (facts are an accuracy
+	// upgrade, not a correctness requirement).
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies the fact of fact's dynamic type previously
+	// exported for obj — typically an object resolved from an imported
+	// package — into fact, reporting whether one exists. Nil when the
+	// driver runs without a fact store.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.

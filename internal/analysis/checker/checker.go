@@ -28,6 +28,9 @@ import (
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
+// Load returns packages in dependency order: everything a package
+// imports (that is itself in the returned set) precedes it, so analyzer
+// facts flow strictly forward.
 type Package struct {
 	ImportPath string
 	Dir        string
@@ -36,9 +39,17 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
+	// deps are the canonical import paths of the package's transitive
+	// dependencies (variant annotations stripped); used for the
+	// dependency-order sort.
+	deps []string
+
 	// suppressions maps file base path -> line -> allow directives whose
 	// scope covers that line (the directive's own line and the next).
-	suppressions map[string]map[int][]allowDirective
+	// Directives are shared pointers: the same directive is indexed under
+	// both lines it covers, and marking it used must be visible through
+	// either entry.
+	suppressions map[string]map[int][]*allowDirective
 }
 
 // allowDirective is one parsed "//lint:allow <analyzer> <reason>" comment.
@@ -46,6 +57,7 @@ type allowDirective struct {
 	Analyzer string
 	Reason   string
 	Pos      token.Position
+	used     bool // a finding matched this directive during Analyze
 }
 
 // A Finding is one diagnostic from one analyzer, resolved to a position.
@@ -77,6 +89,7 @@ type listPackage struct {
 	CgoFiles        []string
 	CompiledGoFiles []string
 	ImportMap       map[string]string
+	Deps            []string
 	Module          *struct{ Path string }
 	Error           *struct{ Err string }
 }
@@ -134,19 +147,91 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			hasTestVariant[p.ForTest] = true
 		}
 	}
-	var pkgs []*Package
+	var kept []*listPackage
 	for _, p := range targets {
 		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
 			continue
 		}
+		kept = append(kept, p)
+	}
+	var pkgs []*Package
+	for _, p := range sortDeps(kept) {
 		pkg, err := typecheck(p, exportFile)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
+}
+
+// sortDeps orders targets so that every target precedes the targets that
+// (transitively) depend on it, comparing canonical import paths: the
+// test variant of a package stands in for the plain package it
+// supersedes, so facts it exports reach importers of the plain path.
+// Ties — and the pathological canonical-level cycles external test
+// packages can induce — resolve by canonical path, keeping the order
+// fully deterministic.
+func sortDeps(targets []*listPackage) []*listPackage {
+	canon := func(path string) string { return analysis.CanonicalPkgPath(path) }
+	index := make(map[string]int, len(targets)) // canonical path -> targets index
+	for i, p := range targets {
+		index[canon(p.ImportPath)] = i
+	}
+	indegree := make([]int, len(targets))
+	dependents := make([][]int, len(targets))
+	for i, p := range targets {
+		seen := make(map[int]bool)
+		for _, dep := range p.Deps {
+			j, ok := index[canon(dep)]
+			if !ok || j == i || seen[j] {
+				continue
+			}
+			seen[j] = true
+			dependents[j] = append(dependents[j], i)
+			indegree[i]++
+		}
+	}
+	ready := make([]int, 0, len(targets))
+	for i := range targets {
+		if indegree[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	byPath := func(a, b int) bool { return canon(targets[a].ImportPath) < canon(targets[b].ImportPath) }
+	sort.Slice(ready, func(x, y int) bool { return byPath(ready[x], ready[y]) })
+	var order []int
+	emitted := make([]bool, len(targets))
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		emitted[i] = true
+		var unlocked []int
+		for _, d := range dependents[i] {
+			indegree[d]--
+			if indegree[d] == 0 {
+				unlocked = append(unlocked, d)
+			}
+		}
+		sort.Slice(unlocked, func(x, y int) bool { return byPath(unlocked[x], unlocked[y]) })
+		// Keep the ready list sorted by merging the newly unlocked set.
+		ready = append(ready, unlocked...)
+		sort.Slice(ready, func(x, y int) bool { return byPath(ready[x], ready[y]) })
+	}
+	var rest []int
+	for i := range targets {
+		if !emitted[i] {
+			rest = append(rest, i)
+		}
+	}
+	sort.Slice(rest, func(x, y int) bool { return byPath(rest[x], rest[y]) })
+	order = append(order, rest...)
+	out := make([]*listPackage, 0, len(targets))
+	for _, i := range order {
+		out = append(out, targets[i])
+	}
+	return out
 }
 
 // typecheck parses and type-checks one listed package against the export
@@ -213,6 +298,10 @@ func typecheck(p *listPackage, exportFile map[string]string) (*Package, error) {
 		return nil, fmt.Errorf("%s", b.String())
 	}
 
+	deps := make([]string, 0, len(p.Deps))
+	for _, d := range p.Deps {
+		deps = append(deps, analysis.CanonicalPkgPath(d))
+	}
 	pkg := &Package{
 		ImportPath:   p.ImportPath,
 		Dir:          p.Dir,
@@ -220,7 +309,8 @@ func typecheck(p *listPackage, exportFile map[string]string) (*Package, error) {
 		Files:        parsed,
 		Types:        tpkg,
 		Info:         info,
-		suppressions: make(map[string]map[int][]allowDirective),
+		deps:         deps,
+		suppressions: make(map[string]map[int][]*allowDirective),
 	}
 	for _, f := range parsed {
 		pkg.collectSuppressions(f)
@@ -240,7 +330,7 @@ func (pkg *Package) collectSuppressions(f *ast.File) {
 			}
 			pos := pkg.Fset.Position(c.Pos())
 			fields := strings.Fields(rest)
-			d := allowDirective{Pos: pos}
+			d := &allowDirective{Pos: pos}
 			if len(fields) > 0 {
 				d.Analyzer = fields[0]
 			}
@@ -249,7 +339,7 @@ func (pkg *Package) collectSuppressions(f *ast.File) {
 			}
 			byLine := pkg.suppressions[pos.Filename]
 			if byLine == nil {
-				byLine = make(map[int][]allowDirective)
+				byLine = make(map[int][]*allowDirective)
 				pkg.suppressions[pos.Filename] = byLine
 			}
 			byLine[pos.Line] = append(byLine[pos.Line], d)
@@ -259,43 +349,75 @@ func (pkg *Package) collectSuppressions(f *ast.File) {
 }
 
 // suppressionFor returns the directive covering a diagnostic from
-// analyzer at pos, if any. A directive without a reason is invalid and
-// suppresses nothing (it is separately reported as a finding).
-func (pkg *Package) suppressionFor(analyzer string, pos token.Position) (allowDirective, bool) {
+// analyzer at pos, if any, marking it used. A directive without a reason
+// is invalid and suppresses nothing (it is separately reported as a
+// finding).
+func (pkg *Package) suppressionFor(analyzer string, pos token.Position) (*allowDirective, bool) {
 	for _, d := range pkg.suppressions[pos.Filename][pos.Line] {
 		if d.Analyzer == analyzer && d.Reason != "" {
+			d.used = true
 			return d, true
 		}
 	}
-	return allowDirective{}, false
+	return nil, false
 }
 
 // Analyze runs every analyzer over every package and returns all findings
 // (including suppressed ones, marked as such) sorted by position. It also
 // validates the suppression directives themselves: a directive with no
-// reason, or naming no known analyzer, is a finding from the pseudo
-// analyzer "lintdirective" and cannot be suppressed.
+// reason, naming no known analyzer, or matched by no finding of the named
+// analyzer (a stale suppression) is a finding from the pseudo analyzer
+// "lintdirective" and cannot be suppressed.
 func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return AnalyzeKnown(pkgs, analyzers, nil)
+}
+
+// AnalyzeKnown is Analyze with an explicit universe of analyzer names for
+// directive validation. When the caller runs a subset of a larger suite
+// (mplint -run), directives naming suite members that did not run are
+// neither "unknown" nor judged stale; pass the full suite's names as
+// known. A nil known defaults to the analyzers actually run.
+func AnalyzeKnown(pkgs []*Package, analyzers []*analysis.Analyzer, knownNames []string) ([]Finding, error) {
 	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
+	for _, name := range knownNames {
+		known[name] = true
+	}
+
+	// One fact store spans the whole run: packages arrive from Load in
+	// dependency order, so by the time a package is analyzed every fact
+	// its imports can contribute has been exported.
+	facts := analysis.NewFactStore()
 
 	var findings []Finding
 	seen := make(map[string]bool) // dedupe across pkg/test-variant overlap
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			a := a
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+					facts.Export(a.Name, obj, fact)
+				},
+				ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+					return facts.Import(a.Name, obj, fact)
+				},
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
 				key := fmt.Sprintf("%s:%d:%d|%s|%s", pos.Filename, pos.Line, pos.Column, a.Name, d.Message)
 				if seen[key] {
+					// Still route through suppression matching: the first
+					// occurrence marked the directive used, and a duplicate
+					// must not resurrect staleness.
 					return
 				}
 				seen[key] = true
@@ -312,9 +434,11 @@ func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error)
 		}
 
 		// Validate directives once per file line (each is indexed twice).
-		// Iterate in sorted order: ranging the maps directly would emit
-		// findings in Go's randomized map order — the exact defect the
-		// maporder analyzer exists to catch (and did, on this loop).
+		// This runs after every analyzer has finished with the package, so
+		// a directive not marked used by now matched nothing — it is
+		// stale. Iterate in sorted order: ranging the maps directly would
+		// emit findings in Go's randomized map order — the exact defect
+		// the maporder analyzer exists to catch (and did, on this loop).
 		files := make([]string, 0, len(pkg.suppressions))
 		for file := range pkg.suppressions {
 			files = append(files, file)
@@ -340,6 +464,8 @@ func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error)
 						msg = fmt.Sprintf("lint:allow names unknown analyzer %q", d.Analyzer)
 					case d.Reason == "":
 						msg = fmt.Sprintf("lint:allow %s requires a reason", d.Analyzer)
+					case ran[d.Analyzer] && !d.used:
+						msg = fmt.Sprintf("lint:allow %s suppresses nothing here (stale directive; delete it or move it to the finding it silences)", d.Analyzer)
 					default:
 						continue
 					}
@@ -369,14 +495,57 @@ func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error)
 	return findings, nil
 }
 
+// Options configures one MainOpts run.
+type Options struct {
+	// Patterns are the package patterns to load; default "./...".
+	Patterns []string
+	// Run restricts the suite to the named analyzers (mplint -run). Empty
+	// runs everything.
+	Run []string
+	// SARIF, when non-empty, is a file path to write a SARIF 2.1.0
+	// report of the run's findings to (suppressed findings included, as
+	// suppressed results), for CI annotation upload.
+	SARIF string
+	// Known names the full suite for directive validation even when Run
+	// narrows execution; empty defaults to the analyzers run.
+	Known []string
+}
+
 // Main is the command-line driver shared by cmd/mplint: it loads the
 // given patterns (default "./..."), runs the analyzers, prints active
 // findings to stdout, and returns the process exit code (0 clean, 1
 // findings, 2 failure to load or analyze).
 func Main(out, errw io.Writer, args []string, analyzers []*analysis.Analyzer) int {
-	patterns := args
+	return MainOpts(out, errw, Options{Patterns: args}, analyzers)
+}
+
+// MainOpts is Main with explicit options (analyzer subset, SARIF output).
+func MainOpts(out, errw io.Writer, opts Options, analyzers []*analysis.Analyzer) int {
+	patterns := opts.Patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	run := analyzers
+	if len(opts.Run) > 0 {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		run = nil
+		for _, name := range opts.Run {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(errw, "mplint: -run names unknown analyzer %q\n", name)
+				return 2
+			}
+			run = append(run, a)
+		}
+	}
+	known := opts.Known
+	if known == nil {
+		for _, a := range analyzers {
+			known = append(known, a.Name)
+		}
 	}
 	wd, err := os.Getwd()
 	if err != nil {
@@ -388,10 +557,21 @@ func Main(out, errw io.Writer, args []string, analyzers []*analysis.Analyzer) in
 		fmt.Fprintf(errw, "mplint: %v\n", err)
 		return 2
 	}
-	findings, err := Analyze(pkgs, analyzers)
+	findings, err := AnalyzeKnown(pkgs, run, known)
 	if err != nil {
 		fmt.Fprintf(errw, "mplint: %v\n", err)
 		return 2
+	}
+	if opts.SARIF != "" {
+		var buf bytes.Buffer
+		if err := WriteSARIF(&buf, wd, run, findings); err != nil {
+			fmt.Fprintf(errw, "mplint: sarif: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(opts.SARIF, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(errw, "mplint: sarif: %v\n", err)
+			return 2
+		}
 	}
 	active := 0
 	for _, f := range findings {

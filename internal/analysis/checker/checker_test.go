@@ -11,18 +11,26 @@ import (
 	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/checker"
 	"repro/internal/analysis/errchecksim"
+	"repro/internal/analysis/lockdiscipline"
 	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/shardpost"
+	"repro/internal/analysis/simtaint"
 	"repro/internal/analysis/simtime"
 	"repro/internal/analysis/units"
+	"repro/internal/analysis/wirefreeze"
 )
 
 // suite mirrors cmd/mplint's analyzer set.
 var suite = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	errchecksim.Analyzer,
+	lockdiscipline.Analyzer,
 	maporder.Analyzer,
+	shardpost.Analyzer,
+	simtaint.Analyzer,
 	simtime.Analyzer,
 	units.Analyzer,
+	wirefreeze.Analyzer,
 }
 
 func load(t *testing.T, patterns ...string) []*checker.Package {
@@ -43,7 +51,7 @@ func TestDirectiveValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
-	var gotReason, gotUnknown bool
+	var gotReason, gotUnknown, gotStale bool
 	for _, f := range findings {
 		if f.Suppressed {
 			continue
@@ -53,6 +61,8 @@ func TestDirectiveValidation(t *testing.T) {
 			gotReason = true
 		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, `unknown analyzer "simtyme"`):
 			gotUnknown = true
+		case f.Analyzer == "lintdirective" && strings.Contains(f.Message, "suppresses nothing"):
+			gotStale = true
 		}
 	}
 	if !gotReason {
@@ -60,6 +70,9 @@ func TestDirectiveValidation(t *testing.T) {
 	}
 	if !gotUnknown {
 		t.Errorf("no finding for lint:allow naming unknown analyzer; typos must not silently suppress nothing")
+	}
+	if !gotStale {
+		t.Errorf("no finding for stale lint:allow; directives that suppress nothing must be flagged")
 	}
 	// The reason-less directive must not actually suppress: the
 	// wall-clock finding it sits above stays active.
@@ -150,6 +163,71 @@ func TestSuiteOnFixtureTree(t *testing.T) {
 		if strings.Contains(out.String(), loc) {
 			t.Errorf("suppressed finding leaked into Main output: %s %s", loc, f.Message)
 		}
+	}
+}
+
+// TestKnownSubset: running a subset of the suite (mplint -run) must not
+// misjudge directives naming analyzers that did not run — they are
+// neither "unknown" nor stale, because the full suite is declared via
+// the known-names universe.
+func TestKnownSubset(t *testing.T) {
+	pkgs := load(t, "./../testdata/src/lintdirective/sim")
+	var knownNames []string
+	for _, a := range suite {
+		knownNames = append(knownNames, a.Name)
+	}
+	// Run only maporder: the fixture's simtime directives name an
+	// analyzer that exists but did not run.
+	findings, err := checker.AnalyzeKnown(pkgs, []*analysis.Analyzer{maporder.Analyzer}, knownNames)
+	if err != nil {
+		t.Fatalf("AnalyzeKnown: %v", err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, `unknown analyzer "simtime"`) {
+			t.Errorf("subset run misjudged a suite analyzer as unknown: %s", f.Message)
+		}
+		if f.Analyzer == "lintdirective" && strings.Contains(f.Message, "suppresses nothing") {
+			t.Errorf("subset run judged staleness for an analyzer that did not run: %s", f.Message)
+		}
+	}
+	// The truly unknown name must still be flagged.
+	var gotUnknown bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, `unknown analyzer "simtyme"`) {
+			gotUnknown = true
+		}
+	}
+	if !gotUnknown {
+		t.Errorf("subset run lost the unknown-analyzer finding")
+	}
+}
+
+// TestSARIFOutput: the SARIF export is deterministic, names every suite
+// rule, and carries suppressed findings as suppressed results.
+func TestSARIFOutput(t *testing.T) {
+	pkgs := load(t, "./../testdata/src/simtime/...")
+	findings, err := checker.Analyze(pkgs, suite)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := checker.WriteSARIF(&buf, ".", suite, findings); err != nil {
+			t.Fatalf("WriteSARIF: %v", err)
+		}
+		return buf.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Fatalf("SARIF output not byte-stable across renders")
+	}
+	for _, a := range suite {
+		if !strings.Contains(first, fmt.Sprintf("%q", a.Name)) {
+			t.Errorf("SARIF rules missing analyzer %s", a.Name)
+		}
+	}
+	if !strings.Contains(first, `"suppressions"`) || !strings.Contains(first, `"inSource"`) {
+		t.Errorf("SARIF output lost the suppressed findings (want inSource suppressions)")
 	}
 }
 

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// A Fact is a piece of information one analyzer derives about a
+// package-level object (a function, method, type, or variable) while
+// analyzing the package that declares it, to be consumed later when an
+// importing package is analyzed. This is the miniature of the x/tools
+// go/analysis fact mechanism that turns the per-package walks of the
+// mplint suite into a cross-package (interprocedural) analysis: facts
+// flow strictly along the import graph, so the checker analyzes packages
+// in dependency order and each pass sees the facts of everything it
+// imports.
+//
+// Fact types must be pointers to structs and should be declared in the
+// analyzer's package; implementing AFact marks the intent.
+type Fact interface{ AFact() }
+
+// CanonicalPkgPath strips the " [pkg.test]" variant annotation from an
+// import path, so the test variant of a package (a superset of its
+// files) and the plain package share one identity in fact keys.
+func CanonicalPkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// ObjectKey derives the stable cross-package identity of a package-level
+// object. Each package is type-checked in its own FileSet, so the same
+// function is a different *types.Func pointer in the declaring package
+// (from source) and in an importer (from export data); the key — the
+// canonical package path plus the (receiver-qualified) name — is what
+// both views agree on. Objects without such an identity (locals, struct
+// fields, builtins) return ok=false and cannot carry facts.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	pkg := CanonicalPkgPath(obj.Pkg().Path())
+	switch o := obj.(type) {
+	case *types.Func:
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return pkg + "." + named.Obj().Name() + "." + o.Name(), true
+		}
+		return pkg + "." + o.Name(), true
+	case *types.TypeName, *types.Var, *types.Const:
+		if obj.Parent() != obj.Pkg().Scope() {
+			return "", false // locals and fields have no stable identity
+		}
+		return pkg + "." + obj.Name(), true
+	}
+	return "", false
+}
+
+// factKey identifies one stored fact: an analyzer never sees another
+// analyzer's facts, and one object carries at most one fact per type.
+type factKey struct {
+	analyzer string
+	object   string
+	typ      reflect.Type
+}
+
+// A FactStore holds the facts exported during one multi-package analysis
+// run. The checker owns one store per run and wires it into every Pass.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// Export records fact for obj on behalf of the named analyzer,
+// overwriting any previous fact of the same type. Objects without a
+// stable identity are silently skipped (facts about locals cannot
+// outlive the pass that derived them).
+func (s *FactStore) Export(analyzer string, obj types.Object, fact Fact) {
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer type", fact))
+	}
+	s.m[factKey{analyzer, key, t}] = fact
+}
+
+// Import copies the stored fact of fact's type for obj into fact,
+// reporting whether one was found. The argument must be a pointer to the
+// same concrete type the exporter used.
+func (s *FactStore) Import(analyzer string, obj types.Object, fact Fact) bool {
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer type", fact))
+	}
+	stored, ok := s.m[factKey{analyzer, key, t}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}

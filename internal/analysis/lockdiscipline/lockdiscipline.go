@@ -1,0 +1,694 @@
+// Package lockdiscipline defines an analyzer enforcing the repo's mutex
+// conventions: locks are never copied, every locked path unlocks, and a
+// field guarded by a mutex anywhere is guarded everywhere.
+package lockdiscipline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer checks three mutex disciplines across a package:
+//
+//  1. Lock values are never copied — not assigned, passed, returned,
+//     ranged over, or placed in composite literals by value. (A copied
+//     mutex guards nothing; go vet's copylocks catches some of these,
+//     this check keeps the rule inside the suppressible mplint suite.)
+//  2. A function that locks a mutex unlocks it on every path: an early
+//     return with the lock still held (and no deferred unlock) or a
+//     fall-off-the-end with the lock held is a finding. Functions whose
+//     name ends in "Lock"/"Unlock" are lock-transfer helpers and exempt.
+//  3. A struct field read or written under a mutex in one method must
+//     not be touched bare in another: if any method writes the field
+//     while holding the lock, every bare access is flagged (and if any
+//     method reads it under the lock, every bare *write* is flagged).
+//     Constructors (functions returning the struct) run before the
+//     value is shared and are exempt, as are methods named "*Locked"
+//     (the convention for "caller holds the lock") and bare accesses in
+//     _test.go files (tests poke internals single-threaded by design).
+//
+// The held-lock state is tracked block-structurally (branch states
+// intersect at merges); goto bails out of checks 2 and 3 for that
+// function. The analysis is per-package and best-effort: it proves the
+// presence of a discipline violation, not the absence of races.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag copied mutexes, locked early returns, and fields guarded by a mutex only sometimes",
+	Run:  run,
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// containsMutex reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex by value (so copying the value copies the lock).
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+		return containsMutex(t.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsMutex(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(t.Elem(), depth+1)
+	}
+	return false
+}
+
+// mutexLike reports whether t (possibly behind one pointer) carries a
+// mutex, i.e. whether Lock/Unlock on it is lock activity worth tracking.
+func mutexLike(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return containsMutex(t, 0)
+}
+
+// syncOrAtomic reports whether t is itself a type from sync or
+// sync/atomic: such fields carry their own synchronization and are not
+// subject to the mixed-access rule.
+func syncOrAtomic(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// fieldStats aggregates how one guarded struct field is accessed across
+// the whole package.
+type fieldStats struct {
+	guardedRead  bool
+	guardedWrite bool
+	mutexField   string // field name of the guarding mutex, e.g. "mu"
+	bare         []bareAccess
+}
+
+type bareAccess struct {
+	pos   token.Pos
+	write bool
+}
+
+type runner struct {
+	pass   *analysis.Pass
+	fields map[*types.Var]*fieldStats
+	order  []*types.Var // deterministic iteration order for fields
+}
+
+func run(pass *analysis.Pass) error {
+	r := &runner{pass: pass, fields: make(map[*types.Var]*fieldStats)}
+	for _, f := range pass.Files {
+		r.copyCheck(f)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				r.checkFunc(fd)
+			}
+		}
+	}
+	r.reportMixed()
+	return nil
+}
+
+// --- check 1: lock copies -------------------------------------------------
+
+// copyable reports whether e is an addressable-ish expression whose
+// evaluation copies a mutex-bearing value. &x, pointers, and literals
+// are fine; bare loads of lock-bearing lvalues are not.
+func (r *runner) copyable(e ast.Expr) (types.Type, bool) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil, false
+	}
+	tv, ok := r.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	if !containsMutex(tv.Type, 0) {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+func (r *runner) reportCopy(pos token.Pos, what string, t types.Type) {
+	r.pass.Reportf(pos, "%s copies the lock in %s; locks must be shared by pointer, never copied",
+		what, types.TypeString(t, types.RelativeTo(r.pass.Pkg)))
+}
+
+func (r *runner) copyCheck(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if t, ok := r.copyable(rhs); ok {
+					r.reportCopy(rhs.Pos(), "assignment", t)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if t, ok := r.copyable(v); ok {
+					r.reportCopy(v.Pos(), "assignment", t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if t, ok := r.copyable(arg); ok {
+					r.reportCopy(arg.Pos(), "call argument", t)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t, ok := r.copyable(res); ok {
+					r.reportCopy(res.Pos(), "return value", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if tv, ok := r.pass.TypesInfo.Types[n.Value]; ok && tv.Type != nil && containsMutex(tv.Type, 0) {
+					r.reportCopy(n.Value.Pos(), "range value", tv.Type)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if t, ok := r.copyable(el); ok {
+					r.reportCopy(el.Pos(), "composite literal element", t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- checks 2 and 3: held-state walk --------------------------------------
+
+// funcWalk carries the per-function state of the held-lock simulation.
+type funcWalk struct {
+	r          *runner
+	fd         *ast.FuncDecl
+	deferred   map[string]bool
+	guardedAll bool // *Locked helper: caller holds the lock
+	skipMixed  bool // constructor: value not yet shared
+	gaveUp     bool // goto: control flow too irregular to track
+	reports    []funcReport
+}
+
+type funcReport struct {
+	pos token.Pos
+	msg string
+}
+
+func (r *runner) checkFunc(fd *ast.FuncDecl) {
+	w := &funcWalk{
+		r:          r,
+		fd:         fd,
+		deferred:   make(map[string]bool),
+		guardedAll: strings.HasSuffix(fd.Name.Name, "Locked"),
+		skipMixed:  isConstructor(r.pass.TypesInfo, fd),
+	}
+	lockHelper := strings.HasSuffix(fd.Name.Name, "Lock") || strings.HasSuffix(fd.Name.Name, "Unlock")
+	held := make(map[string]bool)
+	out, terminated := w.walkStmts(fd.Body.List, held)
+	if !terminated && !lockHelper {
+		for _, key := range sortedHeld(out, w.deferred) {
+			w.reports = append(w.reports, funcReport{fd.Body.Rbrace,
+				fmt.Sprintf("function ends with %s still locked; add the missing unlock or defer it after the Lock", key)})
+		}
+	}
+	if w.gaveUp {
+		return
+	}
+	for _, rep := range w.reports {
+		r.pass.Reportf(rep.pos, "%s", rep.msg)
+	}
+}
+
+// isConstructor reports whether fd returns the (pointer to the) struct
+// type it builds — the conventional shape of a constructor, whose bare
+// field writes happen before the value is shared.
+func isConstructor(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil || fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := info.TypeOf(res.Type)
+		if t == nil {
+			continue
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cloneHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// intersect keeps only keys held in every state.
+func intersect(states []map[string]bool) map[string]bool {
+	if len(states) == 0 {
+		return make(map[string]bool)
+	}
+	out := cloneHeld(states[0])
+	for _, s := range states[1:] {
+		for k := range out {
+			if !s[k] {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+func sortedHeld(held, deferred map[string]bool) []string {
+	var keys []string
+	for k := range held {
+		if held[k] && !deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockOp classifies a call as a lock or unlock of a tracked mutex,
+// returning the mutex key (the receiver's expression string).
+func (w *funcWalk) lockOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if !lockMethods[name] && !unlockMethods[name] {
+		return "", false, false
+	}
+	tv, ok := w.r.pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil || !mutexLike(tv.Type) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), lockMethods[name], unlockMethods[name]
+}
+
+// walkStmts simulates one statement list. It returns the held state at
+// the fall-through exit and whether the list always terminates (returns,
+// panics, or breaks) before falling through.
+func (w *funcWalk) walkStmts(list []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	for _, s := range list {
+		var terminated bool
+		held, terminated = w.walkStmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *funcWalk) walkStmt(s ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, lock, unlock := w.lockOp(call); lock || unlock {
+				held = cloneHeld(held)
+				if lock {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return held, false
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := w.r.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					w.accesses(s.X, held)
+					return held, true
+				}
+			}
+		}
+		w.accesses(s.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.accesses(rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			w.lvalue(lhs, held)
+		}
+	case *ast.IncDecStmt:
+		w.lvalue(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.accesses(v, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.noteDeferred(s.Call)
+		w.accesses(s.Call, held)
+	case *ast.GoStmt:
+		// Arguments are evaluated now, on the locked stack; a literal
+		// body is walked as its own lock scope by accesses.
+		w.accesses(s.Call, held)
+	case *ast.SendStmt:
+		w.accesses(s.Chan, held)
+		w.accesses(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.accesses(res, held)
+		}
+		for _, key := range sortedHeld(held, w.deferred) {
+			w.reports = append(w.reports, funcReport{s.Pos(),
+				fmt.Sprintf("return leaves %s still locked (no deferred unlock covers this path); unlock before returning", key)})
+		}
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, cloneHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.accesses(s.Cond, held)
+		bodyOut, bodyTerm := w.walkStmts(s.Body.List, cloneHeld(held))
+		elseOut, elseTerm := cloneHeld(held), false
+		if s.Else != nil {
+			elseOut, elseTerm = w.walkStmt(s.Else, cloneHeld(held))
+		}
+		var states []map[string]bool
+		if !bodyTerm {
+			states = append(states, bodyOut)
+		}
+		if !elseTerm {
+			states = append(states, elseOut)
+		}
+		if len(states) == 0 {
+			return held, true
+		}
+		return intersect(states), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.accesses(s.Cond, held)
+		}
+		w.walkStmts(s.Body.List, cloneHeld(held))
+		return held, false // body may run zero times; lock changes inside stay inside
+	case *ast.RangeStmt:
+		w.accesses(s.X, held)
+		w.walkStmts(s.Body.List, cloneHeld(held))
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.accesses(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+		return held, false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+		return held, false
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+		return held, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			w.gaveUp = true
+		}
+		return held, true // break/continue/goto: linear flow ends here
+	}
+	return held, false
+}
+
+// noteDeferred records mutexes unlocked by a deferred call, either
+// directly (defer mu.Unlock()) or inside a deferred closure.
+func (w *funcWalk) noteDeferred(call *ast.CallExpr) {
+	if key, _, unlock := w.lockOp(call); unlock {
+		w.deferred[key] = true
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if key, _, unlock := w.lockOp(c); unlock {
+					w.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- check 3: access classification ---------------------------------------
+
+// accesses records every guarded-struct field read inside e against the
+// current held state. Function literals are not scanned in place: a
+// closure runs on its own schedule (deferred, as a goroutine, as a
+// callback) and does its own locking, so its body is walked as an
+// independent scope starting with no locks held.
+func (w *funcWalk) accesses(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkClosure(lit)
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			w.record(sel, held, false)
+		}
+		return true
+	})
+}
+
+// walkClosure runs the held-state simulation over a function literal's
+// body in its own scope: no inherited locks, its own deferred set. Early
+// returns while locked are still findings; the fall-off-the-end check is
+// skipped (closures legitimately hand locks to their caller's defers).
+func (w *funcWalk) walkClosure(lit *ast.FuncLit) {
+	inner := &funcWalk{
+		r:          w.r,
+		fd:         w.fd,
+		deferred:   make(map[string]bool),
+		guardedAll: w.guardedAll,
+		skipMixed:  w.skipMixed,
+	}
+	inner.walkStmts(lit.Body.List, make(map[string]bool))
+	if inner.gaveUp {
+		w.gaveUp = true
+		return
+	}
+	w.reports = append(w.reports, inner.reports...)
+}
+
+// lvalue records the written-to field of an assignment target, and the
+// reads feeding it (index expressions, nested bases).
+func (w *funcWalk) lvalue(e ast.Expr, held map[string]bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		w.record(e, held, true)
+		w.accesses(e.X, held)
+	case *ast.IndexExpr:
+		w.lvalue(e.X, held)
+		w.accesses(e.Index, held)
+	case *ast.StarExpr:
+		w.accesses(e.X, held)
+	case *ast.Ident:
+		// locals and package vars: out of scope for the field rule
+	default:
+		w.accesses(e, held)
+	}
+}
+
+// record classifies one field access as guarded or bare and feeds the
+// package-level stats.
+func (w *funcWalk) record(sel *ast.SelectorExpr, held map[string]bool, write bool) {
+	selection, ok := w.r.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if mutexLike(field.Type()) || syncOrAtomic(field.Type()) {
+		return // the lock itself, or self-synchronized fields
+	}
+	owner, mutexName := guardingMutex(selection.Recv())
+	if owner == nil {
+		return // the owning struct has no mutex: nothing to guard with
+	}
+	st := w.r.fields[field]
+	if st == nil {
+		st = &fieldStats{mutexField: mutexName}
+		w.r.fields[field] = st
+		w.r.order = append(w.r.order, field)
+	}
+	base := types.ExprString(ast.Unparen(sel.X))
+	guarded := w.guardedAll || heldCovers(held, base)
+	switch {
+	case w.skipMixed:
+		// constructor: pre-publication accesses prove nothing either way
+	case guarded && write:
+		st.guardedWrite = true
+	case guarded:
+		st.guardedRead = true
+	case strings.HasSuffix(w.r.pass.Fset.Position(sel.Pos()).Filename, "_test.go"):
+		// Tests poke internals single-threaded by design; their bare
+		// accesses are not evidence of a racy production path.
+	default:
+		st.bare = append(st.bare, bareAccess{pos: sel.Pos(), write: write})
+	}
+}
+
+// guardingMutex finds the mutex field of the struct type owning an
+// accessed field, returning the struct and the mutex field's name.
+func guardingMutex(recv types.Type) (*types.Struct, string) {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if mutexLike(f.Type()) {
+			return st, f.Name()
+		}
+	}
+	return nil, ""
+}
+
+// heldCovers reports whether any held mutex plausibly guards an access
+// whose base expression is base: the mutex is a field of base ("r.mu"
+// covers "r.x") or base itself embeds the lock ("s" covers "s.x").
+func heldCovers(held map[string]bool, base string) bool {
+	for key, h := range held {
+		if !h {
+			continue
+		}
+		if key == base || strings.HasPrefix(key, base+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// reportMixed emits the package-level mixed-access findings in a
+// deterministic order.
+func (r *runner) reportMixed() {
+	for _, field := range r.order {
+		st := r.fields[field]
+		if len(st.bare) == 0 {
+			continue
+		}
+		bareWrite := false
+		for _, b := range st.bare {
+			if b.write {
+				bareWrite = true
+			}
+		}
+		if !(st.guardedWrite || (st.guardedRead && bareWrite)) {
+			continue
+		}
+		owner := ""
+		if named, ok := fieldOwner(field); ok {
+			owner = named + "."
+		}
+		sites := append([]bareAccess(nil), st.bare...)
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, b := range sites {
+			what := "read"
+			if b.write {
+				what = "written"
+			}
+			r.pass.Reportf(b.pos, "%s%s is %s without the %s lock here but guarded by it elsewhere; lock around every access or use a *Locked helper",
+				owner, field.Name(), what, st.mutexField)
+		}
+	}
+}
+
+// fieldOwner best-effort recovers the name of the struct type declaring
+// a field, for readable diagnostics.
+func fieldOwner(field *types.Var) (string, bool) {
+	// The types API does not link a field back to its named owner; scan
+	// the declaring package's named types instead.
+	pkg := field.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name(), true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,17 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	findings := analysistest.Run(t, lockdiscipline.Analyzer)
+
+	// The bring-up-only bare read in Peek is a suppressed finding: it
+	// must still be found (deleting the //lint:allow line would fail the
+	// lint), it is silenced, not missed.
+	analysistest.Suppressed(t, findings, "hits is read without the mu lock")
+}

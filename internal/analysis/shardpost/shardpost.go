@@ -1,0 +1,275 @@
+// Package shardpost defines an analyzer checking that cross-shard Post
+// delays are provably at least the cluster lookahead.
+package shardpost
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags sim.Simulator.Post call sites whose delay argument is
+// not provably >= the cluster lookahead. Post panics at run time when
+// the delay undercuts the lookahead (the conservative-synchronization
+// contract of the sharded engine, PR 7); this analyzer moves that
+// failure to lint time. A delay is accepted as provable when it
+//
+//   - derives from a Lookahead() call (directly, or through a local
+//     variable initialized from one, or as one addend of a sum — the
+//     other addend is assumed non-negative, as delays are);
+//   - reuses a value that the enclosing function (or, failing that, the
+//     package) also passes to Connect as a channel latency — the
+//     lookahead is the minimum Connect latency, so posting with a
+//     declared latency is safe by construction;
+//   - is a constant no smaller than the smallest constant Connect
+//     latency in scope; or
+//   - sits in a function that explicitly compares something against
+//     Lookahead() (a guard the analyzer does not try to match up
+//     precisely).
+//
+// Deliberate violations (panic-path tests) carry
+// "//lint:allow shardpost <reason>".
+var Analyzer = &analysis.Analyzer{
+	Name: "shardpost",
+	Doc:  "flag cross-shard Post calls whose delay is not provably >= the cluster lookahead",
+	Run:  run,
+}
+
+// fnCtx aggregates the provability context of one function (or of the
+// whole package, as the fallback scope).
+type fnCtx struct {
+	info *types.Info
+	// connectObjs are objects whose value is also declared as a Connect
+	// channel latency.
+	connectObjs map[types.Object]bool
+	// minConst is the smallest constant Connect latency seen, nil when
+	// no Connect call has a constant latency.
+	minConst *float64
+	// lookaheadCompare records an explicit comparison against a
+	// Lookahead() call anywhere in the scope.
+	lookaheadCompare bool
+	// inits maps locally-declared objects to their initializer
+	// expressions, for one-level provability chasing.
+	inits map[types.Object]ast.Expr
+	// fallback widens the scope to the package aggregate for functions
+	// that contain no Connect call of their own.
+	fallback *fnCtx
+}
+
+func newFnCtx(info *types.Info) *fnCtx {
+	return &fnCtx{
+		info:        info,
+		connectObjs: make(map[types.Object]bool),
+		inits:       make(map[types.Object]ast.Expr),
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	pkgCtx := newFnCtx(pass.TypesInfo)
+	type postSite struct {
+		call *ast.CallExpr
+		ctx  *fnCtx
+	}
+	var sites []postSite
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctx := newFnCtx(pass.TypesInfo)
+			hasConnect := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+						for i, lhs := range n.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								if obj := pass.TypesInfo.Defs[id]; obj != nil {
+									ctx.inits[obj] = n.Rhs[i]
+								}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(n.Names) == len(n.Values) {
+						for i, id := range n.Names {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								ctx.inits[obj] = n.Values[i]
+							}
+						}
+					}
+				case *ast.BinaryExpr:
+					switch n.Op {
+					case token.LSS, token.LEQ, token.GTR, token.GEQ:
+						if containsLookahead(n.X) || containsLookahead(n.Y) {
+							ctx.lookaheadCompare = true
+						}
+					}
+				case *ast.CallExpr:
+					if isSimMethod(pass.TypesInfo, n, "Connect", "Cluster") && len(n.Args) == 3 {
+						hasConnect = true
+						lat := n.Args[2]
+						for _, c := range []*fnCtx{ctx, pkgCtx} {
+							c.noteConnectLatency(lat)
+						}
+					}
+					if isSimMethod(pass.TypesInfo, n, "Post", "Simulator") && len(n.Args) == 3 {
+						sites = append(sites, postSite{call: n, ctx: ctx})
+					}
+				}
+				return true
+			})
+			if !hasConnect {
+				// No Connect in this function: judge its Posts against the
+				// package-wide context (test helpers often Connect in a
+				// setup function and Post elsewhere).
+				ctx.fallback = pkgCtx
+			}
+		}
+	}
+
+	for _, s := range sites {
+		if s.ctx.provable(s.call.Args[1], 0) {
+			continue
+		}
+		pass.Reportf(s.call.Pos(), "Post delay is not provably >= the cluster lookahead; derive it from Lookahead(), reuse a Connect latency, or guard the call (a smaller delay panics at run time)")
+	}
+	return nil
+}
+
+// noteConnectLatency records one Connect latency argument: its constant
+// value (for the minimum-constant bound) and every identifier inside it
+// (reusing any of those values in a Post delay is safe by construction).
+func (c *fnCtx) noteConnectLatency(lat ast.Expr) {
+	if v, ok := constFloat(c.info, lat); ok {
+		if c.minConst == nil || v < *c.minConst {
+			c.minConst = &v
+		}
+	}
+	ast.Inspect(lat, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.info.Uses[id]; obj != nil {
+				c.connectObjs[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// provable reports whether e is provably >= the cluster lookahead in
+// this context. depth bounds initializer chasing.
+func (c *fnCtx) provable(e ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if containsLookahead(e) {
+		return true
+	}
+	// The guard heuristic is deliberately function-local: a Lookahead()
+	// comparison elsewhere in the package says nothing about this call.
+	if c.lookaheadCompare {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return c.provable(x.X, depth+1) || c.provable(x.Y, depth+1)
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "max" {
+			if _, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, a := range x.Args {
+					if c.provable(a, depth+1) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		if id, ok := x.(*ast.Ident); ok {
+			obj = c.info.Uses[id]
+		} else if sel, ok := x.(*ast.SelectorExpr); ok {
+			obj = c.info.Uses[sel.Sel]
+		}
+		if obj != nil {
+			if c.connectObjs[obj] || (c.fallback != nil && c.fallback.connectObjs[obj]) {
+				return true
+			}
+			if init, ok := c.inits[obj]; ok && c.provable(init, depth+1) {
+				return true
+			}
+		}
+	}
+	if v, ok := constFloat(c.info, e); ok {
+		if c.minConst != nil && v >= *c.minConst {
+			return true
+		}
+		if c.fallback != nil && c.fallback.minConst != nil && v >= *c.fallback.minConst {
+			return true
+		}
+	}
+	return false
+}
+
+// constFloat extracts a non-negative constant numeric value.
+func constFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return v, true
+	}
+	return 0, false
+}
+
+// containsLookahead reports whether e contains a call to a method named
+// Lookahead.
+func containsLookahead(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Lookahead" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSimMethod reports whether call invokes the named method on the named
+// receiver type of a package whose path base is "sim" (the shard engine,
+// or a fixture standing in for it).
+func isSimMethod(info *types.Info, call *ast.CallExpr, method, recv string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil {
+		return false
+	}
+	if analysis.PkgPathBase(fn.Pkg().Path()) != "sim" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
+}

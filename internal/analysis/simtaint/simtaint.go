@@ -1,0 +1,201 @@
+// Package simtaint defines the interprocedural extension of simtime: it
+// tracks wall-clock and global-rand taint across function and package
+// boundaries using analyzer facts.
+package simtaint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/simtime"
+)
+
+// Analyzer propagates nondeterminism taint through the call graph.
+// While simtime flags *direct* wall-clock / global-rand uses inside the
+// determinism boundary, a boundary package can just as easily lose
+// bit-stability by calling an innocuous-looking helper in an exempt
+// package that reads the clock three frames down. This analyzer exports
+// a Tainted fact for every function that directly or transitively
+// reaches such a root — in every package, exempt ones included — and
+// reports any call site inside the determinism boundary whose callee
+// carries the fact. Direct root calls stay simtime's findings; simtaint
+// reports only the transitive reach simtime cannot see.
+//
+// Facts flow along the import graph, so the checker must analyze
+// packages in dependency order (checker.Load guarantees this). Calls
+// through interfaces or function values are not resolved; the analyzer
+// is a best-effort taint propagator, not a soundness proof.
+var Analyzer = &analysis.Analyzer{
+	Name:      "simtaint",
+	Doc:       "flag calls inside the simulation core that transitively reach wall-clock time or global randomness",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Tainted)(nil)},
+}
+
+// Tainted marks a function that (transitively) calls a wall-clock or
+// global-rand root.
+type Tainted struct {
+	// Root is the nondeterminism source ultimately reached, e.g.
+	// "time.Now" or "rand.Float64".
+	Root string
+	// Via is the next hop toward the root: the callee whose taint this
+	// function inherited, or "" when the function calls the root
+	// directly.
+	Via string
+}
+
+// AFact marks Tainted as an analyzer fact.
+func (*Tainted) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	// Collect the package's function declarations in source order (the
+	// fixpoint below iterates this slice, never a map, so taint
+	// attribution is deterministic).
+	type declFunc struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []declFunc
+	byFunc := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, declFunc{fn, fd})
+			byFunc[fn] = fd
+		}
+	}
+
+	local := make(map[*types.Func]*Tainted)
+	lookup := func(fn *types.Func) *Tainted {
+		if t, ok := local[fn]; ok {
+			return t
+		}
+		if byFunc[fn] != nil {
+			return nil // declared here; taint decided by the fixpoint only
+		}
+		if pass.ImportObjectFact == nil {
+			return nil
+		}
+		var t Tainted
+		if pass.ImportObjectFact(fn, &t) {
+			return &t
+		}
+		return nil
+	}
+
+	// taintOf scans one body for the first root use or tainted callee, in
+	// source order.
+	taintOf := func(fd *ast.FuncDecl) *Tainted {
+		var found *Tainted
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if root, ok := simtime.Root(pass.TypesInfo, n); ok {
+					found = &Tainted{Root: root.Name}
+					return false
+				}
+			case *ast.CallExpr:
+				callee := analysis.CalleeFunc(pass.TypesInfo, n)
+				if callee == nil {
+					return true
+				}
+				if t := lookup(callee); t != nil {
+					found = &Tainted{Root: t.Root, Via: displayName(callee)}
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// Fixpoint over the package's internal call graph: repeat until a
+	// full sweep adds no taint. Bounded by the function count.
+	for changed := true; changed; {
+		changed = false
+		for _, df := range decls {
+			if local[df.fn] != nil {
+				continue
+			}
+			if t := taintOf(df.decl); t != nil {
+				local[df.fn] = t
+				changed = true
+			}
+		}
+	}
+
+	if pass.ExportObjectFact != nil {
+		for _, df := range decls {
+			if t := local[df.fn]; t != nil {
+				pass.ExportObjectFact(df.fn, t)
+			}
+		}
+	}
+
+	if !simtime.Restricted(pass.Pkg.Path()) {
+		return nil
+	}
+	// Inside the determinism boundary: every call whose (statically
+	// resolvable) callee is tainted is a finding. The direct root uses
+	// themselves are simtime findings and not re-reported here.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			t := local[callee]
+			if t == nil {
+				if byFunc[callee] != nil {
+					return true
+				}
+				t = lookup(callee)
+			}
+			if t == nil {
+				return true
+			}
+			name := displayName(callee)
+			if t.Via == "" {
+				pass.Reportf(call.Pos(), "call to %s, which calls %s; simulation-core packages must use simulated time and seeded randomness only", name, t.Root)
+			} else {
+				pass.Reportf(call.Pos(), "call to %s, which reaches %s through %s; simulation-core packages must use simulated time and seeded randomness only", name, t.Root, t.Via)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// displayName renders a function as package.Name (or
+// package.Type.Method), using the short package name for readability.
+func displayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -77,8 +77,49 @@ var seededConstructors = map[string]bool{
 	"NewZipf":    true,
 }
 
+// Restricted reports whether pkgPath (variant annotations included) lies
+// inside the determinism boundary. Exported so the interprocedural
+// extension (simtaint) draws the boundary in exactly one place.
+func Restricted(pkgPath string) bool {
+	return restrictedBases[analysis.PkgPathBase(pkgPath)]
+}
+
+// A RootUse describes one direct use of a nondeterminism root: a
+// wall-clock read or a draw from the process-global rand source.
+type RootUse struct {
+	// Name is the qualified root, e.g. "time.Now" or "rand.Float64".
+	Name string
+	// Wall distinguishes wall-clock roots from global-rand roots (the two
+	// produce differently-worded diagnostics).
+	Wall bool
+}
+
+// Root classifies a selector expression as a nondeterminism root. It is
+// the single source of truth for what "wall clock / global rand" means,
+// shared by the direct (simtime) and transitive (simtaint) analyzers.
+func Root(info *types.Info, sel *ast.SelectorExpr) (RootUse, bool) {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return RootUse{}, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return RootUse{}, false // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			return RootUse{Name: "time." + fn.Name(), Wall: true}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			return RootUse{Name: "rand." + fn.Name()}, true
+		}
+	}
+	return RootUse{}, false
+}
+
 func run(pass *analysis.Pass) error {
-	if !restrictedBases[analysis.PkgPathBase(pass.Pkg.Path())] {
+	if !Restricted(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -87,22 +128,14 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
+			root, ok := Root(pass.TypesInfo, sel)
+			if !ok {
 				return true
 			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // methods (e.g. on a seeded *rand.Rand) are fine
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if wallClock[fn.Name()] {
-					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation-core packages must use simulated time only", fn.Name())
-				}
-			case "math/rand", "math/rand/v2":
-				if !seededConstructors[fn.Name()] {
-					pass.Reportf(sel.Pos(), "rand.%s draws from the unseeded process-global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", fn.Name())
-				}
+			if root.Wall {
+				pass.Reportf(sel.Pos(), "%s reads the wall clock; simulation-core packages must use simulated time only", root.Name)
+			} else {
+				pass.Reportf(sel.Pos(), "%s draws from the unseeded process-global source; use rand.New(rand.NewSource(seed)) so runs are reproducible", root.Name)
 			}
 			return true
 		})

@@ -16,7 +16,15 @@ var noReason = time.Now()
 //lint:allow simtyme wall clock is fine here
 var typoAnalyzer = time.Now()
 
+// Stale: a valid, well-formed directive that suppresses nothing is
+// itself noise — it looks like a considered exception but guards
+// nothing, typically left behind after the flagged code moved.
+//
+//lint:allow simtime legacy exemption kept after the code moved away
+var stale = 42
+
 var (
 	_ = noReason
 	_ = typoAnalyzer
+	_ = stale
 )

@@ -1,0 +1,75 @@
+// Package reg exercises the three lockdiscipline checks against a
+// registry shaped like internal/serve's plan registry.
+package reg
+
+import "sync"
+
+// A Registry maps names to slots under a mutex.
+type Registry struct {
+	mu    sync.Mutex
+	slots map[string]int
+	hits  int
+}
+
+// New is a constructor: its bare writes happen before the registry is
+// shared, so they are exempt from the mixed-access rule.
+func New() *Registry {
+	r := &Registry{}
+	r.slots = make(map[string]int)
+	return r
+}
+
+// Get guards its read with the conventional lock/defer pair.
+func (r *Registry) Get(k string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.slots[k]
+	return v, ok
+}
+
+// Put writes both fields under the lock and unlocks explicitly.
+func (r *Registry) Put(k string, v int) {
+	r.mu.Lock()
+	r.slots[k] = v
+	r.hits++
+	r.mu.Unlock()
+}
+
+// Size reads slots bare while Put writes it under the lock.
+func (r *Registry) Size() int {
+	return len(r.slots) // want "slots is read without the mu lock"
+}
+
+// Fail returns early with the lock still held.
+func (r *Registry) Fail(k string) int {
+	r.mu.Lock()
+	v, ok := r.slots[k]
+	if !ok {
+		return -1 // want "still locked"
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// Leak locks and falls off the end without unlocking.
+func (r *Registry) Leak() {
+	r.mu.Lock()
+	r.hits++
+} // want "still locked"
+
+// Snapshot copies the registry — and its mutex — by value.
+func Snapshot(r *Registry) Registry {
+	return *r // want "copies the lock"
+}
+
+// sizeLocked follows the *Locked convention: the caller holds the lock,
+// so its bare read counts as guarded.
+func (r *Registry) sizeLocked() int { return len(r.slots) }
+
+// Peek runs only during single-threaded bring-up, before the registry
+// is published; the finding is real but deliberate, so it is suppressed
+// with a reason.
+func Peek(r *Registry) int {
+	//lint:allow lockdiscipline registry is unpublished during bring-up, no concurrent access
+	return r.hits
+}

@@ -1,0 +1,47 @@
+// Package sim mirrors just enough of internal/sim's sharded-engine
+// surface (Cluster.Connect/Lookahead, Simulator.Post) for the shardpost
+// analyzer, which matches on receiver type name and package path base.
+package sim
+
+// A Cluster owns a set of shards and the conservative-synchronization
+// lookahead derived from the smallest Connect latency.
+type Cluster struct {
+	lookahead float64
+	shards    []*Simulator
+}
+
+// NewCluster builds a cluster of n shards.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{lookahead: 1e18}
+	for i := 0; i < n; i++ {
+		c.shards = append(c.shards, &Simulator{c: c})
+	}
+	return c
+}
+
+// Connect declares a channel between two shards; the lookahead is the
+// minimum declared latency.
+func (c *Cluster) Connect(src, dst int, latency float64) {
+	if latency < c.lookahead {
+		c.lookahead = latency
+	}
+}
+
+// Lookahead returns the current synchronization horizon.
+func (c *Cluster) Lookahead() float64 { return c.lookahead }
+
+// Shard returns shard i.
+func (c *Cluster) Shard(i int) *Simulator { return c.shards[i] }
+
+// A Simulator is one shard's event loop.
+type Simulator struct{ c *Cluster }
+
+// Post schedules fn on dst after delay; delays below the cluster
+// lookahead violate the conservative-synchronization contract.
+func (s *Simulator) Post(dst *Simulator, delay float64, fn func()) {
+	if delay < s.c.lookahead {
+		panic("shardpost fixture: delay below lookahead")
+	}
+	_ = dst
+	_ = fn
+}

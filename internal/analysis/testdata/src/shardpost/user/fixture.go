@@ -1,0 +1,67 @@
+// Package user exercises the shardpost provability rules against the
+// mini sim engine.
+package user
+
+import "repro/internal/analysis/testdata/src/shardpost/sim"
+
+const linkLatency = 2.0
+
+// Delays derived from Lookahead() are provable: directly, through a
+// local variable, and as one addend of a sum.
+func lookaheadDerived(c *sim.Cluster) {
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, c.Lookahead(), func() {})
+	la := c.Lookahead()
+	src.Post(dst, la+0.25, func() {})
+	src.Post(dst, max(la, 0.125), func() {})
+}
+
+// Reusing the value this function also declares as a Connect latency is
+// provable: the lookahead is the minimum Connect latency.
+func connectReuse(c *sim.Cluster, hop float64) {
+	c.Connect(0, 1, hop)
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, hop, func() {})
+}
+
+// A constant delay is judged against the smallest constant Connect
+// latency in the same function.
+func constBound(c *sim.Cluster) {
+	c.Connect(0, 1, linkLatency)
+	c.Connect(1, 0, 3.0)
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, 2.5, func() {})
+	src.Post(dst, 0.5, func() {}) // want "Post delay is not provably"
+}
+
+// A function with no Connect call of its own falls back to the
+// package-wide minimum constant Connect latency (here 2.0).
+func pkgFallback(c *sim.Cluster) {
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, 2.0, func() {})
+	src.Post(dst, 1.5, func() {}) // want "Post delay is not provably"
+}
+
+// An arbitrary parameter proves nothing.
+func unproven(c *sim.Cluster, d float64) {
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, d, func() {}) // want "Post delay is not provably"
+}
+
+// An explicit guard against Lookahead() in the same function is trusted.
+func guarded(c *sim.Cluster, d float64) {
+	if d < c.Lookahead() {
+		return
+	}
+	src, dst := c.Shard(0), c.Shard(1)
+	src.Post(dst, d, func() {})
+}
+
+// The caller validates d against the Connect latency before calling;
+// the analyzer cannot see across that boundary, so this is a false
+// positive, suppressed with a reason.
+func validated(c *sim.Cluster, d float64) {
+	src, dst := c.Shard(0), c.Shard(1)
+	//lint:allow shardpost callers validate d >= the Connect latency before invoking
+	src.Post(dst, d, func() {})
+}

@@ -1,0 +1,37 @@
+// Package sim sits inside the determinism boundary (path base "sim")
+// and calls into zroots helpers; simtaint must flag exactly the calls
+// that transitively reach a nondeterminism root.
+package sim
+
+import "repro/internal/analysis/testdata/src/simtaint/zroots"
+
+// Step reaches time.Now two hops away.
+func Step() float64 {
+	return zroots.Jitter() // want "reaches time.Now through zroots.WallClockNow"
+}
+
+// Seed reaches the global rand source one hop away.
+func Seed() int {
+	return zroots.PickSeed() // want "calls rand.Int"
+}
+
+// Clean calls a deterministic helper; no finding.
+func Clean(x float64) float64 { return zroots.Pure(x) }
+
+// helper is tainted through the imported package; chain then inherits
+// that taint through a purely local call edge.
+func helper() float64 {
+	return zroots.WallClockNow() // want "calls time.Now"
+}
+
+func chain() float64 {
+	return helper() // want "reaches time.Now through zroots.WallClockNow"
+}
+
+// Boot stamps the log once before the simulation starts; the taint is
+// real but the call is outside the simulated path, so it is suppressed
+// with a reason.
+func Boot() float64 {
+	//lint:allow simtaint startup-only stamp, never on the simulated path
+	return zroots.DebugStamp()
+}

@@ -1,0 +1,26 @@
+// Package zroots is an exempt utility package (its base is not in the
+// determinism boundary) whose helpers hide nondeterminism roots at
+// varying call depths. The odd name keeps it lexically after "sim", so
+// passing this fixture proves the checker orders packages by dependency,
+// not by name.
+package zroots
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClockNow reads the host clock directly.
+func WallClockNow() float64 { return float64(time.Now().UnixNano()) }
+
+// Jitter hides the wall clock one call deep.
+func Jitter() float64 { return WallClockNow() * 1e-9 }
+
+// PickSeed draws from the process-global rand source.
+func PickSeed() int { return rand.Int() }
+
+// Pure is deterministic; calls to it must stay clean.
+func Pure(x float64) float64 { return x * 2 }
+
+// DebugStamp is tainted but only ever used on startup paths.
+func DebugStamp() float64 { return WallClockNow() }

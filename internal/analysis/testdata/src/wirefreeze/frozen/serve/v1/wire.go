@@ -1,0 +1,29 @@
+// Package v1 is a frozen miniature wire contract: its lock file matches
+// the surface except for one staged (suppressed) addition.
+package v1
+
+// Version is the frozen API version.
+const Version = "v1"
+
+// ErrCodeBadPlan is a frozen error code.
+const ErrCodeBadPlan = "bad_plan"
+
+// A PlanRequest asks for a transfer plan.
+type PlanRequest struct {
+	Size    int64  `json:"size"`
+	Cluster string `json:"cluster,omitempty"`
+
+	// Tag is a staged addition: real, backward-compatible, and not yet
+	// frozen — the finding is suppressed until release.
+	//lint:allow wirefreeze staged addition, frozen with -update-wire-lock at the next release
+	Tag string `json:"tag,omitempty"`
+
+	internal int // unexported: not part of the wire surface
+}
+
+// A PlanResponse carries the planned paths and modeled cost.
+type PlanResponse struct {
+	Paths []string `json:"paths"`
+	Cost  float64  `json:"cost"`
+	Debug string   `json:"-"` // never serialized: not part of the wire surface
+}

@@ -1,0 +1,18 @@
+// Package v1 simulates post-freeze drift: the lock file froze an older
+// surface, so every divergence below is a finding.
+package v1 // want "struct Retired was removed"
+
+// Version drifted from the frozen value.
+const Version = "v2" // want "const Version changed from"
+
+// A PlanRequest drifted in three frozen dimensions.
+type PlanRequest struct {
+	// SizeBytes was renamed from Size (same wire name).
+	SizeBytes int64 `json:"size"` // want "was renamed to SizeBytes"
+	// Cost changed type from float64.
+	Cost float32 `json:"cost"` // want "changed type from float64 to float32"
+	// Paths changed its wire name.
+	Paths []string `json:"path_list"` // want "changed its wire name"
+	// Extra is a new, unfrozen field.
+	Extra string `json:"extra,omitempty"` // want "not frozen"
+}

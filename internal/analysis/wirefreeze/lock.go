@@ -1,0 +1,43 @@
+package wirefreeze
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+// UpdateLocks regenerates the lock file of every wire package matched by
+// patterns (resolved from dir, default "./...") and returns the paths
+// written. Regeneration is byte-stable: an unchanged wire surface
+// rewrites an identical file, so `mplint -update-wire-lock` is a no-op
+// diff unless the contract actually moved.
+func UpdateLocks(dir string, patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := checker.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var written []string
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		canonical := analysis.CanonicalPkgPath(pkg.Types.Path())
+		if !IsWirePackage(canonical) || seen[canonical] {
+			continue
+		}
+		seen[canonical] = true
+		data, err := LockBytes(Shape(pkg.Fset, pkg.Types))
+		if err != nil {
+			return written, err
+		}
+		path := filepath.Join(pkg.Dir, LockFileName(canonical))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

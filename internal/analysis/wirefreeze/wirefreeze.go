@@ -1,0 +1,293 @@
+// Package wirefreeze defines an analyzer that freezes the JSON wire
+// contract of the serve v1 API: the shape of every wire struct is
+// snapshotted into a checked-in lock file, and any drift is a finding.
+package wirefreeze
+
+import (
+	"encoding/json"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer compares the JSON wire surface of every versioned wire
+// package (import path ending in "/serve/v1") against its checked-in
+// lock file (v1.lock.json, next to the sources). The surface is every
+// exported struct's fields — Go name, wire (JSON tag) name, type, and
+// omitempty — plus every exported constant (error codes, the version
+// string). Removing, renaming, or retyping anything in the lock is a
+// wire contract break: deployed clients are pinned to it (mpserve's
+// compatibility promise, PR 8). Additions are backward-compatible but
+// still findings until frozen with `mplint -update-wire-lock`, so the
+// lock file's review is the wire change's review.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirefreeze",
+	Doc:  "freeze the serve v1 JSON wire contract against its checked-in lock file",
+	Run:  run,
+}
+
+// IsWirePackage reports whether a (possibly variant-annotated) import
+// path names a frozen wire package.
+func IsWirePackage(pkgPath string) bool {
+	return strings.HasSuffix(analysis.CanonicalPkgPath(pkgPath), "/serve/v1")
+}
+
+// LockFileName is the lock file's base name for a wire package.
+func LockFileName(pkgPath string) string {
+	return analysis.PkgPathBase(pkgPath) + ".lock.json"
+}
+
+// A Lock is the serialized wire surface of one package.
+type Lock struct {
+	Package string       `json:"package"`
+	Structs []StructLock `json:"structs"`
+	Consts  []ConstLock  `json:"consts"`
+}
+
+// A StructLock freezes one exported struct, fields in declaration order.
+type StructLock struct {
+	Name   string      `json:"name"`
+	Fields []FieldLock `json:"fields"`
+}
+
+// A FieldLock freezes one exported field of a wire struct.
+type FieldLock struct {
+	Name      string `json:"name"`
+	Wire      string `json:"wire"`
+	Type      string `json:"type"`
+	OmitEmpty bool   `json:"omitempty,omitempty"`
+}
+
+// A ConstLock freezes one exported constant (value in go/constant exact
+// syntax, so strings keep their quotes).
+type ConstLock struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Shape computes the wire surface of a type-checked package. Objects
+// declared in _test.go files are not part of the surface. Fields tagged
+// `json:"-"` never cross the wire and are excluded.
+func Shape(fset *token.FileSet, pkg *types.Package) Lock {
+	lock := Lock{Package: analysis.CanonicalPkgPath(pkg.Path())}
+	qualifier := func(p *types.Package) string { return analysis.CanonicalPkgPath(p.Path()) }
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		obj := scope.Lookup(name)
+		if !obj.Exported() || inTestFile(fset, obj.Pos()) {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			lock.Consts = append(lock.Consts, ConstLock{Name: name, Value: obj.Val().ExactString()})
+		case *types.TypeName:
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			sl := StructLock{Name: name}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				wire, omitEmpty, keep := wireName(f.Name(), st.Tag(i))
+				if !keep {
+					continue
+				}
+				sl.Fields = append(sl.Fields, FieldLock{
+					Name:      f.Name(),
+					Wire:      wire,
+					Type:      types.TypeString(f.Type(), qualifier),
+					OmitEmpty: omitEmpty,
+				})
+			}
+			lock.Structs = append(lock.Structs, sl)
+		}
+	}
+	return lock
+}
+
+// wireName resolves a field's JSON wire name from its tag.
+func wireName(fieldName, tag string) (wire string, omitEmpty, keep bool) {
+	jsonTag := reflect.StructTag(tag).Get("json")
+	name, rest, _ := strings.Cut(jsonTag, ",")
+	if name == "-" && rest == "" && jsonTag != "" {
+		return "", false, false
+	}
+	if name == "" {
+		name = fieldName
+	}
+	for _, opt := range strings.Split(rest, ",") {
+		if opt == "omitempty" {
+			omitEmpty = true
+		}
+	}
+	return name, omitEmpty, true
+}
+
+// LockBytes renders a Lock in its canonical byte form (tab-indented
+// JSON, trailing newline): regenerating an unchanged surface is a
+// byte-identical file.
+func LockBytes(lock Lock) ([]byte, error) {
+	data, err := json.MarshalIndent(lock, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+func run(pass *analysis.Pass) error {
+	if !IsWirePackage(pass.Pkg.Path()) || len(pass.Files) == 0 {
+		return nil
+	}
+	pkgPos := pass.Files[0].Name.Pos()
+	dir := filepath.Dir(pass.Fset.Position(pkgPos).Filename)
+	lockPath := filepath.Join(dir, LockFileName(pass.Pkg.Path()))
+
+	current := Shape(pass.Fset, pass.Pkg)
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		pass.Reportf(pkgPos, "wire lock %s does not exist; run mplint -update-wire-lock to freeze the v1 wire contract", filepath.Base(lockPath))
+		return nil
+	}
+	var frozen Lock
+	if err := json.Unmarshal(data, &frozen); err != nil {
+		pass.Reportf(pkgPos, "wire lock %s is not valid JSON (%v); run mplint -update-wire-lock to regenerate it", filepath.Base(lockPath), err)
+		return nil
+	}
+	diff(pass, current, frozen, filepath.Base(lockPath), pkgPos)
+	return nil
+}
+
+// diff reports every divergence between the package's current wire
+// surface and the frozen lock. Breaks (removals, renames, type changes)
+// and unfrozen additions are worded differently: the former demand a
+// compatibility decision, the latter a lock update.
+func diff(pass *analysis.Pass, current, frozen Lock, lockName string, pkgPos token.Pos) {
+	// Positions of current declarations, for precise reporting.
+	structPos := make(map[string]token.Pos)
+	fieldPos := make(map[string]token.Pos)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		structPos[name] = tn.Pos()
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				fieldPos[name+"."+st.Field(i).Name()] = st.Field(i).Pos()
+			}
+		}
+	}
+	constPos := make(map[string]token.Pos)
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok {
+			constPos[name] = c.Pos()
+		}
+	}
+	at := func(pos token.Pos) token.Pos {
+		if pos.IsValid() {
+			return pos
+		}
+		return pkgPos
+	}
+
+	curStructs := make(map[string]StructLock)
+	for _, s := range current.Structs {
+		curStructs[s.Name] = s
+	}
+	frozenStructs := make(map[string]bool)
+	for _, fs := range frozen.Structs {
+		frozenStructs[fs.Name] = true
+		cs, ok := curStructs[fs.Name]
+		if !ok {
+			pass.Reportf(pkgPos, "wire contract break: struct %s was removed but is frozen in %s", fs.Name, lockName)
+			continue
+		}
+		curFields := make(map[string]FieldLock)
+		curByWire := make(map[string]FieldLock)
+		for _, f := range cs.Fields {
+			curFields[f.Name] = f
+			curByWire[f.Wire] = f
+		}
+		frozenFields := make(map[string]bool)
+		for _, ff := range fs.Fields {
+			frozenFields[ff.Name] = true
+		}
+		renameTarget := make(map[string]bool)
+		for _, ff := range fs.Fields {
+			cf, ok := curFields[ff.Name]
+			if !ok {
+				if renamed, ok := curByWire[ff.Wire]; ok && !frozenFields[renamed.Name] {
+					renameTarget[renamed.Name] = true
+					pass.Reportf(at(fieldPos[fs.Name+"."+renamed.Name]),
+						"wire contract break: field %s.%s (wire %q) was renamed to %s; the lock freezes Go names too", fs.Name, ff.Name, ff.Wire, renamed.Name)
+				} else {
+					pass.Reportf(at(structPos[fs.Name]),
+						"wire contract break: field %s.%s (wire %q) was removed but is frozen in %s", fs.Name, ff.Name, ff.Wire, lockName)
+				}
+				continue
+			}
+			key := fs.Name + "." + ff.Name
+			if cf.Wire != ff.Wire {
+				pass.Reportf(at(fieldPos[key]),
+					"wire contract break: field %s changed its wire name from %q to %q", key, ff.Wire, cf.Wire)
+			}
+			if cf.Type != ff.Type {
+				pass.Reportf(at(fieldPos[key]),
+					"wire contract break: field %s changed type from %s to %s", key, ff.Type, cf.Type)
+			}
+			if cf.OmitEmpty != ff.OmitEmpty {
+				pass.Reportf(at(fieldPos[key]),
+					"wire contract break: field %s changed omitempty from %t to %t", key, ff.OmitEmpty, cf.OmitEmpty)
+			}
+		}
+		for _, f := range cs.Fields {
+			if !frozenFields[f.Name] && !renameTarget[f.Name] {
+				pass.Reportf(at(fieldPos[fs.Name+"."+f.Name]),
+					"field %s.%s is not frozen in %s; run mplint -update-wire-lock to accept the wire change", fs.Name, f.Name, lockName)
+			}
+		}
+	}
+	for _, s := range current.Structs {
+		if !frozenStructs[s.Name] {
+			pass.Reportf(at(structPos[s.Name]),
+				"struct %s is not frozen in %s; run mplint -update-wire-lock to accept the wire change", s.Name, lockName)
+		}
+	}
+
+	curConsts := make(map[string]ConstLock)
+	for _, c := range current.Consts {
+		curConsts[c.Name] = c
+	}
+	frozenConsts := make(map[string]bool)
+	for _, fc := range frozen.Consts {
+		frozenConsts[fc.Name] = true
+		cc, ok := curConsts[fc.Name]
+		if !ok {
+			pass.Reportf(pkgPos, "wire contract break: const %s was removed but is frozen in %s", fc.Name, lockName)
+			continue
+		}
+		if cc.Value != fc.Value {
+			pass.Reportf(at(constPos[fc.Name]),
+				"wire contract break: const %s changed from %s to %s", fc.Name, fc.Value, cc.Value)
+		}
+	}
+	for _, c := range current.Consts {
+		if !frozenConsts[c.Name] {
+			pass.Reportf(at(constPos[c.Name]),
+				"const %s is not frozen in %s; run mplint -update-wire-lock to accept the wire change", c.Name, lockName)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package wirefreeze_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/wirefreeze"
+)
+
+func TestWirefreeze(t *testing.T) {
+	findings := analysistest.Run(t, wirefreeze.Analyzer)
+
+	// The staged Tag addition in the "frozen" fixture is a suppressed
+	// finding: it must still be found (deleting the //lint:allow line
+	// would fail the lint), it is silenced, not missed.
+	analysistest.Suppressed(t, findings, "Tag is not frozen")
+}
+
+// TestRealLockIsCurrent is the freeze itself: the checked-in lock of the
+// real serve v1 package must match its sources byte-for-byte, and
+// regeneration must be byte-stable across runs.
+func TestRealLockIsCurrent(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := func() []byte {
+		pkgs, err := checker.Load(root, "./internal/serve/v1")
+		if err != nil {
+			t.Fatalf("loading internal/serve/v1: %v", err)
+		}
+		for _, pkg := range pkgs {
+			if wirefreeze.IsWirePackage(pkg.Types.Path()) {
+				data, err := wirefreeze.LockBytes(wirefreeze.Shape(pkg.Fset, pkg.Types))
+				if err != nil {
+					t.Fatalf("rendering lock: %v", err)
+				}
+				return data
+			}
+		}
+		t.Fatal("no wire package found under ./internal/serve/v1")
+		return nil
+	}
+
+	first := shape()
+	second := shape()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("lock rendering is not byte-stable across runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	checkedIn, err := os.ReadFile(filepath.Join(root, "internal", "serve", "v1", "v1.lock.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in lock (run mplint -update-wire-lock?): %v", err)
+	}
+	if !bytes.Equal(first, checkedIn) {
+		t.Fatalf("checked-in v1.lock.json is stale; run mplint -update-wire-lock and review the wire change\n--- current surface ---\n%s\n--- checked in ---\n%s", first, checkedIn)
+	}
+}
+
+// TestUpdateLocksIdempotent drives the actual -update-wire-lock write
+// path twice over the real wire package: both runs must target the same
+// lock file and leave byte-identical contents (an unchanged surface is a
+// no-op diff). The original file is restored afterward regardless.
+func TestUpdateLocksIdempotent(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockPath := filepath.Join(root, "internal", "serve", "v1", "v1.lock.json")
+	original, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("reading checked-in lock: %v", err)
+	}
+	defer func() {
+		if err := os.WriteFile(lockPath, original, 0o644); err != nil {
+			t.Errorf("restoring %s: %v", lockPath, err)
+		}
+	}()
+
+	update := func() []byte {
+		written, err := wirefreeze.UpdateLocks(root, "./internal/serve/v1")
+		if err != nil {
+			t.Fatalf("UpdateLocks: %v", err)
+		}
+		if len(written) != 1 || written[0] != lockPath {
+			t.Fatalf("UpdateLocks wrote %v, want exactly [%s]", written, lockPath)
+		}
+		data, err := os.ReadFile(lockPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	first := update()
+	second := update()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("-update-wire-lock is not byte-stable across runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !bytes.Equal(first, original) {
+		t.Fatalf("-update-wire-lock rewrote an unchanged surface differently:\n--- regenerated ---\n%s\n--- checked in ---\n%s", first, original)
+	}
+}

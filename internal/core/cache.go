@@ -144,7 +144,7 @@ func (c *planCache) get(key uint64, compute func() (*Plan, error)) (*Plan, error
 		if err != nil {
 			delete(s.entries, key)
 		} else {
-			c.evictions.Add(s.install(e))
+			c.evictions.Add(s.installLocked(e))
 		}
 	}
 	s.mu.Unlock()
@@ -152,10 +152,10 @@ func (c *planCache) get(key uint64, compute func() (*Plan, error)) (*Plan, error
 	return pl, err
 }
 
-// install adds a completed entry to the CLOCK ring, evicting a victim when
+// installLocked adds a completed entry to the CLOCK ring, evicting a victim when
 // the shard is at capacity. Called with the shard write lock held; returns
 // the number of evicted entries (0 or 1).
-func (s *cacheShard) install(e *cacheEntry) int64 {
+func (s *cacheShard) installLocked(e *cacheEntry) int64 {
 	if len(s.ring) < s.cap {
 		s.ring = append(s.ring, e)
 		return 0

@@ -160,7 +160,7 @@ func ServeBench(opts Options) (*Figure, []ServePoint, error) {
 	}
 	tcp := serve.NewTCPServer(srv)
 	go func() { _ = tcp.Serve(tln) }() // Close ends Serve with nil
-	defer tcp.Close()                  //lint:allow errchecksim benchmark teardown
+	defer tcp.Close()
 
 	clients := runtime.GOMAXPROCS(0)
 	if clients < 2 {
@@ -306,7 +306,7 @@ func runTCPBatchSeries(addr string, w *serveWorkload, clients, requests int) (Se
 				fail(err)
 				return
 			}
-			defer conn.Close() //lint:allow errchecksim benchmark teardown
+			defer conn.Close()
 			mine := make([]float64, 0, requests/clients+1)
 			for r := c; r < requests; r += clients {
 				req := v1.TCPRequest{Batch: makeBatch(w, r)}
@@ -366,10 +366,10 @@ func httpPlanOnce(client *http.Client, baseURL string, it v1.BatchItem, buf *byt
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close() //lint:allow errchecksim response body drain
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var env v1.ErrorEnvelope
-		_ = json.NewDecoder(resp.Body).Decode(&env) //lint:allow errchecksim best-effort error detail
+		_ = json.NewDecoder(resp.Body).Decode(&env)
 		return fmt.Errorf("status %d: %s", resp.StatusCode, env.Error.Message)
 	}
 	var pr v1.PlanResponse
@@ -392,10 +392,10 @@ func httpBatchOnce(client *http.Client, baseURL string, w *serveWorkload, seq in
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close() //lint:allow errchecksim response body drain
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var env v1.ErrorEnvelope
-		_ = json.NewDecoder(resp.Body).Decode(&env) //lint:allow errchecksim best-effort error detail
+		_ = json.NewDecoder(resp.Body).Decode(&env)
 		return fmt.Errorf("status %d: %s", resp.StatusCode, env.Error.Message)
 	}
 	var br v1.BatchResponse

@@ -317,7 +317,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 	ts := NewTCPServer(srv)
 	go func() { _ = ts.Serve(ln) }()
-	t.Cleanup(func() { _ = ts.Close() }) //lint:allow errchecksim test teardown
+	t.Cleanup(func() { _ = ts.Close() })
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {

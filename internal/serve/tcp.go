@@ -73,7 +73,7 @@ func (ts *TCPServer) Close() error {
 		err = ts.ln.Close()
 	}
 	for conn := range ts.conns {
-		_ = conn.Close() //lint:allow errchecksim teardown of an already-abandoned connection
+		_ = conn.Close()
 	}
 	ts.conns = make(map[net.Conn]struct{})
 	return err
@@ -81,7 +81,7 @@ func (ts *TCPServer) Close() error {
 
 func (ts *TCPServer) serveConn(conn net.Conn) {
 	defer func() {
-		_ = conn.Close() //lint:allow errchecksim connection teardown
+		_ = conn.Close()
 		ts.mu.Lock()
 		delete(ts.conns, conn)
 		ts.mu.Unlock()

@@ -230,7 +230,7 @@ func TestPostLookaheadViolationPanics(t *testing.T) {
 				t.Error("Post below lookahead did not panic")
 			}
 		}()
-		s.Post(c.Shard(1), 0.5, func() {})
+		s.Post(c.Shard(1), 0.5, func() {}) //lint:allow shardpost deliberately below lookahead to exercise the panic contract
 	})
 	if err := c.Run(); err != nil {
 		t.Fatal(err)

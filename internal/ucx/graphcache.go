@@ -155,7 +155,7 @@ func (c *graphCache) get(key uint64, compile func() (*pipeline.CompiledPlan, err
 			delete(s.entries, key)
 		} else {
 			var n int64
-			evicted, n = s.install(e)
+			evicted, n = s.installLocked(e)
 			c.evictions.Add(n)
 		}
 	}
@@ -167,11 +167,11 @@ func (c *graphCache) get(key uint64, compile func() (*pipeline.CompiledPlan, err
 	return cp, err
 }
 
-// install adds a completed entry to the CLOCK ring, evicting a victim when
+// installLocked adds a completed entry to the CLOCK ring, evicting a victim when
 // the shard is at capacity. Called with the shard write lock held; the
 // victim's compiled plan is returned for the caller to release outside the
 // lock.
-func (s *graphShard) install(e *graphEntry) (*pipeline.CompiledPlan, int64) {
+func (s *graphShard) installLocked(e *graphEntry) (*pipeline.CompiledPlan, int64) {
 	if len(s.ring) < s.cap {
 		s.ring = append(s.ring, e)
 		return nil, 0
@@ -202,7 +202,7 @@ func (c *graphCache) replace(key uint64, cp *pipeline.CompiledPlan) {
 		close(e.done)
 		s.entries[key] = e
 		var n int64
-		evicted, n = s.install(e)
+		evicted, n = s.installLocked(e)
 		c.evictions.Add(n)
 	}
 	s.mu.Unlock()

@@ -13,7 +13,7 @@ fi
 
 echo "==> mplint ./..."
 go build -o bin/mplint ./cmd/mplint
-./bin/mplint ./...
+./bin/mplint -sarif mplint.sarif ./...
 
 echo "==> go vet ./..."
 go vet ./...
